@@ -1,0 +1,63 @@
+//! B4 — collaborative-filtering cost: similarity computation and
+//! prediction against matrix size, Pearson vs cosine (Karta's question,
+//! this time in CPU terms).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wsrep_core::feedback::Feedback;
+use wsrep_core::id::{AgentId, ServiceId};
+use wsrep_core::mechanisms::cf::{CfMechanism, Similarity};
+use wsrep_core::time::Time;
+use wsrep_core::ReputationMechanism;
+
+fn seeded(users: u64, items: u64, density: f64, sim: Similarity) -> CfMechanism {
+    let mut m = CfMechanism::new(sim);
+    let mut rng = StdRng::seed_from_u64(users + items);
+    for u in 0..users {
+        for i in 0..items {
+            if rng.gen::<f64>() < density {
+                m.submit(&Feedback::scored(
+                    AgentId::new(u),
+                    ServiceId::new(i),
+                    rng.gen(),
+                    Time::ZERO,
+                ));
+            }
+        }
+    }
+    m
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cf_predict");
+    group.sample_size(20);
+    for (users, label) in [(50u64, "50users"), (200, "200users")] {
+        for sim in [Similarity::Pearson, Similarity::Cosine] {
+            let m = seeded(users, 30, 0.3, sim);
+            let name = format!("{label}_{sim:?}");
+            group.bench_with_input(BenchmarkId::from_parameter(name), &m, |b, m| {
+                b.iter(|| m.predict(AgentId::new(0), ServiceId::new(29).into()));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_similarity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cf_user_similarity");
+    for sim in [Similarity::Pearson, Similarity::Cosine] {
+        let m = seeded(100, 50, 0.5, sim);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{sim:?}")),
+            &m,
+            |b, m| {
+                b.iter(|| m.user_similarity(AgentId::new(0), AgentId::new(1)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_predict, bench_similarity);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! B2 — EigenTrust convergence versus network size and pre-trust mass.
+//!
+//! The ablation DESIGN.md calls out: how the pre-trusted mass `a` and the
+//! population size drive power-iteration cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wsrep_core::feedback::Feedback;
+use wsrep_core::id::AgentId;
+use wsrep_core::mechanisms::eigentrust::EigenTrustMechanism;
+use wsrep_core::time::Time;
+use wsrep_core::ReputationMechanism;
+
+fn seeded_network(n: u64, alpha: f64) -> EigenTrustMechanism {
+    let mut m = EigenTrustMechanism::with_params(alpha, 1e-9, 500);
+    m.pre_trust(AgentId::new(0));
+    let mut rng = StdRng::seed_from_u64(n);
+    for i in 0..n {
+        for _ in 0..8 {
+            let j = rng.gen_range(0..n);
+            if i != j {
+                m.submit(&Feedback::scored(
+                    AgentId::new(i),
+                    AgentId::new(j),
+                    if rng.gen::<f64>() < 0.8 { 0.9 } else { 0.1 },
+                    Time::ZERO,
+                ));
+            }
+        }
+    }
+    m
+}
+
+fn bench_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eigentrust_power_iteration");
+    group.sample_size(10);
+    for n in [50u64, 100, 200] {
+        let m = seeded_network(n, 0.15);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| m.iterations_to_converge());
+        });
+    }
+    group.finish();
+}
+
+fn bench_alpha(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eigentrust_alpha_sweep");
+    group.sample_size(10);
+    for alpha in [0.05, 0.15, 0.5] {
+        let m = seeded_network(100, alpha);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("a={alpha}")),
+            &m,
+            |b, m| {
+                b.iter(|| m.iterations_to_converge());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_size, bench_alpha);
+criterion_main!(benches);

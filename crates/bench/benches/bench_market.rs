@@ -1,0 +1,54 @@
+//! B6 — end-to-end market throughput: one full selection round (all
+//! consumers select, invoke, report) for the main strategies.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use wsrep_core::mechanisms::beta::BetaMechanism;
+use wsrep_core::mechanisms::peertrust::PeerTrustMechanism;
+use wsrep_select::eval::{Market, MarketConfig};
+use wsrep_select::strategy::{AdvertisedQos, RandomSelect, ReputationSelect, SelectionStrategy};
+use wsrep_sim::world::{World, WorldConfig};
+
+fn bench_market_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("market_10_rounds");
+    group.sample_size(10);
+    let cfg = {
+        let mut cfg = WorldConfig::small(5);
+        cfg.providers = 12;
+        cfg.consumers = 40;
+        cfg
+    };
+
+    type MkStrategy = fn() -> Box<dyn SelectionStrategy>;
+    let cases: Vec<(&str, MkStrategy)> = vec![
+        ("random", || Box::new(RandomSelect)),
+        ("advertised", || Box::new(AdvertisedQos)),
+        ("rep_beta", || {
+            Box::new(ReputationSelect::new(Box::new(BetaMechanism::new())))
+        }),
+        ("rep_peertrust", || {
+            Box::new(ReputationSelect::new(Box::new(PeerTrustMechanism::new())))
+        }),
+    ];
+
+    for (name, make) in cases {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || (World::generate(cfg.clone()), make()),
+                |(world, mut strategy)| {
+                    Market::new(world, MarketConfig::new(10, 5)).run(strategy.as_mut())
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_world_generation(c: &mut Criterion) {
+    c.bench_function("world_generate_small", |b| {
+        b.iter(|| World::generate(WorldConfig::small(7)));
+    });
+}
+
+criterion_group!(benches, bench_market_rounds, bench_world_generation);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! B1 — mechanism update and query throughput.
+//!
+//! Feeds every Figure 4 mechanism the same 1 000-report workload and
+//! measures submit throughput plus a global-query pass over all subjects.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wsrep_core::feedback::Feedback;
+use wsrep_core::id::{AgentId, ServiceId};
+use wsrep_core::mechanisms::all_figure4_mechanisms;
+use wsrep_core::time::Time;
+
+fn workload(n: usize) -> Vec<Feedback> {
+    let mut rng = StdRng::seed_from_u64(1);
+    (0..n)
+        .map(|i| {
+            Feedback::scored(
+                AgentId::new(rng.gen_range(0..40)),
+                ServiceId::new(rng.gen_range(0..20)),
+                rng.gen(),
+                Time::new(i as u64 / 40),
+            )
+        })
+        .collect()
+}
+
+fn bench_submit(c: &mut Criterion) {
+    let feedback = workload(1000);
+    let mut group = c.benchmark_group("submit_1000");
+    group.sample_size(10);
+    for proto in all_figure4_mechanisms() {
+        let key = proto.info().key;
+        group.bench_function(key, |b| {
+            b.iter_batched(
+                || {
+                    all_figure4_mechanisms()
+                        .into_iter()
+                        .find(|m| m.info().key == key)
+                        .expect("mechanism exists")
+                },
+                |mut m| {
+                    for fb in &feedback {
+                        m.submit(fb);
+                    }
+                    m
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let feedback = workload(1000);
+    let mut group = c.benchmark_group("query_all_subjects");
+    group.sample_size(10);
+    for mut m in all_figure4_mechanisms() {
+        let key = m.info().key;
+        for fb in &feedback {
+            m.submit(fb);
+        }
+        m.refresh(Time::new(25));
+        group.bench_function(key, |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for s in 0..20u64 {
+                    if let Some(e) = m.global(ServiceId::new(s).into()) {
+                        acc += e.value.get();
+                    }
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_submit, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! B3 — overlay primitives: Chord routing, P-Grid routing, flooding and
+//! gossip over the sizes the decentralized experiments use.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wsrep_core::id::AgentId;
+use wsrep_net::overlay::chord::{hash_key, ChordRing};
+use wsrep_net::overlay::flood::flood;
+use wsrep_net::overlay::gossip::gossip;
+use wsrep_net::overlay::graph::NeighborGraph;
+use wsrep_net::overlay::pgrid::PGrid;
+
+fn bench_chord(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chord_route");
+    for n in [64u64, 256, 1024] {
+        let ring = ChordRing::new((0..n).map(AgentId::new));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ring, |b, ring| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                ring.route_from(AgentId::new(0), hash_key(i))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pgrid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pgrid_route");
+    for n in [64u64, 256, 1024] {
+        let peers: Vec<AgentId> = (0..n).map(AgentId::new).collect();
+        let grid = PGrid::new(&peers);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &grid, |b, grid| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                grid.route_from(AgentId::new(0), hash_key(i))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_flood_and_gossip(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let nodes: Vec<AgentId> = (0..200).map(AgentId::new).collect();
+    let graph = NeighborGraph::random_connected(&mut rng, &nodes, 2);
+    c.bench_function("flood_ttl4_200peers", |b| {
+        b.iter(|| flood(&graph, AgentId::new(0), 4));
+    });
+    c.bench_function("gossip_fanout3_200peers", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| gossip(&mut rng, &graph, AgentId::new(0), 3, 100));
+    });
+}
+
+criterion_group!(benches, bench_chord, bench_pgrid, bench_flood_and_gossip);
+criterion_main!(benches);

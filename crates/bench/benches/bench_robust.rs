@@ -1,0 +1,44 @@
+//! B5 — defense cost: each unfair-rating defense over growing stores.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wsrep_core::feedback::Feedback;
+use wsrep_core::id::{AgentId, ServiceId};
+use wsrep_core::store::FeedbackStore;
+use wsrep_core::time::Time;
+use wsrep_robust::defense::all_defenses;
+
+fn store(reports: usize) -> FeedbackStore {
+    let mut rng = StdRng::seed_from_u64(5);
+    (0..reports)
+        .map(|i| {
+            Feedback::scored(
+                AgentId::new(rng.gen_range(0..50)),
+                ServiceId::new(rng.gen_range(0..20)),
+                rng.gen(),
+                Time::new(i as u64),
+            )
+        })
+        .collect()
+}
+
+fn bench_defenses(c: &mut Criterion) {
+    let mut group = c.benchmark_group("defense_estimate");
+    group.sample_size(20);
+    for n in [500usize, 2000] {
+        let st = store(n);
+        for defense in all_defenses() {
+            let name = format!("{}_{n}", defense.name());
+            group.bench_with_input(BenchmarkId::from_parameter(name), &st, |b, st| {
+                b.iter(|| {
+                    defense.estimate(st, AgentId::new(0), ServiceId::new(7).into())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_defenses);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Experiment F1 — Figure 1: direct vs mediated selection.
+//!
+//! Claim reproduced: in the *direct* scenario selection quality is decided
+//! by the web service's own QoS; in the *mediated* scenario "the major
+//! part of selecting a web service is decided by the general service
+//! properties" while the intermediary's QoS "only plays a small part".
+//!
+//! Design: 40 mediated offers (random intermediary technical quality ×
+//! random general-service quality). Four selectors pick an offer per
+//! trial: the oracle (max composite), one that only sees the *general*
+//! service's quality, one that only sees the *intermediary's* QoS, and
+//! random. The by-general selector should land near the oracle, the
+//! by-intermediary one near random — that gap *is* Figure 1's point.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wsrep_core::id::ServiceId;
+use wsrep_qos::metric::Metric;
+use wsrep_qos::profile::QualityProfile;
+use wsrep_select::report::{f3, section, Table};
+use wsrep_sim::provider::metric_range;
+use wsrep_sim::scenario::{invoke_mediated, GeneralService, MediatedOffer, MediationWeights};
+
+fn random_offer(rng: &mut StdRng, id: u64) -> MediatedOffer {
+    let rt = rng.gen_range(30.0..700.0);
+    let gq0 = rng.gen_range(0.2..0.98);
+    let gq1 = rng.gen_range(0.2..0.98);
+    MediatedOffer {
+        intermediary: ServiceId::new(id),
+        intermediary_quality: QualityProfile::from_triples([
+            (Metric::ResponseTime, rt, rt * 0.05),
+            (Metric::Availability, rng.gen_range(0.6..0.999), 0.01),
+        ]),
+        general: GeneralService {
+            id: ServiceId::new(1000 + id),
+            quality: QualityProfile::from_triples([
+                (Metric::AppSpecific(0), gq0, 0.03),
+                (Metric::AppSpecific(1), gq1, 0.03),
+            ]),
+        },
+    }
+}
+
+/// Expected composite utility of an offer (Monte-Carlo mean).
+fn expected_composite(rng: &mut StdRng, offer: &MediatedOffer, w: MediationWeights) -> f64 {
+    (0..100)
+        .map(|_| invoke_mediated(rng, offer, w, metric_range).composite)
+        .sum::<f64>()
+        / 100.0
+}
+
+fn tech_score(offer: &MediatedOffer) -> f64 {
+    // Normalized mean of the intermediary's technical facets.
+    let means = offer.intermediary_quality.means();
+    means
+        .iter()
+        .map(|(m, v)| {
+            let (lo, hi) = metric_range(m);
+            wsrep_qos::normalize::normalize_one(v, lo, hi, m.monotonicity())
+        })
+        .sum::<f64>()
+        / means.len() as f64
+}
+
+fn general_score(offer: &MediatedOffer) -> f64 {
+    let means = offer.general.quality.means();
+    means.iter().map(|(_, v)| v).sum::<f64>() / means.len() as f64
+}
+
+fn main() {
+    println!("# F1 — Figure 1: direct vs mediated web-service selection");
+    let mut rng = StdRng::seed_from_u64(42);
+    let offers: Vec<MediatedOffer> = (0..40).map(|i| random_offer(&mut rng, i)).collect();
+
+    for share in [0.8, 0.5, 0.0] {
+        let w = MediationWeights::new(share);
+        let utilities: Vec<f64> = offers
+            .iter()
+            .map(|o| expected_composite(&mut rng, o, w))
+            .collect();
+        let pick = |score: &dyn Fn(&MediatedOffer) -> f64| -> f64 {
+            let best = offers
+                .iter()
+                .enumerate()
+                .max_by(|a, b| {
+                    score(a.1)
+                        .partial_cmp(&score(b.1))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(i, _)| i)
+                .unwrap();
+            utilities[best]
+        };
+        let oracle = utilities.iter().copied().fold(f64::MIN, f64::max);
+        let by_general = pick(&general_score);
+        let by_intermediary = pick(&tech_score);
+        let random: f64 = utilities.iter().sum::<f64>() / utilities.len() as f64;
+
+        section(&format!(
+            "general-service share = {share} ({})",
+            match share {
+                s if s >= 0.8 => "the paper's mediated scenario B",
+                0.0 => "degenerate: pure direct scenario A",
+                _ => "halfway",
+            }
+        ));
+        let mut t = Table::new(["selector", "mean composite utility", "fraction of oracle"]);
+        t.row(["oracle", &f3(oracle), &f3(1.0)]);
+        t.row([
+            "by general-service quality",
+            &f3(by_general),
+            &f3(by_general / oracle),
+        ]);
+        t.row([
+            "by intermediary (web service) QoS",
+            &f3(by_intermediary),
+            &f3(by_intermediary / oracle),
+        ]);
+        t.row(["random (blind choice)", &f3(random), &f3(random / oracle)]);
+        print!("{}", t.render());
+    }
+
+    println!(
+        "\nReading: at the paper's share (0.8) the general-service selector\n\
+         captures nearly the full oracle utility while the intermediary-QoS\n\
+         selector sits near the random baseline; at share 0 (the direct\n\
+         scenario) the ordering flips — the web service's own QoS decides."
+    );
+}

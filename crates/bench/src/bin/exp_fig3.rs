@@ -1,0 +1,120 @@
+//! Experiment F3 — Figure 3: the QoS taxonomy and multi-faceted trust.
+//!
+//! Two parts. First, re-emit the W3C taxonomy tree the paper reproduces as
+//! Figure 3 — it is a first-class value in `wsrep-qos`. Second, quantify
+//! why the taxonomy matters for trust: Section 3's *multi-faceted*
+//! property says consumers develop per-aspect trust and combine it by
+//! their own weights. We build services with anti-correlated facets
+//! (fast-but-inaccurate vs accurate-but-slow), consumers with increasingly
+//! heterogeneous facet weights, and compare selection through **scalar**
+//! trust (one number per service) against **faceted** trust.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wsrep_core::facets::FacetedTrust;
+use wsrep_core::time::Time;
+use wsrep_qos::metric::Metric;
+use wsrep_qos::preference::Preferences;
+use wsrep_qos::profile::QualityProfile;
+use wsrep_qos::taxonomy::Taxonomy;
+use wsrep_select::report::{f3, section, Table};
+use wsrep_sim::provider::metric_range;
+
+const FACETS: [Metric; 2] = [Metric::ResponseTime, Metric::Accuracy];
+
+/// Services trading speed against accuracy along a spectrum.
+fn services() -> Vec<QualityProfile> {
+    (0..8)
+        .map(|i| {
+            let x = i as f64 / 7.0; // 0 = fastest/least accurate
+            QualityProfile::from_triples([
+                (Metric::ResponseTime, 20.0 + 700.0 * x, 10.0),
+                (Metric::Accuracy, 0.45 + 0.5 * x, 0.02),
+            ])
+        })
+        .collect()
+}
+
+fn main() {
+    println!("# F3 — Figure 3: QoS taxonomy and multi-faceted trust");
+
+    section("the taxonomy (regenerated from code)");
+    print!("{}", Taxonomy::standard().render());
+
+    section("scalar vs faceted trust under preference heterogeneity");
+    let mut table = Table::new([
+        "preference heterogeneity",
+        "scalar-trust utility",
+        "faceted-trust utility",
+        "faceted advantage",
+    ]);
+    let mut rng = StdRng::seed_from_u64(11);
+    let svcs = services();
+
+    for h in [0.0, 0.3, 0.6, 0.9] {
+        // Train one tracker per service from 60 honest multi-facet samples.
+        let trackers: Vec<FacetedTrust> = svcs
+            .iter()
+            .map(|q| {
+                let mut ft = FacetedTrust::new();
+                for t in 0..60 {
+                    let obs = q.sample(&mut rng);
+                    for m in FACETS {
+                        let (lo, hi) = metric_range(m);
+                        let score = wsrep_qos::normalize::normalize_one(
+                            obs.get(m).unwrap(),
+                            lo,
+                            hi,
+                            m.monotonicity(),
+                        );
+                        ft.record(m, score, Time::new(t));
+                    }
+                }
+                ft
+            })
+            .collect();
+        let now = Time::new(60);
+
+        let mut scalar_u = 0.0;
+        let mut faceted_u = 0.0;
+        const CONSUMERS: usize = 200;
+        for _ in 0..CONSUMERS {
+            let prefs = Preferences::sample(&mut rng, FACETS, h);
+            let truth = |q: &QualityProfile| prefs.utility_raw(&q.means(), metric_range);
+            // Scalar: every consumer sees the same single trust number.
+            let scalar_pick = (0..svcs.len())
+                .max_by(|&a, &b| {
+                    let sa = trackers[a].scalar(now).map(|e| e.value.get()).unwrap_or(0.0);
+                    let sb = trackers[b].scalar(now).map(|e| e.value.get()).unwrap_or(0.0);
+                    sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .unwrap();
+            // Faceted: per-aspect trust combined under own weights.
+            let faceted_pick = (0..svcs.len())
+                .max_by(|&a, &b| {
+                    let fa = trackers[a].overall(&prefs, now).value.get();
+                    let fb = trackers[b].overall(&prefs, now).value.get();
+                    fa.partial_cmp(&fb).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .unwrap();
+            scalar_u += truth(&svcs[scalar_pick]);
+            faceted_u += truth(&svcs[faceted_pick]);
+        }
+        scalar_u /= CONSUMERS as f64;
+        faceted_u /= CONSUMERS as f64;
+        table.row([
+            f3(h),
+            f3(scalar_u),
+            f3(faceted_u),
+            format!("{:+.3}", faceted_u - scalar_u),
+        ]);
+    }
+    print!("{}", table.render());
+
+    println!(
+        "\nReading: with identical consumers (h = 0) one scalar suffices; as\n\
+         facet weightings diverge, per-aspect trust combined under each\n\
+         consumer's weights wins by a growing margin — Section 3's\n\
+         multi-faceted property, quantified."
+    );
+}

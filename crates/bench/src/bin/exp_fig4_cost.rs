@@ -1,0 +1,190 @@
+//! Experiment F4b — Figure 4's first axis: centralized vs decentralized.
+//!
+//! Section 4: centralized mechanisms "are less complex and easier to
+//! implement … but they need powerful and reliable central servers" and
+//! "will suffer a single point of failure"; decentralized ones share the
+//! work at a communication cost. Three measurements:
+//!
+//! 1. **message cost** per reputation maintenance/query for a centralized
+//!    registry vs distributed EigenTrust vs the P-Grid QoS registry;
+//! 2. **failure behaviour**: market utility before/during/after a central
+//!    registry outage, centralized vs decentralized strategy;
+//! 3. P-Grid / Chord **routing hop counts** versus network size.
+
+use std::collections::BTreeMap;
+use wsrep_bench::{base_config, collect_feedback, qos_reports};
+use wsrep_core::id::AgentId;
+use wsrep_core::mechanisms::beta::BetaMechanism;
+use wsrep_core::mechanisms::peertrust::PeerTrustMechanism;
+use wsrep_net::overlay::chord::{hash_key, ChordRing};
+use wsrep_net::overlay::pgrid::PGrid;
+use wsrep_net::protocols::eigentrust_dist::DistributedEigenTrust;
+use wsrep_net::protocols::pgrid_rep::PGridQosRegistry;
+use wsrep_net::SimNetwork;
+use wsrep_select::eval::{Market, MarketConfig};
+use wsrep_select::report::{f3, section, Table};
+use wsrep_select::strategy::ReputationSelect;
+use wsrep_sim::world::World;
+
+fn main() {
+    println!("# F4b — centralized vs decentralized: cost and failure behaviour");
+    const SEED: u64 = 13;
+
+    // ---------------------------------------------------------------
+    section("message cost of reputation maintenance (one market's feedback)");
+    let mut world = World::generate(base_config(SEED));
+    let store = collect_feedback(&mut world, 10);
+    let n_reports = store.len() as u64;
+
+    let mut t = Table::new(["architecture", "messages", "msgs / report", "notes"]);
+    // Centralized: one message to file a report, one to query.
+    t.row([
+        "central QoS registry".to_string(),
+        format!("{}", 2 * n_reports),
+        f3(2.0),
+        "1 submit + 1 query per report".into(),
+    ]);
+
+    // Distributed EigenTrust over the same population.
+    let mut rows: BTreeMap<AgentId, BTreeMap<AgentId, f64>> = BTreeMap::new();
+    for fb in store.iter() {
+        // Local trust edges rater → (a peer standing in for the service's
+        // provider agent) — the P2P embodiment rates peers.
+        if let Some(svc) = fb.subject.as_service() {
+            let peer = AgentId::new(10_000 + svc.raw());
+            let e = rows.entry(fb.rater).or_default().entry(peer).or_insert(0.0);
+            *e += fb.score - 0.5;
+        }
+    }
+    // Normalize rows (positive part).
+    let rows: BTreeMap<AgentId, BTreeMap<AgentId, f64>> = rows
+        .into_iter()
+        .map(|(i, row)| {
+            let pos: BTreeMap<AgentId, f64> =
+                row.into_iter().filter(|&(_, v)| v > 0.0).collect();
+            let total: f64 = pos.values().sum();
+            (
+                i,
+                if total > 0.0 {
+                    pos.into_iter().map(|(j, v)| (j, v / total)).collect()
+                } else {
+                    BTreeMap::new()
+                },
+            )
+        })
+        .collect();
+    let pre = rows.keys().next().copied().unwrap_or(AgentId::new(0));
+    let det = DistributedEigenTrust::new(rows, vec![pre], 0.15);
+    let mut net = SimNetwork::ideal(SEED);
+    let out = det.run(&mut net);
+    t.row([
+        "distributed EigenTrust".to_string(),
+        format!("{}", out.messages),
+        f3(out.messages as f64 / n_reports as f64),
+        format!("{} power-iteration rounds", out.rounds),
+    ]);
+
+    // P-Grid QoS registries (Vu et al.).
+    let registry_peers: Vec<AgentId> = (500..516).map(AgentId::new).collect();
+    let mut pgrid = PGridQosRegistry::new(&registry_peers);
+    for fb in qos_reports(&store) {
+        pgrid.submit_report(&fb);
+    }
+    // One query per report to mirror the centralized accounting.
+    for fb in store.iter() {
+        if let Some(svc) = fb.subject.as_service() {
+            pgrid.query(fb.rater, svc, None);
+        }
+    }
+    t.row([
+        "P-Grid QoS registries (16 peers)".to_string(),
+        format!("{}", pgrid.messages()),
+        f3(pgrid.messages() as f64 / n_reports as f64),
+        "multi-hop routing per submit/query".into(),
+    ]);
+    print!("{}", t.render());
+
+    // ---------------------------------------------------------------
+    section("single point of failure: registry outage at rounds 20-40 of 60");
+    let mut t = Table::new([
+        "strategy",
+        "typology",
+        "settled utility (healthy)",
+        "settled utility (with outage)",
+        "degradation",
+    ]);
+    for (label, decentralized) in [("rep:beta (centralized)", false), ("rep:peertrust (decentralized)", true)] {
+        let build = || -> Box<dyn wsrep_core::ReputationMechanism> {
+            if decentralized {
+                Box::new(PeerTrustMechanism::new())
+            } else {
+                Box::new(BetaMechanism::new())
+            }
+        };
+        let healthy = {
+            let mut strat = ReputationSelect::new(build());
+            Market::new(
+                World::generate(base_config(SEED)),
+                MarketConfig::new(60, SEED),
+            )
+            .run(&mut strat)
+        };
+        let outage = {
+            let mut strat = ReputationSelect::new(build());
+            let mut cfg = MarketConfig::new(60, SEED);
+            cfg.registry_fails_at = Some(20);
+            cfg.registry_recovers_at = Some(40);
+            Market::new(World::generate(base_config(SEED)), cfg).run(&mut strat)
+        };
+        t.row([
+            label.to_string(),
+            if decentralized {
+                "decentralized".into()
+            } else {
+                "centralized".into()
+            },
+            f3(healthy.mean_utility),
+            f3(outage.mean_utility),
+            format!("{:+.3}", outage.mean_utility - healthy.mean_utility),
+        ]);
+    }
+    print!("{}", t.render());
+
+    // ---------------------------------------------------------------
+    section("structured-overlay routing cost vs network size");
+    let mut t = Table::new(["peers", "Chord mean hops", "P-Grid mean hops", "P-Grid depth"]);
+    for n in [16u64, 64, 256] {
+        let ring = ChordRing::new((0..n).map(AgentId::new));
+        let peers: Vec<AgentId> = (0..n).map(AgentId::new).collect();
+        let grid = PGrid::new(&peers);
+        let mut chord_hops = 0usize;
+        let mut grid_hops = 0usize;
+        let probes = 200;
+        for i in 0..probes {
+            let key = hash_key(i * 7919 + 13);
+            chord_hops += ring
+                .route_from(AgentId::new(0), key)
+                .map(|p| p.len() - 1)
+                .unwrap_or(0);
+            grid_hops += grid
+                .route_from(AgentId::new(0), key)
+                .map(|p| p.len() - 1)
+                .unwrap_or(0);
+        }
+        t.row([
+            format!("{n}"),
+            f3(chord_hops as f64 / probes as f64),
+            f3(grid_hops as f64 / probes as f64),
+            format!("{}", grid.depth()),
+        ]);
+    }
+    print!("{}", t.render());
+
+    println!(
+        "\nReading: the central registry costs a constant 2 messages per\n\
+         report but its outage blinds the centralized strategy (utility\n\
+         drops toward random); the decentralized mechanism keeps learning\n\
+         through the outage at a multi-hop message premium that grows\n\
+         logarithmically with network size — Section 4's trade-off."
+    );
+}

@@ -1,0 +1,88 @@
+//! Experiment F4d — the whole typology, raced.
+//!
+//! Every system the survey classifies, run as the selection backend of
+//! the *same* market, with its typology coordinates beside its measured
+//! selection quality. The point is not a single winner — the paper's
+//! point is that different leaves fit different conditions — but the grid
+//! makes the trade-offs concrete: simple global mechanisms are already
+//! strong in an honest homogeneous market, person-level systems racing in
+//! a resource market pay for their different subject, and topology-only
+//! systems (PageRank, NodeRanking) cannot use score valence at all.
+
+use wsrep_bench::base_config;
+use wsrep_core::mechanisms::all_figure4_mechanisms;
+use wsrep_select::eval::{Market, MarketConfig};
+use wsrep_select::report::{f3, section, Table};
+use wsrep_select::strategy::{RandomSelect, ReputationSelect};
+use wsrep_sim::world::World;
+
+fn main() {
+    println!("# F4d — all 21 classified systems as selection backends");
+
+    const ROUNDS: u64 = 60;
+    let seeds = [3u64, 17, 31];
+
+    // Random baseline.
+    let mut baseline = 0.0;
+    for &seed in &seeds {
+        let mut cfg = base_config(seed);
+        cfg.preference_heterogeneity = 0.0;
+        let mut random = RandomSelect;
+        baseline += Market::new(World::generate(cfg), MarketConfig::new(ROUNDS, seed))
+            .run(&mut random)
+            .settled_utility;
+    }
+    baseline /= seeds.len() as f64;
+
+    section(&format!(
+        "honest homogeneous market, {ROUNDS} rounds, mean of {} seeds (random baseline {})",
+        seeds.len(),
+        f3(baseline)
+    ));
+    let mut t = Table::new([
+        "system",
+        "centralization",
+        "subject",
+        "scope",
+        "settled utility",
+        "vs random",
+    ]);
+    let count = all_figure4_mechanisms().len();
+    for i in 0..count {
+        let info = all_figure4_mechanisms()[i].info();
+        // Seeds are independent markets: run them on worker threads.
+        let reports = wsrep_select::eval::run_seeds_parallel(&seeds, |seed| {
+            let mut cfg = base_config(seed);
+            cfg.preference_heterogeneity = 0.0;
+            let mechanism = all_figure4_mechanisms().remove(i);
+            (
+                World::generate(cfg),
+                MarketConfig::new(ROUNDS, seed),
+                Box::new(ReputationSelect::new(mechanism)) as _,
+            )
+        });
+        let utility =
+            reports.iter().map(|r| r.settled_utility).sum::<f64>() / seeds.len() as f64;
+        t.row([
+            info.display.to_string(),
+            info.centralization.to_string(),
+            info.subject.to_string(),
+            info.scope.to_string(),
+            f3(utility),
+            format!("{:+.3}", utility - baseline),
+        ]);
+    }
+    print!("{}", t.render());
+
+    println!(
+        "\nReading: nearly every score-driven mechanism clears the random\n\
+         baseline by a wide margin in this benign market — the survey's\n\
+         premise that *any* trust and reputation mechanism beats blind\n\
+         choice. The stragglers are instructive, not broken: PageRank and\n\
+         the social-topology ranker ignore score valence by design, and\n\
+         several person/agent, personalized systems (built for peers\n\
+         vouching for peers) are running outside their home leaf of the\n\
+         typology. Which leaf *fits* which conditions is what exp_fig4_cost,\n\
+         exp_fig4_pers and exp_unfair measure."
+    );
+}

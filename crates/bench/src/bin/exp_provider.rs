@@ -1,0 +1,143 @@
+//! Experiment E6 — Section 5: provider-level reputation bootstraps new
+//! services.
+//!
+//! "For the service for which the trust and reputation has not been
+//! established, e.g. a new service …, the trust and reputation of the
+//! service provider, accumulated by the provider from providing other
+//! services, can be used for the selection."
+//!
+//! Design: each provider has one *established* service (feedback flows for
+//! 30 rounds) and one *held-out* new service (no feedback at all). A
+//! consumer must then pick among the new services only. With bootstrapping
+//! the provider's track record seeds the choice; without it, every new
+//! service is an ignorance prior and the pick is blind.
+
+use rand::Rng;
+use wsrep_bench::base_config;
+use wsrep_core::mechanisms::beta::BetaMechanism;
+use wsrep_core::ReputationMechanism;
+use wsrep_qos::preference::Preferences;
+use wsrep_select::bootstrap::ProviderBootstrap;
+use wsrep_select::report::{f3, section, Table};
+use wsrep_sim::world::World;
+
+fn main() {
+    println!("# E6 — provider reputation for cold-start services (Section 5, direction 2)");
+
+    section("picking among brand-new services (mean over 20 seeds)");
+    let mut t = Table::new([
+        "selector",
+        "mean utility of picked new service",
+        "top-1 hit rate",
+    ]);
+    let seeds: Vec<u64> = (0..20).collect();
+    let mut results: Vec<(String, f64, f64)> = Vec::new();
+
+    for (label, enabled) in [("provider bootstrap ON", true), ("provider bootstrap OFF", false)] {
+        let mut utility_sum = 0.0;
+        let mut hits = 0usize;
+        for &seed in &seeds {
+            let mut cfg = base_config(seed);
+            cfg.preference_heterogeneity = 0.0;
+            cfg.provider_quality_correlation = 0.8;
+            cfg.services_per_provider = 2;
+            let mut world = World::generate(cfg);
+
+            let mut mech = if enabled {
+                ProviderBootstrap::new(Box::new(BetaMechanism::new()))
+            } else {
+                ProviderBootstrap::disabled(Box::new(BetaMechanism::new()))
+            };
+            // Each provider's first service is established, second held out.
+            let mut established = Vec::new();
+            let mut held_out = Vec::new();
+            for p in world.providers.values() {
+                established.push(p.services[0]);
+                held_out.push(p.services[1]);
+                for &s in &p.services {
+                    mech.register(s, p.id);
+                }
+            }
+            // 30 rounds of feedback on established services only.
+            for _ in 0..30 {
+                for idx in 0..world.consumers.len() {
+                    let pick = established
+                        [rand::Rng::gen_range(world.rng(), 0..established.len())];
+                    if let Some((_, fb)) = world.invoke_and_report(idx, pick) {
+                        mech.submit(&fb);
+                    }
+                }
+                world.step();
+            }
+            // Choose among the held-out (new) services.
+            let chosen = held_out
+                .iter()
+                .copied()
+                .max_by(|&a, &b| {
+                    let ea = mech.global(a.into()).map(|e| e.value.get()).unwrap_or(0.5);
+                    let eb = mech.global(b.into()).map(|e| e.value.get()).unwrap_or(0.5);
+                    ea.partial_cmp(&eb).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("held-out services exist");
+            let prefs = Preferences::uniform(world.metrics().to_vec());
+            let utility = |s| {
+                prefs.utility_raw(
+                    &world.service(s).unwrap().quality.means(),
+                    world.bounds(),
+                )
+            };
+            let best_new = held_out
+                .iter()
+                .copied()
+                .max_by(|&a, &b| {
+                    utility(a)
+                        .partial_cmp(&utility(b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .unwrap();
+            utility_sum += utility(chosen);
+            if chosen == best_new {
+                hits += 1;
+            }
+        }
+        let mean_u = utility_sum / seeds.len() as f64;
+        let hit = hits as f64 / seeds.len() as f64;
+        results.push((label.to_string(), mean_u, hit));
+        t.row([label.to_string(), f3(mean_u), f3(hit)]);
+    }
+
+    // Random baseline: expected utility of a uniformly random new service.
+    let mut rand_sum = 0.0;
+    for &seed in &seeds {
+        let mut cfg = base_config(seed);
+        cfg.preference_heterogeneity = 0.0;
+        let mut world = World::generate(cfg);
+        let held_out: Vec<_> = world
+            .providers
+            .values()
+            .map(|p| p.services[1])
+            .collect();
+        let prefs = Preferences::uniform(world.metrics().to_vec());
+        let pick = held_out[world.rng().gen_range(0..held_out.len())];
+        rand_sum += prefs.utility_raw(&world.service(pick).unwrap().quality.means(), world.bounds());
+    }
+    t.row([
+        "random new service".to_string(),
+        f3(rand_sum / seeds.len() as f64),
+        "-".to_string(),
+    ]);
+    print!("{}", t.render());
+
+    let on = &results[0];
+    let off = &results[1];
+    println!(
+        "\nReading: bootstrapping lifts cold-start selection utility by\n\
+         {:+.3} over the no-bootstrap baseline — exactly because, as the\n\
+         paper puts it, \"if a provider has a good reputation for providing\n\
+         good quality services, a consumer would like to believe that its\n\
+         new service has good quality too\". (Provider quality correlates\n\
+         across its services through its behaviour and honesty, not\n\
+         perfectly, so the hit rate stays below 1.)",
+        on.1 - off.1
+    );
+}

@@ -1,0 +1,316 @@
+//! Experiment E9 — whitewashing: shedding reputation by switching
+//! identity.
+//!
+//! The oldest exploit against reputation systems, and the reason Sporas
+//! never lets a member fall below a newcomer. In a web-service market the
+//! move is: a poor provider withdraws its service and republishes the
+//! same implementation under a fresh id, resetting its record. We measure
+//! how often each selector falls for the fresh identities:
+//!
+//! * **neutral prior** (unknown ⇒ trust 0.5): whitewashing pays whenever
+//!   the shed reputation was below 0.5;
+//! * **skeptical prior** (unknown ⇒ trust 0.3): newcomers are not
+//!   attractive, so identity-switching buys nothing;
+//! * **provider bootstrap** (Section 5): the *provider's* reputation
+//!   survives the identity switch, so the fresh service inherits the bad
+//!   record — the structural fix.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wsrep_bench::base_config;
+use wsrep_core::id::ProviderId;
+use wsrep_core::mechanisms::beta::BetaMechanism;
+use wsrep_qos::preference::Preferences;
+use wsrep_select::bootstrap::BootstrapSelect;
+use wsrep_select::report::{f3, pct, section, Table};
+use wsrep_select::strategy::{Candidate, ReputationSelect, SelectionContext, SelectionStrategy};
+use wsrep_sim::world::World;
+
+const ROUNDS: u64 = 80;
+const WHITEWASH_EVERY: u64 = 15;
+
+/// Run the whitewashing market. The bottom third of providers (by true
+/// quality) whitewash all their services every `WHITEWASH_EVERY` rounds;
+/// at the same cadence the *best* provider launches a genuinely improved
+/// v2 service, so unknown identities are a mix of laundered bad services
+/// and valuable newcomers — the classic newcomer/whitewasher tension.
+/// Returns `(settled utility, fraction of selections on whitewashers,
+/// fraction on genuine v2 newcomers)`.
+fn run(mut strategy: Box<dyn SelectionStrategy>, spread: f64, seed: u64) -> (f64, f64, f64) {
+    let mut cfg = base_config(seed);
+    cfg.preference_heterogeneity = 0.0;
+    cfg.provider_quality_correlation = 0.8;
+    cfg.quality_spread = spread;
+    let mut world = World::generate(cfg);
+    let prefs = Preferences::uniform(world.metrics().to_vec());
+
+    // Bottom third of providers are the whitewashers.
+    let mut ranked: Vec<ProviderId> = world.providers.keys().copied().collect();
+    ranked.sort_by(|&a, &b| {
+        let ua = provider_quality(&world, a, &prefs);
+        let ub = provider_quality(&world, b, &prefs);
+        ua.partial_cmp(&ub).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let whitewashers: Vec<ProviderId> = ranked[..ranked.len() / 3].to_vec();
+    let best_provider = *ranked.last().expect("providers exist");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tail_utility = 0.0;
+    let mut tail_n = 0u64;
+    let mut on_washer = 0u64;
+    let mut on_newcomer = 0u64;
+    let mut newcomers: Vec<wsrep_core::ServiceId> = Vec::new();
+    let mut selections = 0u64;
+    let tail_start = ROUNDS - ROUNDS / 4;
+
+    for round in 0..ROUNDS {
+        let candidates: Vec<Candidate> = world
+            .registry
+            .search(0)
+            .map(|ls| {
+                ls.into_iter()
+                    .map(|l| Candidate {
+                        service: l.service,
+                        provider: l.provider,
+                        advertised: l.advertised.clone(),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        for idx in 0..world.consumers.len() {
+            let consumer = world.consumers[idx].clone();
+            let ctx = SelectionContext {
+                consumer: &consumer,
+                candidates: &candidates,
+                now: world.now(),
+                registry_up: true,
+            };
+            let Some(choice) = strategy.choose(&ctx, &mut rng) else {
+                continue;
+            };
+            let candidate = candidates[choice].clone();
+            if let Some((_, fb)) = world.invoke_and_report(idx, candidate.service) {
+                strategy.observe(&fb);
+            }
+            selections += 1;
+            if whitewashers.contains(&candidate.provider) {
+                on_washer += 1;
+            }
+            if newcomers.contains(&candidate.service) {
+                on_newcomer += 1;
+            }
+            if round >= tail_start {
+                tail_utility += world.expected_utility(&consumer, candidate.service);
+                tail_n += 1;
+            }
+        }
+        // The attack: shed accumulated reputation. Alongside it, genuine
+        // innovation: the best provider ships an improved v2.
+        if round % WHITEWASH_EVERY == WHITEWASH_EVERY - 1 {
+            for &p in &whitewashers {
+                let services = world.providers[&p].services.clone();
+                for s in services {
+                    world.whitewash(s);
+                }
+            }
+            if let Some(v2) = world.launch_improved(best_provider, 0.05) {
+                newcomers.push(v2);
+            }
+        }
+        world.step();
+        strategy.refresh(world.now());
+    }
+    (
+        if tail_n > 0 { tail_utility / tail_n as f64 } else { 0.0 },
+        if selections > 0 { on_washer as f64 / selections as f64 } else { 0.0 },
+        if selections > 0 { on_newcomer as f64 / selections as f64 } else { 0.0 },
+    )
+}
+
+fn provider_quality(world: &World, p: ProviderId, prefs: &Preferences) -> f64 {
+    let services = &world.providers[&p].services;
+    services
+        .iter()
+        .filter_map(|&s| world.service(s))
+        .map(|s| prefs.utility_raw(&s.quality.means(), world.bounds()))
+        .sum::<f64>()
+        / services.len().max(1) as f64
+}
+
+
+/// Reputation laundering, measured directly: train a mechanism on 25
+/// rounds of feedback, then whitewash every washer service and compare
+/// the worst washer's *effective estimate* (mechanism estimate, falling
+/// back to the selector's unknown-prior) before and after the identity
+/// switch.
+fn laundering_effect(prior: f64, bootstrap: bool, seed: u64) -> (f64, f64) {
+    use wsrep_core::ReputationMechanism;
+    use wsrep_select::bootstrap::ProviderBootstrap;
+
+    enum Mech {
+        Plain(BetaMechanism),
+        Boot(ProviderBootstrap),
+    }
+    impl Mech {
+        fn submit(&mut self, fb: &wsrep_core::Feedback) {
+            match self {
+                Mech::Plain(m) => m.submit(fb),
+                Mech::Boot(m) => m.submit(fb),
+            }
+        }
+        fn est(&self, obs: wsrep_core::AgentId, s: wsrep_core::ServiceId) -> Option<f64> {
+            match self {
+                Mech::Plain(m) => m.personalized(obs, s.into()).map(|e| e.value.get()),
+                Mech::Boot(m) => m.personalized(obs, s.into()).map(|e| e.value.get()),
+            }
+        }
+    }
+
+    let mut cfg = base_config(seed);
+    cfg.preference_heterogeneity = 0.0;
+    cfg.provider_quality_correlation = 0.8;
+    let mut world = World::generate(cfg);
+    let prefs = Preferences::uniform(world.metrics().to_vec());
+    let mut ranked: Vec<ProviderId> = world.providers.keys().copied().collect();
+    ranked.sort_by(|&a, &b| {
+        provider_quality(&world, a, &prefs)
+            .partial_cmp(&provider_quality(&world, b, &prefs))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let washer = ranked[0];
+    let mut mech = if bootstrap {
+        let mut b = ProviderBootstrap::new(Box::new(BetaMechanism::new()));
+        for p in world.providers.values() {
+            for &svc in &p.services {
+                b.register(svc, p.id);
+            }
+        }
+        Mech::Boot(b)
+    } else {
+        Mech::Plain(BetaMechanism::new())
+    };
+    // 25 rounds of uniform trials so every service has a record.
+    let services: Vec<wsrep_core::ServiceId> = world.services().map(|s| s.id).collect();
+    for _ in 0..25u64 {
+        for idx in 0..world.consumers.len() {
+            let pick = services[rand::Rng::gen_range(world.rng(), 0..services.len())];
+            if let Some((_, fb)) = world.invoke_and_report(idx, pick) {
+                mech.submit(&fb);
+            }
+        }
+        world.step();
+    }
+    let target = world.providers[&washer].services[0];
+    let observer = world.consumers[0].id;
+    let before = mech.est(observer, target).unwrap_or(prior);
+    let washed = world.whitewash(target).expect("washable");
+    if let Mech::Boot(b) = &mut mech {
+        // Ownership is public registry metadata, re-read after re-listing.
+        b.register(washed, washer);
+    }
+    let after = mech.est(observer, washed).unwrap_or(prior);
+    (before, after)
+}
+
+fn main() {
+    println!("# E9 — whitewashing: identity switching vs reputation design");
+
+    type MkStrategy = Box<dyn Fn() -> Box<dyn SelectionStrategy>>;
+    let cases: Vec<(&str, MkStrategy)> = vec![
+        (
+            "beta, neutral prior (0.5)",
+            Box::new(|| {
+                Box::new(ReputationSelect::new(Box::new(BetaMechanism::new())))
+                    as Box<dyn SelectionStrategy>
+            }),
+        ),
+        (
+            "beta, skeptical prior (0.3)",
+            Box::new(|| {
+                Box::new(
+                    ReputationSelect::new(Box::new(BetaMechanism::new()))
+                        .with_default_trust(0.3),
+                ) as Box<dyn SelectionStrategy>
+            }),
+        ),
+        (
+            "beta + provider bootstrap",
+            Box::new(|| {
+                Box::new(BootstrapSelect::new(Box::new(BetaMechanism::new())))
+                    as Box<dyn SelectionStrategy>
+            }),
+        ),
+    ];
+    let seeds: Vec<u64> = (1..=10).collect();
+
+    for (spread, label) in [
+        (1.0, "diverse market (quality spread 1.0) — a dominant incumbent exists"),
+        (0.25, "near-substitute market (quality spread 0.25) — the whitewasher's habitat"),
+    ] {
+        section(&format!(
+            "{label}; bottom-third providers whitewash every {WHITEWASH_EVERY} rounds \
+             ({ROUNDS} rounds, mean of {} seeds)",
+            seeds.len()
+        ));
+        let mut t = Table::new([
+            "selector",
+            "settled utility",
+            "selections on whitewashers",
+            "selections on genuine v2s",
+        ]);
+        for (name, make) in &cases {
+            let mut u = 0.0;
+            let mut lured = 0.0;
+            let mut adopted = 0.0;
+            for &seed in seeds.iter() {
+                let (utility, on_washer, on_newcomer) = run(make(), spread, seed);
+                u += utility;
+                lured += on_washer;
+                adopted += on_newcomer;
+            }
+            t.row([
+                name.to_string(),
+                f3(u / seeds.len() as f64),
+                pct(lured / seeds.len() as f64),
+                pct(adopted / seeds.len() as f64),
+            ]);
+        }
+        print!("{}", t.render());
+    }
+
+    section("reputation laundering: worst washer's effective estimate before/after the identity switch (mean of 10 seeds)");
+    let mut t = Table::new(["selector", "before wash", "after wash", "laundering gain"]);
+    for (name, prior, bootstrap) in [
+        ("beta, neutral prior (0.5)", 0.5, false),
+        ("beta, skeptical prior (0.3)", 0.3, false),
+        ("beta + provider bootstrap", 0.5, true),
+    ] {
+        let mut b_sum = 0.0;
+        let mut a_sum = 0.0;
+        for &seed in seeds.iter() {
+            let (b, a) = laundering_effect(prior, bootstrap, seed);
+            b_sum += b;
+            a_sum += a;
+        }
+        let n = seeds.len() as f64;
+        t.row([
+            name.to_string(),
+            f3(b_sum / n),
+            f3(a_sum / n),
+            format!("{:+.3}", (a_sum - b_sum) / n),
+        ]);
+    }
+    print!("{}", t.render());
+
+    println!(
+        "\nReading: the laundering table is the exploit in isolation — a\n\
+         washed identity jumps from its earned 0.19 to the neutral prior\n\
+         0.5 (+0.31 laundering gain), while provider-level reputation\n\
+         (Section 5) pins the fresh id to its provider's record (+0.00).\n\
+         The market tables show when that matters: with a dominant\n\
+         incumbent the washers stay at the exploration floor regardless,\n\
+         but the laundered 0.5 sits level with a near-substitute field,\n\
+         which is exactly the market where identity switching harvests\n\
+         selections from prior-trusting selectors."
+    );
+}

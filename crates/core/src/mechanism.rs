@@ -1,0 +1,160 @@
+//! The common interface every trust/reputation mechanism implements.
+//!
+//! The survey compares some twenty systems; to make them interchangeable in
+//! the selection engine and the experiments, they all speak the same small
+//! protocol: feedback goes in ([`ReputationMechanism::submit`]), trust
+//! estimates come out — either one **global** value per subject or a
+//! **personalized** value per `(observer, subject)` pair, matching the
+//! third axis of the typology.
+
+use crate::feedback::Feedback;
+use crate::id::{AgentId, SubjectId};
+use crate::time::Time;
+use crate::trust::TrustEstimate;
+use crate::typology::MechanismInfo;
+use std::fmt;
+
+/// A trust/reputation mechanism.
+///
+/// Implementations are deterministic given the feedback sequence; any
+/// internal iteration (e.g. EigenTrust's power method) happens lazily at
+/// query time or explicitly in [`ReputationMechanism::refresh`].
+///
+/// The `Send` bound lets boxed mechanisms move across threads (the
+/// parallel multi-seed market runner); every implementation is plain
+/// owned data, so this costs nothing.
+pub trait ReputationMechanism: fmt::Debug + Send {
+    /// The mechanism's coordinates in the paper's Figure 4 typology.
+    fn info(&self) -> MechanismInfo;
+
+    /// Ingest one feedback report.
+    fn submit(&mut self, feedback: &Feedback);
+
+    /// The global (public) reputation of a subject, or `None` when the
+    /// mechanism has no evidence about it yet.
+    ///
+    /// Personalized-only mechanisms answer with the population-wide
+    /// aggregate so that every mechanism can serve both query styles (the
+    /// paper notes personalized systems subsume a global view).
+    fn global(&self, subject: SubjectId) -> Option<TrustEstimate>;
+
+    /// The reputation of `subject` in the eyes of `observer`.
+    ///
+    /// Global mechanisms answer identically for every observer — the
+    /// default implementation delegates to [`Self::global`].
+    fn personalized(&self, observer: AgentId, subject: SubjectId) -> Option<TrustEstimate> {
+        let _ = observer;
+        self.global(subject)
+    }
+
+    /// Advance internal state to `now`: apply decay, re-run fixed-point
+    /// iterations, drop expired windows. Called once per simulation round.
+    fn refresh(&mut self, now: Time) {
+        let _ = now;
+    }
+
+    /// Number of feedback reports ingested (for accounting in experiments).
+    fn feedback_count(&self) -> usize;
+}
+
+/// Convenience: rank `candidates` by a mechanism's estimate for `observer`,
+/// best first. Subjects without evidence rank by the ignorance prior.
+pub fn rank_candidates<M: ReputationMechanism + ?Sized>(
+    mechanism: &M,
+    observer: AgentId,
+    candidates: &[SubjectId],
+) -> Vec<(SubjectId, TrustEstimate)> {
+    let mut ranked: Vec<(SubjectId, TrustEstimate)> = candidates
+        .iter()
+        .map(|&s| {
+            (
+                s,
+                mechanism
+                    .personalized(observer, s)
+                    .unwrap_or_else(TrustEstimate::ignorance),
+            )
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.1.value
+            .get()
+            .partial_cmp(&a.1.value.get())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::ServiceId;
+    use crate::trust::TrustValue;
+    use crate::typology::{Centralization, Scope, Subject};
+    use std::collections::BTreeMap;
+
+    /// Minimal mechanism used to exercise the trait's default methods.
+    #[derive(Debug, Default)]
+    struct MeanMechanism {
+        sums: BTreeMap<SubjectId, (f64, usize)>,
+    }
+
+    impl ReputationMechanism for MeanMechanism {
+        fn info(&self) -> MechanismInfo {
+            MechanismInfo {
+                key: "mean",
+                display: "test mean",
+                centralization: Centralization::Centralized,
+                subject: Subject::Resource,
+                scope: Scope::Global,
+                citation: "-",
+                proposed_for_web_services: false,
+            }
+        }
+
+        fn submit(&mut self, feedback: &Feedback) {
+            let e = self.sums.entry(feedback.subject).or_insert((0.0, 0));
+            e.0 += feedback.score;
+            e.1 += 1;
+        }
+
+        fn global(&self, subject: SubjectId) -> Option<TrustEstimate> {
+            self.sums.get(&subject).map(|&(sum, n)| {
+                TrustEstimate::new(TrustValue::new(sum / n as f64), 1.0)
+            })
+        }
+
+        fn feedback_count(&self) -> usize {
+            self.sums.values().map(|&(_, n)| n).sum()
+        }
+    }
+
+    #[test]
+    fn personalized_defaults_to_global() {
+        let mut m = MeanMechanism::default();
+        let s = ServiceId::new(1);
+        m.submit(&Feedback::scored(AgentId::new(0), s, 0.8, Time::ZERO));
+        let g = m.global(s.into()).unwrap();
+        let p = m.personalized(AgentId::new(42), s.into()).unwrap();
+        assert_eq!(g, p);
+        assert_eq!(m.feedback_count(), 1);
+    }
+
+    #[test]
+    fn rank_orders_best_first_and_fills_ignorance() {
+        let mut m = MeanMechanism::default();
+        let good = ServiceId::new(1);
+        let bad = ServiceId::new(2);
+        let unknown = ServiceId::new(3);
+        m.submit(&Feedback::scored(AgentId::new(0), good, 0.9, Time::ZERO));
+        m.submit(&Feedback::scored(AgentId::new(0), bad, 0.1, Time::ZERO));
+        let ranked = rank_candidates(
+            &m,
+            AgentId::new(0),
+            &[bad.into(), unknown.into(), good.into()],
+        );
+        assert_eq!(ranked[0].0, good.into());
+        assert_eq!(ranked[1].0, unknown.into()); // neutral 0.5 beats 0.1
+        assert_eq!(ranked[2].0, bad.into());
+        assert_eq!(ranked[1].1.confidence, 0.0);
+    }
+}

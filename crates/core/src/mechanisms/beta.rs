@@ -1,0 +1,223 @@
+//! The beta reputation system — Jøsang & Ismail; surveyed in reference \[11\].
+//!
+//! Not a leaf of Figure 4, but the probabilistic workhorse several leaves
+//! build on (and the basis of the Whitby–Jøsang deviation filter in
+//! `wsrep-robust`). Positive and negative evidence `(r, s)` accumulate with
+//! a forgetting factor; the reputation is the expected value of the
+//! Beta(r+1, s+1) posterior.
+
+use crate::feedback::Feedback;
+use crate::id::SubjectId;
+use crate::mechanism::ReputationMechanism;
+use crate::time::Time;
+use crate::trust::{evidence_confidence, TrustEstimate, TrustValue};
+use crate::typology::{Centralization, MechanismInfo, Scope, Subject};
+use std::collections::BTreeMap;
+
+/// Accumulated beta evidence for one subject.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BetaEvidence {
+    /// Positive evidence mass `r`.
+    pub r: f64,
+    /// Negative evidence mass `s`.
+    pub s: f64,
+}
+
+impl BetaEvidence {
+    /// Expected value of the Beta(r+1, s+1) posterior.
+    pub fn expectation(&self) -> f64 {
+        (self.r + 1.0) / (self.r + self.s + 2.0)
+    }
+
+    /// Total evidence mass.
+    pub fn total(&self) -> f64 {
+        self.r + self.s
+    }
+}
+
+/// Beta reputation with exponential forgetting.
+#[derive(Debug, Clone)]
+pub struct BetaMechanism {
+    /// Forgetting factor `λ ∈ \[0, 1\]` applied per elapsed round:
+    /// older evidence decays as `λ^age`. `1.0` disables forgetting.
+    lambda: f64,
+    evidence: BTreeMap<SubjectId, BetaEvidence>,
+    last_update: BTreeMap<SubjectId, Time>,
+    submitted: usize,
+}
+
+impl Default for BetaMechanism {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BetaMechanism {
+    /// Beta reputation with forgetting factor `λ = 0.98`.
+    pub fn new() -> Self {
+        Self::with_forgetting(0.98)
+    }
+
+    /// Beta reputation with an explicit forgetting factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is outside `\[0, 1\]`.
+    pub fn with_forgetting(lambda: f64) -> Self {
+        assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0,1]");
+        BetaMechanism {
+            lambda,
+            evidence: BTreeMap::new(),
+            last_update: BTreeMap::new(),
+            submitted: 0,
+        }
+    }
+
+    /// The accumulated evidence about a subject.
+    pub fn evidence(&self, subject: SubjectId) -> Option<BetaEvidence> {
+        self.evidence.get(&subject).copied()
+    }
+
+    fn age_evidence(&mut self, subject: SubjectId, now: Time) {
+        let last = self.last_update.get(&subject).copied().unwrap_or(now);
+        let age = now.since(last);
+        if age > 0 {
+            if let Some(e) = self.evidence.get_mut(&subject) {
+                let f = self.lambda.powi(age as i32);
+                e.r *= f;
+                e.s *= f;
+            }
+        }
+        self.last_update.insert(subject, now);
+    }
+}
+
+impl ReputationMechanism for BetaMechanism {
+    fn info(&self) -> MechanismInfo {
+        MechanismInfo {
+            key: "beta",
+            display: "Jøsang–Ismail beta reputation",
+            centralization: Centralization::Centralized,
+            subject: Subject::PersonAgent,
+            scope: Scope::Global,
+            citation: "11",
+            proposed_for_web_services: false,
+        }
+    }
+
+    fn submit(&mut self, feedback: &Feedback) {
+        self.age_evidence(feedback.subject, feedback.at);
+        let e = self.evidence.entry(feedback.subject).or_default();
+        // A score of 0.8 contributes 0.8 positive and 0.2 negative mass —
+        // the continuous-rating extension of the beta system.
+        e.r += feedback.score;
+        e.s += 1.0 - feedback.score;
+        self.submitted += 1;
+    }
+
+    fn global(&self, subject: SubjectId) -> Option<TrustEstimate> {
+        let e = self.evidence.get(&subject)?;
+        Some(TrustEstimate::new(
+            TrustValue::new(e.expectation()),
+            evidence_confidence(e.total().round() as usize, 5.0),
+        ))
+    }
+
+    fn refresh(&mut self, now: Time) {
+        let subjects: Vec<SubjectId> = self.evidence.keys().copied().collect();
+        for s in subjects {
+            self.age_evidence(s, now);
+        }
+    }
+
+    fn feedback_count(&self) -> usize {
+        self.submitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::{AgentId, ServiceId};
+    use proptest::prelude::*;
+
+    fn fb(score: f64, t: u64) -> Feedback {
+        Feedback::scored(AgentId::new(0), ServiceId::new(1), score, Time::new(t))
+    }
+
+    #[test]
+    fn prior_is_one_half() {
+        assert!((BetaEvidence::default().expectation() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn positive_history_raises_expectation() {
+        let mut m = BetaMechanism::with_forgetting(1.0);
+        for t in 0..10 {
+            m.submit(&fb(1.0, t));
+        }
+        let est = m.global(ServiceId::new(1).into()).unwrap();
+        assert!((est.value.get() - 11.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forgetting_rehabilitates_reformed_subjects() {
+        let mut fast = BetaMechanism::with_forgetting(0.8);
+        let mut never = BetaMechanism::with_forgetting(1.0);
+        for t in 0..20 {
+            let f = fb(0.0, t);
+            fast.submit(&f);
+            never.submit(&f);
+        }
+        for t in 50..70 {
+            let f = fb(1.0, t);
+            fast.submit(&f);
+            never.submit(&f);
+        }
+        let fast_est = fast.global(ServiceId::new(1).into()).unwrap().value.get();
+        let never_est = never.global(ServiceId::new(1).into()).unwrap().value.get();
+        assert!(fast_est > 0.85, "old sins forgotten: {fast_est}");
+        assert!(never_est < 0.6, "unforgetting stays sour: {never_est}");
+    }
+
+    #[test]
+    fn refresh_decays_between_interactions() {
+        let mut m = BetaMechanism::with_forgetting(0.5);
+        m.submit(&fb(1.0, 0));
+        let before = m.evidence(ServiceId::new(1).into()).unwrap().total();
+        m.refresh(Time::new(4));
+        let after = m.evidence(ServiceId::new(1).into()).unwrap().total();
+        assert!((after - before * 0.5f64.powi(4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn continuous_scores_split_mass() {
+        let mut m = BetaMechanism::with_forgetting(1.0);
+        m.submit(&fb(0.75, 0));
+        let e = m.evidence(ServiceId::new(1).into()).unwrap();
+        assert!((e.r - 0.75).abs() < 1e-12);
+        assert!((e.s - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be in [0,1]")]
+    fn bad_lambda_panics() {
+        BetaMechanism::with_forgetting(1.2);
+    }
+
+    proptest! {
+        #[test]
+        fn expectation_always_in_unit_interval(
+            scores in proptest::collection::vec((0.0f64..=1.0, 0u64..100), 1..50)
+        ) {
+            let mut m = BetaMechanism::new();
+            let mut ts: Vec<_> = scores.clone();
+            ts.sort_by_key(|&(_, t)| t);
+            for (s, t) in ts {
+                m.submit(&fb(s, t));
+            }
+            let est = m.global(ServiceId::new(1).into()).unwrap();
+            prop_assert!((0.0..=1.0).contains(&est.value.get()));
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Aberer & Despotovic — "Managing trust in a peer-2-peer information
+//! system" (CIKM 2001), reference \[1\].
+//!
+//! *Decentralized, person/agent, global.* The earliest P-Grid-based trust
+//! system works purely with **complaints**: after a bad interaction, a peer
+//! files a complaint about the other. A peer's complaint index combines the
+//! complaints it *received* with the complaints it *filed* (filing many
+//! complaints is itself suspicious — a cheap way to badmouth):
+//!
+//! ```text
+//! T(q) = cr(q) = |complaints about q| × |complaints filed by q|
+//! ```
+//!
+//! Low index = trustworthy. A peer is distrusted when its index exceeds a
+//! multiple of the population median. The storage/routing embodiment over
+//! a P-Grid lives in `wsrep-net`.
+
+use crate::feedback::Feedback;
+use crate::id::SubjectId;
+use crate::mechanism::ReputationMechanism;
+use crate::trust::{evidence_confidence, TrustEstimate, TrustValue};
+use crate::typology::{Centralization, MechanismInfo, Scope, Subject};
+use std::collections::BTreeMap;
+
+/// Complaint-based trust.
+#[derive(Debug, Clone)]
+pub struct ComplaintsMechanism {
+    /// Score below which an interaction produces a complaint.
+    complaint_threshold: f64,
+    received: BTreeMap<SubjectId, u64>,
+    filed: BTreeMap<SubjectId, u64>,
+    /// Interactions seen per subject (complaints + satisfactory ones).
+    interactions: BTreeMap<SubjectId, u64>,
+    submitted: usize,
+}
+
+impl Default for ComplaintsMechanism {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ComplaintsMechanism {
+    /// Complaints fire below a satisfaction of 0.5.
+    pub fn new() -> Self {
+        Self::with_threshold(0.5)
+    }
+
+    /// Explicit complaint threshold in `\[0, 1\]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is outside `\[0, 1\]`.
+    pub fn with_threshold(complaint_threshold: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&complaint_threshold),
+            "threshold must be in [0,1]"
+        );
+        ComplaintsMechanism {
+            complaint_threshold,
+            received: BTreeMap::new(),
+            filed: BTreeMap::new(),
+            interactions: BTreeMap::new(),
+            submitted: 0,
+        }
+    }
+
+    /// The complaint index `cr(q)`; uses `(filed + 1)` so pure receivers
+    /// are still distinguishable.
+    pub fn complaint_index(&self, subject: SubjectId) -> f64 {
+        let r = self.received.get(&subject).copied().unwrap_or(0) as f64;
+        let f = self.filed.get(&subject).copied().unwrap_or(0) as f64;
+        r * (f + 1.0)
+    }
+
+    /// Median complaint index over all known subjects (the decision
+    /// baseline of the original algorithm).
+    pub fn median_index(&self) -> f64 {
+        let mut idx: Vec<f64> = self
+            .interactions
+            .keys()
+            .map(|&s| self.complaint_index(s))
+            .collect();
+        if idx.is_empty() {
+            return 0.0;
+        }
+        idx.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        idx[idx.len() / 2]
+    }
+
+    /// The binary decision of the original paper: distrust a subject whose
+    /// index exceeds `factor ×` the median (they suggest small factors).
+    pub fn is_distrusted(&self, subject: SubjectId, factor: f64) -> bool {
+        self.complaint_index(subject) > factor * self.median_index().max(1.0)
+    }
+}
+
+impl ReputationMechanism for ComplaintsMechanism {
+    fn info(&self) -> MechanismInfo {
+        MechanismInfo {
+            key: "complaints",
+            display: "K. Aberer & Z. Despotovic",
+            centralization: Centralization::Decentralized,
+            subject: Subject::PersonAgent,
+            scope: Scope::Global,
+            citation: "1",
+            proposed_for_web_services: false,
+        }
+    }
+
+    fn submit(&mut self, feedback: &Feedback) {
+        let rater: SubjectId = feedback.rater.into();
+        *self.interactions.entry(feedback.subject).or_insert(0) += 1;
+        self.interactions.entry(rater).or_insert(0);
+        if feedback.is_complaint(self.complaint_threshold) {
+            *self.received.entry(feedback.subject).or_insert(0) += 1;
+            *self.filed.entry(rater).or_insert(0) += 1;
+        }
+        self.submitted += 1;
+    }
+
+    fn global(&self, subject: SubjectId) -> Option<TrustEstimate> {
+        let n = self.interactions.get(&subject).copied()?;
+        let received = self.received.get(&subject).copied().unwrap_or(0) as f64;
+        // Trust falls with the complaint *rate*, additionally discounted by
+        // the filed-complaint suspicion factor.
+        let rate = if n > 0 { received / n as f64 } else { 0.0 };
+        let filed = self.filed.get(&subject).copied().unwrap_or(0) as f64;
+        let suspicion = 1.0 / (1.0 + filed / 10.0);
+        let base = 1.0 - rate;
+        Some(TrustEstimate::new(
+            TrustValue::new(0.5 + (base - 0.5) * suspicion),
+            evidence_confidence(n as usize, 4.0),
+        ))
+    }
+
+    fn feedback_count(&self) -> usize {
+        self.submitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::AgentId;
+    use crate::time::Time;
+
+    fn fb(rater: u64, subject: u64, score: f64) -> Feedback {
+        Feedback::scored(
+            AgentId::new(rater),
+            AgentId::new(subject),
+            score,
+            Time::ZERO,
+        )
+    }
+
+    fn s(i: u64) -> SubjectId {
+        AgentId::new(i).into()
+    }
+
+    #[test]
+    fn cheaters_accumulate_complaints() {
+        let mut m = ComplaintsMechanism::new();
+        for r in 0..10 {
+            m.submit(&fb(r, 100, 0.1)); // cheater
+            m.submit(&fb(r, 101, 0.9)); // honest peer
+        }
+        assert!(m.complaint_index(s(100)) > m.complaint_index(s(101)));
+        let cheater = m.global(s(100)).unwrap();
+        let honest = m.global(s(101)).unwrap();
+        assert!(cheater.value.get() < 0.3);
+        assert!(honest.value.get() > 0.7);
+    }
+
+    #[test]
+    fn filing_many_complaints_is_suspicious() {
+        let mut m = ComplaintsMechanism::new();
+        // Peers 1 and 2 both receive 3 complaints; peer 1 additionally
+        // files complaints against everyone.
+        for r in 10..13 {
+            m.submit(&fb(r, 1, 0.1));
+            m.submit(&fb(r, 2, 0.1));
+        }
+        for v in 20..60 {
+            m.submit(&fb(1, v, 0.1));
+        }
+        assert!(m.complaint_index(s(1)) > m.complaint_index(s(2)));
+    }
+
+    #[test]
+    fn median_decision_flags_outliers() {
+        let mut m = ComplaintsMechanism::new();
+        for peer in 0..8u64 {
+            m.submit(&fb(100, peer, 0.9)); // population mostly clean
+        }
+        for r in 0..12 {
+            m.submit(&fb(r, 7, 0.1)); // peer 7 misbehaves a lot
+        }
+        assert!(m.is_distrusted(s(7), 4.0));
+        assert!(!m.is_distrusted(s(0), 4.0));
+    }
+
+    #[test]
+    fn satisfactory_interactions_do_not_complain() {
+        let mut m = ComplaintsMechanism::new();
+        m.submit(&fb(0, 1, 0.9));
+        assert_eq!(m.complaint_index(s(1)), 0.0);
+        let est = m.global(s(1)).unwrap();
+        assert!(est.value.get() > 0.5);
+    }
+
+    #[test]
+    fn unknown_subject_is_none() {
+        let m = ComplaintsMechanism::new();
+        assert_eq!(m.global(s(5)), None);
+        assert_eq!(m.median_index(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be in [0,1]")]
+    fn invalid_threshold_panics() {
+        ComplaintsMechanism::with_threshold(2.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! The eBay feedback profile — reference \[7\] of the survey.
+//!
+//! The archetypal *centralized, person/agent, global* system: buyers leave
+//! `+1 / 0 / -1` feedback; a member's profile shows the running sum and the
+//! positive-feedback percentage. The paper calls it "simple and effective"
+//! for settings where personalization does not matter.
+
+use crate::feedback::Feedback;
+use crate::id::SubjectId;
+use crate::mechanism::ReputationMechanism;
+use crate::trust::{evidence_confidence, TrustEstimate, TrustValue};
+use crate::typology::{Centralization, MechanismInfo, Scope, Subject};
+use std::collections::BTreeMap;
+
+/// Running positive/neutral/negative tallies for one subject.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EbayProfile {
+    /// Count of `+1` feedback.
+    pub positive: u64,
+    /// Count of `0` feedback.
+    pub neutral: u64,
+    /// Count of `-1` feedback.
+    pub negative: u64,
+}
+
+impl EbayProfile {
+    /// eBay's headline number: positives minus negatives.
+    pub fn score(&self) -> i64 {
+        self.positive as i64 - self.negative as i64
+    }
+
+    /// eBay's positive-feedback percentage over non-neutral feedback, or
+    /// `None` with no such feedback.
+    pub fn positive_fraction(&self) -> Option<f64> {
+        let judged = self.positive + self.negative;
+        if judged == 0 {
+            None
+        } else {
+            Some(self.positive as f64 / judged as f64)
+        }
+    }
+
+    /// Total feedback received.
+    pub fn total(&self) -> u64 {
+        self.positive + self.neutral + self.negative
+    }
+}
+
+/// The eBay mechanism: ternary feedback, global tallies.
+#[derive(Debug, Clone, Default)]
+pub struct EbayMechanism {
+    profiles: BTreeMap<SubjectId, EbayProfile>,
+    submitted: usize,
+}
+
+impl EbayMechanism {
+    /// Empty mechanism.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The raw profile of a subject, if it has any feedback.
+    pub fn profile(&self, subject: SubjectId) -> Option<EbayProfile> {
+        self.profiles.get(&subject).copied()
+    }
+}
+
+impl ReputationMechanism for EbayMechanism {
+    fn info(&self) -> MechanismInfo {
+        MechanismInfo {
+            key: "ebay",
+            display: "eBay",
+            centralization: Centralization::Centralized,
+            subject: Subject::PersonAgent,
+            scope: Scope::Global,
+            citation: "7",
+            proposed_for_web_services: false,
+        }
+    }
+
+    fn submit(&mut self, feedback: &Feedback) {
+        let p = self.profiles.entry(feedback.subject).or_default();
+        match feedback.ebay_sign() {
+            1 => p.positive += 1,
+            -1 => p.negative += 1,
+            _ => p.neutral += 1,
+        }
+        self.submitted += 1;
+    }
+
+    fn global(&self, subject: SubjectId) -> Option<TrustEstimate> {
+        let p = self.profiles.get(&subject)?;
+        let value = p.positive_fraction().unwrap_or(0.5);
+        Some(TrustEstimate::new(
+            TrustValue::new(value),
+            evidence_confidence((p.positive + p.negative) as usize, 5.0),
+        ))
+    }
+
+    fn feedback_count(&self) -> usize {
+        self.submitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::{AgentId, ServiceId};
+    use crate::time::Time;
+
+    fn fb(rater: u64, score: f64) -> Feedback {
+        Feedback::scored(AgentId::new(rater), ServiceId::new(1), score, Time::ZERO)
+    }
+
+    #[test]
+    fn tallies_follow_ternary_buckets() {
+        let mut m = EbayMechanism::new();
+        m.submit(&fb(0, 0.9));
+        m.submit(&fb(1, 0.9));
+        m.submit(&fb(2, 0.5));
+        m.submit(&fb(3, 0.1));
+        let p = m.profile(ServiceId::new(1).into()).unwrap();
+        assert_eq!((p.positive, p.neutral, p.negative), (2, 1, 1));
+        assert_eq!(p.score(), 1);
+        assert_eq!(p.total(), 4);
+    }
+
+    #[test]
+    fn positive_fraction_ignores_neutrals() {
+        let mut m = EbayMechanism::new();
+        m.submit(&fb(0, 0.9));
+        m.submit(&fb(1, 0.5));
+        let p = m.profile(ServiceId::new(1).into()).unwrap();
+        assert_eq!(p.positive_fraction(), Some(1.0));
+    }
+
+    #[test]
+    fn all_neutral_profile_reports_neutral_trust() {
+        let mut m = EbayMechanism::new();
+        m.submit(&fb(0, 0.5));
+        let est = m.global(ServiceId::new(1).into()).unwrap();
+        assert_eq!(est.value, TrustValue::NEUTRAL);
+        assert_eq!(est.confidence, 0.0);
+    }
+
+    #[test]
+    fn confidence_grows_with_judged_feedback() {
+        let mut m = EbayMechanism::new();
+        for i in 0..20 {
+            m.submit(&fb(i, 0.9));
+        }
+        let est = m.global(ServiceId::new(1).into()).unwrap();
+        assert_eq!(est.value, TrustValue::MAX);
+        assert!(est.confidence > 0.7);
+    }
+
+    #[test]
+    fn unknown_subject_has_no_reputation() {
+        let m = EbayMechanism::new();
+        assert_eq!(m.global(ServiceId::new(9).into()), None);
+    }
+
+    #[test]
+    fn classification_matches_figure4() {
+        let info = EbayMechanism::new().info();
+        assert_eq!(info.centralization, Centralization::Centralized);
+        assert_eq!(info.subject, Subject::PersonAgent);
+        assert_eq!(info.scope, Scope::Global);
+    }
+}

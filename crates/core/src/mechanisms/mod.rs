@@ -1,0 +1,128 @@
+//! Implementations of every trust and reputation system classified in
+//! Figure 4 of the survey, plus the beta-reputation building block.
+//!
+//! | module | system | typology leaf |
+//! |---|---|---|
+//! | [`ebay`] | eBay feedback profile \[7\] | centralized / person / global |
+//! | [`sporas`] | Sporas \[37\] | centralized / person / global |
+//! | [`histos`] | Histos \[37\] | centralized / person / personalized |
+//! | [`pagerank`] | Google PageRank \[23\] | centralized / resource / global |
+//! | [`amazon`] | Amazon reviews \[2\] | centralized / resource / global |
+//! | [`epinions`] | Epinions \[8\] | centralized / resource / global |
+//! | [`cf`] | Collaborative filtering \[3\], Karta \[13\] | centralized / resource / personalized |
+//! | [`maximilien`] | Maximilien & Singh \[18-21\] | centralized / resource / personalized |
+//! | [`lnz`] | Liu, Ngu & Zeng \[16\] | centralized / resource / personalized |
+//! | [`manikrao`] | Manikrao & Prabhakar \[17\] | centralized / resource / personalized |
+//! | [`day`] | Day \[6\] | centralized / resource / personalized |
+//! | [`yu_singh`] | Yu & Singh \[35, 36\] | decentralized / person / personalized |
+//! | [`yolum_singh`] | Yolum & Singh \[34\] | decentralized / person / personalized |
+//! | [`damiani`] | Damiani et al. (XRep) \[4\] | decentralized / person / personalized |
+//! | [`bayesian`] | Wang & Vassileva \[30, 31\] | decentralized / person / personalized |
+//! | [`social`] | Pujol et al. NodeRanking \[24\] | decentralized / person / global |
+//! | [`complaints`] | Aberer & Despotovic \[1\] | decentralized / person / global |
+//! | [`peertrust`] | Xiong & Liu PeerTrust \[33\] | decentralized / person / global |
+//! | [`eigentrust`] | Kamvar et al. EigenTrust \[12\] | decentralized / person / global |
+//! | [`vu`] | Vu, Hauswirth & Aberer \[28, 29\] | decentralized / both / personalized |
+//! | [`beta`] | Jøsang's beta reputation \[11\] | building block |
+//!
+//! The decentralized entries implement the mechanism's *computation*; the
+//! message-passing embodiment on simulated overlays lives in `wsrep-net`.
+
+pub mod amazon;
+pub mod bayesian;
+pub mod beta;
+pub mod cf;
+pub mod complaints;
+pub mod damiani;
+pub mod day;
+pub mod ebay;
+pub mod eigentrust;
+pub mod epinions;
+pub mod histos;
+pub mod lnz;
+pub mod manikrao;
+pub mod maximilien;
+pub mod pagerank;
+pub mod peertrust;
+pub mod social;
+pub mod sporas;
+pub mod vu;
+pub mod yolum_singh;
+pub mod yu_singh;
+
+use crate::mechanism::ReputationMechanism;
+
+/// One boxed instance of every Figure 4 mechanism, in the figure's order,
+/// with default parameters. The experiment harness iterates this to fill
+/// the typology grid.
+pub fn all_figure4_mechanisms() -> Vec<Box<dyn ReputationMechanism>> {
+    vec![
+        Box::new(ebay::EbayMechanism::new()),
+        Box::new(sporas::SporasMechanism::new()),
+        Box::new(histos::HistosMechanism::new()),
+        Box::new(pagerank::PageRankMechanism::new()),
+        Box::new(amazon::AmazonMechanism::new()),
+        Box::new(epinions::EpinionsMechanism::new()),
+        Box::new(cf::CfMechanism::new(cf::Similarity::Pearson)),
+        Box::new(maximilien::MaximilienMechanism::new()),
+        Box::new(lnz::LnzMechanism::new()),
+        Box::new(manikrao::ManikraoMechanism::new()),
+        Box::new(day::DayMechanism::new()),
+        Box::new(cf::CfMechanism::karta()),
+        Box::new(yu_singh::YuSinghMechanism::new()),
+        Box::new(yolum_singh::YolumSinghMechanism::new()),
+        Box::new(damiani::DamianiMechanism::new()),
+        Box::new(bayesian::BayesianMechanism::new()),
+        Box::new(social::SocialMechanism::new()),
+        Box::new(complaints::ComplaintsMechanism::new()),
+        Box::new(peertrust::PeerTrustMechanism::new()),
+        Box::new(eigentrust::EigenTrustMechanism::new()),
+        Box::new(vu::VuMechanism::new()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::typology::figure4;
+
+    #[test]
+    fn every_figure4_entry_is_implemented() {
+        let implemented: Vec<&'static str> = all_figure4_mechanisms()
+            .iter()
+            .map(|m| m.info().key)
+            .collect();
+        for entry in figure4() {
+            assert!(
+                implemented.contains(&entry.key),
+                "figure-4 system `{}` has no implementation",
+                entry.key
+            );
+        }
+    }
+
+    #[test]
+    fn implementations_agree_with_the_published_classification() {
+        let expected = figure4();
+        for m in all_figure4_mechanisms() {
+            let info = m.info();
+            let published = expected
+                .iter()
+                .find(|e| e.key == info.key)
+                .unwrap_or_else(|| panic!("`{}` is not in Figure 4", info.key));
+            assert_eq!(
+                info.coordinates(),
+                published.coordinates(),
+                "`{}` classified differently from the paper",
+                info.key
+            );
+        }
+    }
+
+    #[test]
+    fn mechanisms_start_with_no_feedback() {
+        for m in all_figure4_mechanisms() {
+            assert_eq!(m.feedback_count(), 0, "{}", m.info().key);
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Sporas — Zacharia, Moukas & Maes (HICSS-32), reference \[37\].
+//!
+//! A *centralized, person/agent, global* mechanism designed to fix two eBay
+//! weaknesses: unbounded accumulation and equal weighting of all raters.
+//! Reputation lives in `(0, D]`; each new rating `W ∈ [0.1, 1]` updates
+//!
+//! ```text
+//! R ← R + (1/θ) · Φ(R) · R_rater · (W − R/D)
+//! Φ(R) = 1 − 1 / (1 + e^{−(R − D)/σ})
+//! ```
+//!
+//! so high reputations change slowly (`Φ` damping), ratings from reputable
+//! raters count more, and users can never fall below a newcomer — making
+//! identity-switching unprofitable.
+
+use crate::feedback::Feedback;
+use crate::id::SubjectId;
+use crate::mechanism::ReputationMechanism;
+use crate::trust::{evidence_confidence, TrustEstimate, TrustValue};
+use crate::typology::{Centralization, MechanismInfo, Scope, Subject};
+use std::collections::BTreeMap;
+
+/// Sporas with the original paper's constants as defaults.
+#[derive(Debug, Clone)]
+pub struct SporasMechanism {
+    /// Maximum reputation `D` (original paper uses 3000).
+    max_reputation: f64,
+    /// Effective number of ratings `θ` controlling adaptation speed.
+    theta: f64,
+    /// Damping width `σ`.
+    sigma: f64,
+    reputations: BTreeMap<SubjectId, f64>,
+    counts: BTreeMap<SubjectId, usize>,
+    submitted: usize,
+}
+
+impl Default for SporasMechanism {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SporasMechanism {
+    /// Sporas with `D = 3000`, `θ = 10`, `σ = D/12`.
+    pub fn new() -> Self {
+        Self::with_params(3000.0, 10.0, 250.0)
+    }
+
+    /// Sporas with explicit constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any constant is not strictly positive.
+    pub fn with_params(max_reputation: f64, theta: f64, sigma: f64) -> Self {
+        assert!(max_reputation > 0.0 && theta > 0.0 && sigma > 0.0);
+        SporasMechanism {
+            max_reputation,
+            theta,
+            sigma,
+            reputations: BTreeMap::new(),
+            counts: BTreeMap::new(),
+            submitted: 0,
+        }
+    }
+
+    /// The damping function `Φ(R)`: near 1 for newcomers, approaching 1/2
+    /// as reputation nears `D`, so established reputations move slowly.
+    pub fn damping(&self, r: f64) -> f64 {
+        1.0 - 1.0 / (1.0 + (-(r - self.max_reputation) / self.sigma).exp())
+    }
+
+    /// Raw Sporas reputation in `[0, D]`, if the subject has been rated.
+    pub fn raw_reputation(&self, subject: SubjectId) -> Option<f64> {
+        self.reputations.get(&subject).copied()
+    }
+}
+
+impl ReputationMechanism for SporasMechanism {
+    fn info(&self) -> MechanismInfo {
+        MechanismInfo {
+            key: "sporas",
+            display: "Sporas",
+            centralization: Centralization::Centralized,
+            subject: Subject::PersonAgent,
+            scope: Scope::Global,
+            citation: "37",
+            proposed_for_web_services: false,
+        }
+    }
+
+    fn submit(&mut self, feedback: &Feedback) {
+        // Ratings map onto Sporas's [0.1, 1] scale.
+        let w = 0.1 + 0.9 * feedback.score;
+        // The rater's own reputation; unrated raters count as mid-range,
+        // which is how Sporas treats newcomers acting as raters.
+        let rater_rep = self
+            .reputations
+            .get(&SubjectId::Agent(feedback.rater))
+            .copied()
+            .unwrap_or(self.max_reputation / 2.0);
+        let r = self.reputations.entry(feedback.subject).or_insert(0.0);
+        let phi = {
+            // inline damping to satisfy the borrow checker
+            1.0 - 1.0 / (1.0 + (-(*r - self.max_reputation) / self.sigma).exp())
+        };
+        *r += (1.0 / self.theta) * phi * rater_rep * (w - *r / self.max_reputation);
+        *r = r.clamp(0.0, self.max_reputation);
+        *self.counts.entry(feedback.subject).or_insert(0) += 1;
+        self.submitted += 1;
+    }
+
+    fn global(&self, subject: SubjectId) -> Option<TrustEstimate> {
+        let r = self.reputations.get(&subject)?;
+        let n = self.counts.get(&subject).copied().unwrap_or(0);
+        Some(TrustEstimate::new(
+            TrustValue::new(r / self.max_reputation),
+            evidence_confidence(n, 5.0),
+        ))
+    }
+
+    fn feedback_count(&self) -> usize {
+        self.submitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::{AgentId, ServiceId};
+    use crate::time::Time;
+    use proptest::prelude::*;
+
+    fn fb(score: f64) -> Feedback {
+        Feedback::scored(AgentId::new(0), ServiceId::new(1), score, Time::ZERO)
+    }
+
+    #[test]
+    fn newcomers_start_at_zero_and_climb() {
+        let mut m = SporasMechanism::new();
+        m.submit(&fb(1.0));
+        let r1 = m.raw_reputation(ServiceId::new(1).into()).unwrap();
+        assert!(r1 > 0.0);
+        for _ in 0..50 {
+            m.submit(&fb(1.0));
+        }
+        let r2 = m.raw_reputation(ServiceId::new(1).into()).unwrap();
+        assert!(r2 > r1);
+    }
+
+    #[test]
+    fn reputation_is_bounded_by_d() {
+        let mut m = SporasMechanism::new();
+        for _ in 0..5000 {
+            m.submit(&fb(1.0));
+        }
+        let r = m.raw_reputation(ServiceId::new(1).into()).unwrap();
+        assert!(r <= 3000.0);
+        let t = m.global(ServiceId::new(1).into()).unwrap();
+        assert!(t.value.get() <= 1.0);
+    }
+
+    #[test]
+    fn damping_slows_highly_reputed_users() {
+        let m = SporasMechanism::new();
+        assert!(m.damping(0.0) > 0.99);
+        assert!(m.damping(3000.0) < 0.51);
+        assert!(m.damping(0.0) > m.damping(1500.0));
+    }
+
+    #[test]
+    fn bad_ratings_lower_reputation() {
+        let mut m = SporasMechanism::new();
+        for _ in 0..100 {
+            m.submit(&fb(1.0));
+        }
+        let high = m.raw_reputation(ServiceId::new(1).into()).unwrap();
+        for _ in 0..100 {
+            m.submit(&fb(0.0));
+        }
+        let low = m.raw_reputation(ServiceId::new(1).into()).unwrap();
+        assert!(low < high);
+        assert!(low >= 0.0, "never below a newcomer");
+    }
+
+    #[test]
+    fn reputable_raters_move_scores_more() {
+        // Rate the rater up first, then compare the impact of its rating
+        // against an unknown rater's on two fresh subjects.
+        let mut m = SporasMechanism::new();
+        let reputable = AgentId::new(7);
+        for _ in 0..200 {
+            m.submit(&Feedback::scored(
+                AgentId::new(1),
+                reputable,
+                1.0,
+                Time::ZERO,
+            ));
+        }
+        let rater_rep = m.raw_reputation(reputable.into()).unwrap();
+        assert!(rater_rep > 1500.0);
+
+        m.submit(&Feedback::scored(reputable, ServiceId::new(10), 1.0, Time::ZERO));
+        let by_reputable = m.raw_reputation(ServiceId::new(10).into()).unwrap();
+
+        m.submit(&Feedback::scored(
+            AgentId::new(99), // unknown rater: mid reputation
+            ServiceId::new(11),
+            1.0,
+            Time::ZERO,
+        ));
+        let by_unknown = m.raw_reputation(ServiceId::new(11).into()).unwrap();
+        assert!(by_reputable > by_unknown);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_positive_params_panic() {
+        SporasMechanism::with_params(0.0, 10.0, 10.0);
+    }
+
+    proptest! {
+        #[test]
+        fn reputation_stays_in_unit_interval_after_any_history(
+            scores in proptest::collection::vec(0.0f64..=1.0, 1..200)
+        ) {
+            let mut m = SporasMechanism::new();
+            for s in scores {
+                m.submit(&fb(s));
+            }
+            let t = m.global(ServiceId::new(1).into()).unwrap();
+            prop_assert!((0.0..=1.0).contains(&t.value.get()));
+        }
+    }
+}

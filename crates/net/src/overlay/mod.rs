@@ -1,0 +1,16 @@
+//! Overlay topologies and routing.
+//!
+//! * [`graph`] — undirected neighbor graphs (random / ring+shortcut
+//!   generators) shared by flooding and gossip;
+//! * [`flood`] — TTL-bounded flooding, Gnutella-style (the transport XRep
+//!   polling rides on);
+//! * [`gossip`] — push rumor spreading;
+//! * [`chord`] — a Chord-like ring DHT with finger-table routing;
+//! * [`pgrid`] — the P-Grid binary prefix trie used by Aberer–Despotovic
+//!   and Vu et al. for decentralized reputation storage.
+
+pub mod chord;
+pub mod flood;
+pub mod gossip;
+pub mod graph;
+pub mod pgrid;

@@ -1,0 +1,277 @@
+//! Distributed EigenTrust: the power iteration of
+//! [`wsrep_core::mechanisms::eigentrust`] executed as actual messages.
+//!
+//! Each round, every peer `i` sends each peer `j` it locally trusts a
+//! *trust share* `c_ij · t_i`; receivers sum their incoming shares into
+//! their next trust value (blended with the pre-trust distribution). The
+//! message count per round is the number of non-zero local-trust entries —
+//! exactly the communication cost the centralized variant avoids.
+
+use crate::network::SimNetwork;
+use std::collections::BTreeMap;
+use wsrep_core::id::AgentId;
+
+/// One trust-share message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrustShare(pub f64);
+
+/// Result of a distributed EigenTrust run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributedOutcome {
+    /// Converged global trust per peer (sums to ~1 over live peers).
+    pub trust: BTreeMap<AgentId, f64>,
+    /// Iterations executed.
+    pub rounds: usize,
+    /// Messages sent during the run.
+    pub messages: u64,
+}
+
+/// The distributed EigenTrust protocol driver.
+#[derive(Debug, Clone)]
+pub struct DistributedEigenTrust {
+    /// Normalized local trust rows `c_i`.
+    rows: BTreeMap<AgentId, BTreeMap<AgentId, f64>>,
+    pre_trusted: Vec<AgentId>,
+    alpha: f64,
+    epsilon: f64,
+    max_rounds: usize,
+}
+
+impl DistributedEigenTrust {
+    /// Build from normalized local-trust rows and a pre-trusted set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `\[0, 1\]` or `pre_trusted` is empty.
+    pub fn new(
+        rows: BTreeMap<AgentId, BTreeMap<AgentId, f64>>,
+        pre_trusted: Vec<AgentId>,
+        alpha: f64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
+        assert!(!pre_trusted.is_empty(), "need at least one pre-trusted peer");
+        DistributedEigenTrust {
+            rows,
+            pre_trusted,
+            alpha,
+            epsilon: 1e-6,
+            max_rounds: 100,
+        }
+    }
+
+    /// All peers known to the protocol (row owners and rated peers).
+    pub fn peers(&self) -> Vec<AgentId> {
+        let mut ps: Vec<AgentId> = self
+            .rows
+            .iter()
+            .flat_map(|(i, row)| std::iter::once(*i).chain(row.keys().copied()))
+            .chain(self.pre_trusted.iter().copied())
+            .collect();
+        ps.sort();
+        ps.dedup();
+        ps
+    }
+
+    /// Run the protocol over `net`. Dead peers neither send nor receive;
+    /// their trust mass effectively redistributes via the pre-trust vector.
+    pub fn run(&self, net: &mut SimNetwork<TrustShare>) -> DistributedOutcome {
+        let peers = self.peers();
+        for &p in &peers {
+            net.add_node(p);
+        }
+        let live: Vec<AgentId> = peers.iter().copied().filter(|&p| net.is_alive(p)).collect();
+        let n_live = live.len().max(1);
+        let p_mass: BTreeMap<AgentId, f64> = {
+            let live_pre: Vec<AgentId> = self
+                .pre_trusted
+                .iter()
+                .copied()
+                .filter(|&p| net.is_alive(p))
+                .collect();
+            if live_pre.is_empty() {
+                live.iter().map(|&p| (p, 1.0 / n_live as f64)).collect()
+            } else {
+                let k = live_pre.len() as f64;
+                live_pre.into_iter().map(|p| (p, 1.0 / k)).collect()
+            }
+        };
+        let mut t: BTreeMap<AgentId, f64> = live
+            .iter()
+            .map(|&p| (p, p_mass.get(&p).copied().unwrap_or(0.0)))
+            .collect();
+        let start_sent = net.stats().sent;
+        let mut rounds = 0;
+        for _ in 0..self.max_rounds {
+            rounds += 1;
+            // Send shares.
+            for &i in &live {
+                let ti = t[&i];
+                let row = self.rows.get(&i);
+                let has_links = row.map(|r| !r.is_empty()).unwrap_or(false);
+                if has_links {
+                    for (&j, &c) in row.unwrap() {
+                        net.send(i, j, TrustShare(c * ti), 16);
+                    }
+                } else {
+                    // Dangling peer: defer to the pre-trust distribution.
+                    for (&j, &pj) in &p_mass {
+                        net.send(i, j, TrustShare(pj * ti), 16);
+                    }
+                }
+            }
+            net.settle(64);
+            // Receive and update.
+            let mut next: BTreeMap<AgentId, f64> = BTreeMap::new();
+            for &j in &live {
+                let incoming: f64 = net.drain_inbox(j).iter().map(|e| e.payload.0).sum();
+                let pj = p_mass.get(&j).copied().unwrap_or(0.0);
+                next.insert(j, (1.0 - self.alpha) * incoming + self.alpha * pj);
+            }
+            // Renormalize over live peers (messages to dead peers vanish).
+            let total: f64 = next.values().sum();
+            if total > 0.0 {
+                for v in next.values_mut() {
+                    *v /= total;
+                }
+            }
+            let delta: f64 = live
+                .iter()
+                .map(|p| (t[p] - next[p]).abs())
+                .sum();
+            t = next;
+            if delta < self.epsilon {
+                break;
+            }
+        }
+        DistributedOutcome {
+            trust: t,
+            rounds,
+            messages: net.stats().sent - start_sent,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsrep_core::feedback::Feedback;
+    use wsrep_core::id::SubjectId;
+    use wsrep_core::mechanisms::eigentrust::EigenTrustMechanism;
+    use wsrep_core::time::Time;
+    use wsrep_core::ReputationMechanism;
+
+    fn a(i: u64) -> AgentId {
+        AgentId::new(i)
+    }
+
+    /// Local-trust rows for 5 good peers praising each other and snubbing
+    /// peer 5.
+    fn rows() -> BTreeMap<AgentId, BTreeMap<AgentId, f64>> {
+        let mut rows = BTreeMap::new();
+        for i in 0..5u64 {
+            let mut row = BTreeMap::new();
+            for j in 0..5u64 {
+                if i != j {
+                    row.insert(a(j), 0.25);
+                }
+            }
+            rows.insert(a(i), row);
+        }
+        rows.insert(a(5), BTreeMap::new()); // the snubbed peer, dangling
+        rows
+    }
+
+    #[test]
+    fn distributed_run_matches_centralized_ordering() {
+        let det = DistributedEigenTrust::new(rows(), vec![a(0)], 0.15);
+        let mut net = SimNetwork::ideal(7);
+        let out = det.run(&mut net);
+        let bad = out.trust[&a(5)];
+        for i in 0..5 {
+            assert!(out.trust[&a(i)] > bad);
+        }
+        let total: f64 = out.trust.values().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+        assert!(out.messages > 0);
+    }
+
+    #[test]
+    fn agrees_with_the_centralized_computation() {
+        // Feed the same ratings into the centralized mechanism and compare
+        // rankings.
+        let mut central = EigenTrustMechanism::new();
+        central.pre_trust(a(0));
+        for i in 0..5u64 {
+            for j in 0..5u64 {
+                if i != j {
+                    central.submit(&Feedback::scored(a(i), a(j), 0.9, Time::ZERO));
+                }
+            }
+            central.submit(&Feedback::scored(a(i), a(5), 0.1, Time::ZERO));
+        }
+        let mut central_rows = BTreeMap::new();
+        for i in 0..6u64 {
+            central_rows.insert(a(i), central.local_trust(SubjectId::Agent(a(i)))
+                .into_iter()
+                .filter_map(|(s, v)| s.as_agent().map(|ag| (ag, v)))
+                .collect::<BTreeMap<_, _>>());
+        }
+        let det = DistributedEigenTrust::new(central_rows, vec![a(0)], 0.15);
+        let mut net = SimNetwork::ideal(9);
+        let dist = det.run(&mut net);
+        let central_trust = central.global_trust();
+        // Rankings agree: peer 5 last in both.
+        let central_bad = central_trust[&SubjectId::Agent(a(5))];
+        assert!(central_trust
+            .iter()
+            .all(|(&s, &v)| s == SubjectId::Agent(a(5)) || v >= central_bad));
+        let dist_bad = dist.trust[&a(5)];
+        assert!(dist.trust.iter().all(|(&p, &v)| p == a(5) || v >= dist_bad));
+        // Values close (both solve the same fixed point).
+        for i in 0..6u64 {
+            let c = central_trust[&SubjectId::Agent(a(i))];
+            let d = dist.trust[&a(i)];
+            assert!((c - d).abs() < 0.05, "peer {i}: central={c} dist={d}");
+        }
+    }
+
+    #[test]
+    fn message_cost_scales_with_edges_and_rounds() {
+        let det = DistributedEigenTrust::new(rows(), vec![a(0)], 0.15);
+        let mut net = SimNetwork::ideal(3);
+        let out = det.run(&mut net);
+        // 5 peers × 4 links + 1 dangling × |p| per round.
+        let per_round = 5 * 4 + 1;
+        assert_eq!(out.messages, (per_round * out.rounds) as u64);
+    }
+
+    #[test]
+    fn dead_peers_are_excluded() {
+        let det = DistributedEigenTrust::new(rows(), vec![a(0)], 0.15);
+        let mut net = SimNetwork::ideal(11);
+        for p in det.peers() {
+            net.add_node(p);
+        }
+        net.fail(a(3));
+        let out = det.run(&mut net);
+        assert!(!out.trust.contains_key(&a(3)));
+        let total: f64 = out.trust.values().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lossy_network_still_converges_roughly() {
+        let det = DistributedEigenTrust::new(rows(), vec![a(0)], 0.15);
+        let mut net = SimNetwork::new(0, 0.05, 5);
+        let out = det.run(&mut net);
+        let bad = out.trust[&a(5)];
+        let good_total: f64 = (0..5).map(|i| out.trust[&a(i)]).sum();
+        assert!(good_total > bad * 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one pre-trusted peer")]
+    fn empty_pre_trust_panics() {
+        DistributedEigenTrust::new(BTreeMap::new(), vec![], 0.15);
+    }
+}

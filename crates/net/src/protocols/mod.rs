@@ -1,0 +1,18 @@
+//! Decentralized protocol embodiments of the surveyed mechanisms.
+//!
+//! The *math* of each mechanism lives in `wsrep-core`; these modules run it
+//! as message-passing protocols over the simulated substrate so the
+//! experiments can report the communication cost the paper attributes to
+//! decentralization:
+//!
+//! * [`eigentrust_dist`] — EigenTrust's power iteration as per-round trust
+//!   share messages between peers;
+//! * [`poll`] — XRep (Damiani et al.) polling over TTL flooding;
+//! * [`referral`] — Yu–Singh witness location through referral chains;
+//! * [`pgrid_rep`] — the Vu et al. decentralized QoS registries over a
+//!   P-Grid, with report and query routing.
+
+pub mod eigentrust_dist;
+pub mod pgrid_rep;
+pub mod poll;
+pub mod referral;

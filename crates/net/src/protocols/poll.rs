@@ -1,0 +1,148 @@
+//! XRep polling over flooding: the network embodiment of
+//! [`wsrep_core::mechanisms::damiani`].
+//!
+//! The poller floods a `Poll(subject)` query with a TTL; every reached
+//! peer that holds a local opinion answers with its vote, which travels
+//! back along the flood path (one message per hop). The tally is then
+//! weighted with the poller's learned voter credibilities.
+
+use crate::overlay::flood::{flood, FloodOutcome};
+use crate::overlay::graph::NeighborGraph;
+use wsrep_core::id::{AgentId, SubjectId};
+use wsrep_core::mechanisms::damiani::{DamianiMechanism, Vote};
+use wsrep_core::trust::{evidence_confidence, TrustEstimate, TrustValue};
+
+/// Result of one network poll.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PollOutcome {
+    /// The poller's resulting trust estimate, if anyone voted.
+    pub estimate: Option<TrustEstimate>,
+    /// Votes gathered as `(voter, vote, hops away)`.
+    pub votes: Vec<(AgentId, Vote, usize)>,
+    /// Total messages: flood + responses.
+    pub messages: u64,
+}
+
+/// Run an XRep poll for `poller` about `subject` over `graph`, reading
+/// opinions and credibilities from `tables` (the Damiani bookkeeping).
+pub fn network_poll(
+    graph: &NeighborGraph,
+    tables: &DamianiMechanism,
+    poller: AgentId,
+    subject: SubjectId,
+    ttl: usize,
+) -> PollOutcome {
+    let FloodOutcome { reached, messages } = flood(graph, poller, ttl);
+    let mut votes = Vec::new();
+    let mut response_messages = 0u64;
+    let mut plus = 0.0;
+    let mut minus = 0.0;
+    for (&peer, &hops) in &reached {
+        let Some(vote) = tables.vote_of(peer, subject) else {
+            continue;
+        };
+        // The response travels back hop-by-hop.
+        response_messages += hops as u64;
+        let w = tables.voter_credibility(poller, peer);
+        match vote {
+            Vote::Plus => plus += w,
+            Vote::Minus => minus += w,
+        }
+        votes.push((peer, vote, hops));
+    }
+    let estimate = if votes.is_empty() {
+        None
+    } else {
+        Some(TrustEstimate::new(
+            TrustValue::new(plus / (plus + minus)),
+            evidence_confidence(votes.len(), 3.0),
+        ))
+    };
+    PollOutcome {
+        estimate,
+        votes,
+        messages: messages + response_messages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsrep_core::feedback::Feedback;
+    use wsrep_core::id::ServiceId;
+    use wsrep_core::time::Time;
+    use wsrep_core::ReputationMechanism;
+
+    fn a(i: u64) -> AgentId {
+        AgentId::new(i)
+    }
+
+    fn s(i: u64) -> SubjectId {
+        ServiceId::new(i).into()
+    }
+
+    /// Star topology around the poller with five opinionated peers.
+    fn setup() -> (NeighborGraph, DamianiMechanism) {
+        let mut g = NeighborGraph::new();
+        for i in 1..=5 {
+            g.add_edge(a(0), a(i));
+        }
+        let mut tables = DamianiMechanism::new();
+        for i in 1..=4 {
+            tables.submit(&Feedback::scored(a(i), ServiceId::new(9), 0.9, Time::ZERO));
+        }
+        tables.submit(&Feedback::scored(a(5), ServiceId::new(9), 0.1, Time::ZERO));
+        (g, tables)
+    }
+
+    #[test]
+    fn poll_collects_votes_and_counts_messages() {
+        let (g, tables) = setup();
+        let out = network_poll(&g, &tables, a(0), s(9), 2);
+        assert_eq!(out.votes.len(), 5);
+        // 5 query messages + 5 one-hop responses.
+        assert_eq!(out.messages, 10);
+        let est = out.estimate.unwrap();
+        assert!(est.value.get() > 0.7);
+    }
+
+    #[test]
+    fn ttl_zero_reaches_nobody() {
+        let (g, tables) = setup();
+        let out = network_poll(&g, &tables, a(0), s(9), 0);
+        assert!(out.votes.is_empty());
+        assert_eq!(out.estimate, None);
+    }
+
+    #[test]
+    fn deeper_voters_cost_more_response_messages() {
+        // Line: 0 - 1 - 2, only peer 2 has an opinion.
+        let mut g = NeighborGraph::new();
+        g.add_edge(a(0), a(1));
+        g.add_edge(a(1), a(2));
+        let mut tables = DamianiMechanism::new();
+        tables.submit(&Feedback::scored(a(2), ServiceId::new(9), 0.9, Time::ZERO));
+        let out = network_poll(&g, &tables, a(0), s(9), 3);
+        assert_eq!(out.votes, vec![(a(2), Vote::Plus, 2)]);
+        // 2 flood messages forward + 2 hops back.
+        assert_eq!(out.messages, 4);
+    }
+
+    #[test]
+    fn credibility_weighting_applies_at_the_poller() {
+        let (g, mut tables) = setup();
+        // The poller has learned that peers 1..4 always lie.
+        for i in 1..=4 {
+            for _ in 0..10 {
+                tables.judge_vote(a(0), a(i), Vote::Plus, false);
+            }
+            for _ in 0..10 {
+                // Peer 5 voted Minus and the outcome really was bad: agreed.
+                tables.judge_vote(a(0), a(5), Vote::Minus, false);
+            }
+        }
+        let out = network_poll(&g, &tables, a(0), s(9), 2);
+        let est = out.estimate.unwrap();
+        assert!(est.value.get() < 0.5, "liars discounted: {}", est.value);
+    }
+}

@@ -1,0 +1,99 @@
+//! The common interface for unfair-rating defenses.
+
+use wsrep_core::id::{AgentId, SubjectId};
+use wsrep_core::store::FeedbackStore;
+use wsrep_core::trust::{evidence_confidence, TrustEstimate, TrustValue};
+
+/// A defense that estimates a subject's reputation from raw feedback while
+/// resisting unfair ratings.
+pub trait UnfairRatingDefense: std::fmt::Debug {
+    /// Short name used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Estimate `subject`'s reputation for `observer` from the raw store.
+    /// `None` when no usable evidence survives.
+    fn estimate(
+        &self,
+        store: &FeedbackStore,
+        observer: AgentId,
+        subject: SubjectId,
+    ) -> Option<TrustEstimate>;
+}
+
+/// The undefended baseline: the plain mean of all scores.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoDefense;
+
+impl UnfairRatingDefense for NoDefense {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn estimate(
+        &self,
+        store: &FeedbackStore,
+        _observer: AgentId,
+        subject: SubjectId,
+    ) -> Option<TrustEstimate> {
+        let n = store.about(subject).count();
+        let mean = store.mean_score(subject)?;
+        Some(TrustEstimate::new(
+            TrustValue::new(mean),
+            evidence_confidence(n, 4.0),
+        ))
+    }
+}
+
+/// All defenses with default parameters, for the experiment sweep.
+pub fn all_defenses() -> Vec<Box<dyn UnfairRatingDefense>> {
+    vec![
+        Box::new(NoDefense),
+        Box::new(crate::cluster::ClusterFiltering::default()),
+        Box::new(crate::majority::MajorityOpinion::default()),
+        Box::new(crate::deviation::DeviationFilter::default()),
+        Box::new(crate::zhang_cohen::ZhangCohen::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsrep_core::feedback::Feedback;
+    use wsrep_core::id::ServiceId;
+    use wsrep_core::time::Time;
+
+    #[test]
+    fn no_defense_is_the_plain_mean() {
+        let mut store = FeedbackStore::new();
+        store.push(Feedback::scored(
+            AgentId::new(0),
+            ServiceId::new(1),
+            0.2,
+            Time::ZERO,
+        ));
+        store.push(Feedback::scored(
+            AgentId::new(1),
+            ServiceId::new(1),
+            0.8,
+            Time::ZERO,
+        ));
+        let est = NoDefense
+            .estimate(&store, AgentId::new(0), ServiceId::new(1).into())
+            .unwrap();
+        assert!((est.value.get() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_evidence_is_none() {
+        let store = FeedbackStore::new();
+        assert!(NoDefense
+            .estimate(&store, AgentId::new(0), ServiceId::new(1).into())
+            .is_none());
+    }
+
+    #[test]
+    fn registry_lists_five_defenses() {
+        let names: Vec<&str> = all_defenses().iter().map(|d| d.name()).collect();
+        assert_eq!(names, vec!["none", "cluster", "majority", "deviation", "zhang-cohen"]);
+    }
+}

@@ -1,0 +1,172 @@
+//! A small discrete-event queue.
+//!
+//! Generic over the event payload; pops are ordered by time, with FIFO
+//! tie-breaking at equal times so runs are deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use wsrep_core::time::Time;
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event queue.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    now: Time,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: Time::ZERO,
+        }
+    }
+
+    /// Schedule an event at an absolute time.
+    ///
+    /// # Panics
+    ///
+    /// Panics when scheduling in the past (before the last popped time).
+    pub fn schedule(&mut self, at: Time, event: E) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.heap.push(Scheduled {
+            at,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedule an event `delay` rounds from the current time.
+    pub fn schedule_in(&mut self, delay: u64, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Pop the earliest event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let s = self.heap.pop()?;
+        self.now = s.at;
+        Some((s.at, s.event))
+    }
+
+    /// Pop every event due at or before `until`, advancing the clock to
+    /// `until` even when nothing fires.
+    pub fn pop_until(&mut self, until: Time) -> Vec<(Time, E)> {
+        let mut out = Vec::new();
+        while let Some(top) = self.heap.peek() {
+            if top.at > until {
+                break;
+            }
+            out.push(self.pop().expect("peeked"));
+        }
+        self.now = self.now.max(until);
+        out
+    }
+
+    /// The queue's current time (time of the last pop).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Pending event count.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::new(5), "late");
+        q.schedule(Time::new(1), "early");
+        q.schedule(Time::new(3), "mid");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["early", "mid", "late"]);
+        assert_eq!(q.now(), Time::new(5));
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::new(2), "first");
+        q.schedule(Time::new(2), "second");
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+    }
+
+    #[test]
+    fn pop_until_takes_only_due_events() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::new(1), 1);
+        q.schedule(Time::new(2), 2);
+        q.schedule(Time::new(9), 9);
+        let due = q.pop_until(Time::new(5));
+        assert_eq!(due.len(), 2);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.now(), Time::new(5));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::new(4), "a");
+        q.pop();
+        q.schedule_in(3, "b");
+        assert_eq!(q.pop().unwrap().0, Time::new(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::new(5), "x");
+        q.pop();
+        q.schedule(Time::new(1), "too late");
+    }
+}

@@ -1,0 +1,35 @@
+//! # wsrep-sim — a discrete-event web-service ecosystem
+//!
+//! The substrate the survey assumes: providers publishing services with
+//! (possibly exaggerated) QoS advertisements, consumers invoking them and
+//! experiencing the latent quality, a UDDI-like registry with a central
+//! QoS store, SLAs, monitoring sensors and explorer agents, and the
+//! mediated general-service scenario of Figure 1 B.
+//!
+//! * [`event`] — a small discrete-event queue driving scheduled dynamics;
+//! * [`provider`] — providers with behaviour dynamics (stable, improving,
+//!   degrading, oscillating, whitewashing) and advertisement honesty;
+//! * [`consumer`] — consumers with preference profiles and rater
+//!   behaviours (honest, ballot-stuffing, badmouthing, collusive, random);
+//! * [`registry`] — the UDDI-style registry + central QoS store, with
+//!   failure injection for the single-point-of-failure experiment;
+//! * [`monitor`] — probing sensors and Maximilien–Singh explorer agents;
+//! * [`scenario`] — the mediated (general-service) selection scenario;
+//! * [`world`] — ties it together into a reproducible generated market.
+//!
+//! ```
+//! use wsrep_sim::world::{World, WorldConfig};
+//!
+//! let world = World::generate(WorldConfig::small(42));
+//! assert!(world.services().count() > 0);
+//! ```
+
+pub mod consumer;
+pub mod event;
+pub mod monitor;
+pub mod provider;
+pub mod registry;
+pub mod scenario;
+pub mod world;
+
+pub use world::{World, WorldConfig};

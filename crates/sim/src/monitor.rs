@@ -1,0 +1,127 @@
+//! Monitoring: probing sensors and explorer agents.
+//!
+//! Figure 2's remaining information sources. Sensors implement Truong et
+//! al.-style per-service QoS monitoring — accurate but, as the paper
+//! says, "very costly since each web service needs a sensor to monitor
+//! it". Explorer agents implement the Maximilien–Singh scheme: the central
+//! node probes only the services with *negative* reputation so improved
+//! services can re-enter the market.
+
+use rand::Rng;
+use wsrep_core::id::ServiceId;
+use wsrep_qos::profile::QualityProfile;
+use wsrep_qos::value::QosVector;
+
+/// Cost/accounting for a probing fleet.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ProbeStats {
+    /// Probes performed.
+    pub probes: u64,
+    /// Cost units spent (probes × unit cost).
+    pub cost: f64,
+}
+
+/// A fleet of monitoring sensors with a unit cost per probe.
+#[derive(Debug, Clone)]
+pub struct SensorFleet {
+    unit_cost: f64,
+    stats: ProbeStats,
+}
+
+impl SensorFleet {
+    /// A fleet whose probes cost `unit_cost` each.
+    pub fn new(unit_cost: f64) -> Self {
+        SensorFleet {
+            unit_cost,
+            stats: ProbeStats::default(),
+        }
+    }
+
+    /// Probe a service: draws a real observation from its latent quality
+    /// and pays the unit cost.
+    pub fn probe<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        _service: ServiceId,
+        quality: &QualityProfile,
+    ) -> QosVector {
+        self.stats.probes += 1;
+        self.stats.cost += self.unit_cost;
+        quality.sample(rng)
+    }
+
+    /// Accounting so far.
+    pub fn stats(&self) -> ProbeStats {
+        self.stats
+    }
+}
+
+/// The explorer-agent policy: which services to probe this round.
+///
+/// Given each service's current reputation (or `None` when unknown),
+/// selects those below `threshold` — Maximilien & Singh's negative-
+/// reputation set — capped at `budget` probes per round.
+pub fn explorer_targets<I>(reputations: I, threshold: f64, budget: usize) -> Vec<ServiceId>
+where
+    I: IntoIterator<Item = (ServiceId, Option<f64>)>,
+{
+    let mut targets: Vec<(ServiceId, f64)> = reputations
+        .into_iter()
+        .filter_map(|(s, rep)| rep.map(|r| (s, r)))
+        .filter(|&(_, r)| r < threshold)
+        .collect();
+    // Worst first: the services most in need of a second chance.
+    targets.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    targets.truncate(budget);
+    targets.into_iter().map(|(s, _)| s).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wsrep_qos::metric::Metric;
+
+    #[test]
+    fn probes_cost_and_observe() {
+        let mut fleet = SensorFleet::new(2.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let q = QualityProfile::from_triples([(Metric::ResponseTime, 100.0, 5.0)]);
+        let obs = fleet.probe(&mut rng, ServiceId::new(1), &q);
+        assert!(obs.contains(Metric::ResponseTime));
+        assert_eq!(fleet.stats().probes, 1);
+        assert_eq!(fleet.stats().cost, 2.5);
+        fleet.probe(&mut rng, ServiceId::new(2), &q);
+        assert_eq!(fleet.stats().cost, 5.0);
+    }
+
+    #[test]
+    fn explorer_picks_only_negative_reputation_services() {
+        let reps = [
+            (ServiceId::new(1), Some(0.9)),
+            (ServiceId::new(2), Some(0.2)),
+            (ServiceId::new(3), Some(0.35)),
+            (ServiceId::new(4), None), // unknown: not explored
+        ];
+        let targets = explorer_targets(reps, 0.4, 10);
+        assert_eq!(targets, vec![ServiceId::new(2), ServiceId::new(3)]);
+    }
+
+    #[test]
+    fn explorer_budget_caps_and_prioritizes_worst() {
+        let reps = [
+            (ServiceId::new(1), Some(0.30)),
+            (ServiceId::new(2), Some(0.10)),
+            (ServiceId::new(3), Some(0.20)),
+        ];
+        let targets = explorer_targets(reps, 0.4, 2);
+        assert_eq!(targets, vec![ServiceId::new(2), ServiceId::new(3)]);
+    }
+
+    #[test]
+    fn no_negative_reputation_no_probes() {
+        let reps = [(ServiceId::new(1), Some(0.8))];
+        assert!(explorer_targets(reps, 0.4, 5).is_empty());
+    }
+}

@@ -1,0 +1,202 @@
+//! The UDDI-style registry and central QoS store of Figure 2.
+//!
+//! "It is based on a classical web service framework where a central UDDI
+//! server is used to publish and search services … It is inevitable that
+//! this server-centric framework will suffer a single point of failure."
+//! The registry therefore has an explicit up/down switch, and search
+//! results go stale (services deregistered while it was down are still
+//! returned) — the staleness the paper attributes to dynamic environments.
+
+use std::collections::BTreeMap;
+use wsrep_core::id::{ProviderId, ServiceId};
+use wsrep_core::store::FeedbackStore;
+use wsrep_qos::value::QosVector;
+
+/// A published service entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Listing {
+    /// The service.
+    pub service: ServiceId,
+    /// Its provider.
+    pub provider: ProviderId,
+    /// Function category consumers search by.
+    pub category: u32,
+    /// The advertised QoS claim.
+    pub advertised: QosVector,
+}
+
+/// UDDI-like registry + central QoS feedback store.
+#[derive(Debug, Default)]
+pub struct UddiRegistry {
+    listings: BTreeMap<ServiceId, Listing>,
+    /// The central QoS registry of Figure 2.
+    pub qos_store: FeedbackStore,
+    down: bool,
+}
+
+impl UddiRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publish (or update) a service listing. Fails silently while the
+    /// registry is down — providers cannot reach it.
+    pub fn publish(&mut self, listing: Listing) -> bool {
+        if self.down {
+            return false;
+        }
+        self.listings.insert(listing.service, listing);
+        true
+    }
+
+    /// Remove a listing (provider withdrawal). No-op while down, which is
+    /// exactly how stale entries accumulate.
+    pub fn withdraw(&mut self, service: ServiceId) -> bool {
+        if self.down {
+            return false;
+        }
+        self.listings.remove(&service).is_some()
+    }
+
+    /// Search by function category. Returns `None` while the registry is
+    /// down — the single point of failure in action.
+    pub fn search(&self, category: u32) -> Option<Vec<&Listing>> {
+        if self.down {
+            return None;
+        }
+        Some(
+            self.listings
+                .values()
+                .filter(|l| l.category == category)
+                .collect(),
+        )
+    }
+
+    /// Look up one listing.
+    pub fn listing(&self, service: ServiceId) -> Option<&Listing> {
+        if self.down {
+            None
+        } else {
+            self.listings.get(&service)
+        }
+    }
+
+    /// Take the registry down (failure injection).
+    pub fn fail(&mut self) {
+        self.down = true;
+    }
+
+    /// Bring it back.
+    pub fn recover(&mut self) {
+        self.down = false;
+    }
+
+    /// Whether the registry is up.
+    pub fn is_up(&self) -> bool {
+        !self.down
+    }
+
+    /// Number of listings.
+    pub fn len(&self) -> usize {
+        self.listings.len()
+    }
+
+    /// Whether nothing is listed.
+    pub fn is_empty(&self) -> bool {
+        self.listings.is_empty()
+    }
+
+    /// Accept a consumer feedback report into the central QoS store.
+    /// Dropped while down.
+    pub fn accept_feedback(&mut self, feedback: wsrep_core::feedback::Feedback) -> bool {
+        if self.down {
+            return false;
+        }
+        self.qos_store.push(feedback);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsrep_core::feedback::Feedback;
+    use wsrep_core::id::AgentId;
+    use wsrep_core::time::Time;
+
+    fn listing(service: u64, category: u32) -> Listing {
+        Listing {
+            service: ServiceId::new(service),
+            provider: ProviderId::new(service / 2),
+            category,
+            advertised: QosVector::new(),
+        }
+    }
+
+    #[test]
+    fn publish_and_search_by_category() {
+        let mut r = UddiRegistry::new();
+        assert!(r.publish(listing(1, 10)));
+        assert!(r.publish(listing(2, 10)));
+        assert!(r.publish(listing(3, 20)));
+        assert_eq!(r.search(10).unwrap().len(), 2);
+        assert_eq!(r.search(20).unwrap().len(), 1);
+        assert_eq!(r.search(99).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn down_registry_serves_nothing_and_accepts_nothing() {
+        let mut r = UddiRegistry::new();
+        r.publish(listing(1, 10));
+        r.fail();
+        assert!(!r.is_up());
+        assert_eq!(r.search(10), None);
+        assert_eq!(r.listing(ServiceId::new(1)), None);
+        assert!(!r.publish(listing(2, 10)));
+        assert!(!r.accept_feedback(Feedback::scored(
+            AgentId::new(0),
+            ServiceId::new(1),
+            0.5,
+            Time::ZERO
+        )));
+        r.recover();
+        assert_eq!(r.search(10).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn withdrawal_fails_while_down_leaving_stale_entries() {
+        let mut r = UddiRegistry::new();
+        r.publish(listing(1, 10));
+        r.fail();
+        assert!(!r.withdraw(ServiceId::new(1)));
+        r.recover();
+        // The stale entry is still served.
+        assert_eq!(r.search(10).unwrap().len(), 1);
+        assert!(r.withdraw(ServiceId::new(1)));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn feedback_lands_in_the_qos_store() {
+        let mut r = UddiRegistry::new();
+        r.accept_feedback(Feedback::scored(
+            AgentId::new(0),
+            ServiceId::new(1),
+            0.9,
+            Time::ZERO,
+        ));
+        assert_eq!(r.qos_store.len(), 1);
+    }
+
+    #[test]
+    fn republish_updates_in_place() {
+        let mut r = UddiRegistry::new();
+        r.publish(listing(1, 10));
+        let mut updated = listing(1, 10);
+        updated.category = 30;
+        r.publish(updated);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.listing(ServiceId::new(1)).unwrap().category, 30);
+    }
+}

@@ -1,0 +1,64 @@
+//! Unfair-rating attacks and their antidotes (Section 3.1, question 3).
+//!
+//! A ring of colluders ballot-stuffs a poor service and badmouths a good
+//! one. The undefended mean is fooled; the three defenses the survey
+//! names — cluster filtering, majority opinion and Zhang–Cohen — are not.
+//!
+//! Run with `cargo run --release --example attack_resistance`.
+
+use wsrep::core::feedback::Feedback;
+use wsrep::core::id::{AgentId, ServiceId};
+use wsrep::core::store::FeedbackStore;
+use wsrep::core::time::Time;
+use wsrep::robust::defense::all_defenses;
+
+fn main() {
+    let good = ServiceId::new(1);
+    let poor = ServiceId::new(2);
+    let mut store = FeedbackStore::new();
+
+    // 12 honest consumers: the good service really is good.
+    for rater in 0..12u64 {
+        for t in 0..5u64 {
+            store.push(Feedback::scored(AgentId::new(rater), good, 0.85, Time::new(t)));
+            store.push(Feedback::scored(AgentId::new(rater), poor, 0.25, Time::new(t)));
+        }
+    }
+    // 6 colluders: stuff the poor service, trash the good one.
+    for rater in 100..106u64 {
+        for t in 0..5u64 {
+            store.push(Feedback::scored(AgentId::new(rater), good, 0.0, Time::new(t)));
+            store.push(Feedback::scored(AgentId::new(rater), poor, 1.0, Time::new(t)));
+        }
+    }
+
+    // The observer is an honest consumer with first-hand experience.
+    let observer = AgentId::new(0);
+    println!("estimates after a 6-colluder attack (truth: good≈0.85, poor≈0.25):\n");
+    println!("{:<14} {:>12} {:>12} {:>16}", "defense", "good svc", "poor svc", "ranking intact?");
+    for defense in all_defenses() {
+        let g = defense
+            .estimate(&store, observer, good.into())
+            .map(|e| e.value.get())
+            .unwrap_or(f64::NAN);
+        let p = defense
+            .estimate(&store, observer, poor.into())
+            .map(|e| e.value.get())
+            .unwrap_or(f64::NAN);
+        println!(
+            "{:<14} {:>12.3} {:>12.3} {:>16}",
+            defense.name(),
+            g,
+            p,
+            if g > p { "yes" } else { "FLIPPED" }
+        );
+        if defense.name() != "none" {
+            assert!(g > p, "{} must resist the attack", defense.name());
+        }
+    }
+    println!(
+        "\ncluster filtering isolates the colluders' score cluster, the\n\
+         majority opinion outvotes them, and Zhang-Cohen discounts advisors\n\
+         whose ratings contradict the observer's own experience."
+    );
+}

@@ -1,0 +1,45 @@
+//! Quickstart: stand up a web-service market, let consumers learn whom to
+//! trust from each other's feedback, and watch reputation-based selection
+//! beat blind choice.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use wsrep::core::mechanisms::beta::BetaMechanism;
+use wsrep::select::eval::{Market, MarketConfig};
+use wsrep::select::strategy::{RandomSelect, ReputationSelect};
+use wsrep::sim::world::{World, WorldConfig};
+
+fn main() {
+    // A reproducible market: 10 providers × 2 services, 30 consumers.
+    let config = WorldConfig::small(42);
+
+    // Baseline: the "blind choice" the paper warns about.
+    let world = World::generate(config.clone());
+    let mut random = RandomSelect;
+    let blind = Market::new(world, MarketConfig::new(60, 42)).run(&mut random);
+
+    // Trust & reputation: consumers file feedback after every invocation;
+    // a beta-reputation mechanism aggregates it; selection follows trust.
+    let world = World::generate(config);
+    let mut reputation = ReputationSelect::new(Box::new(BetaMechanism::new()));
+    let informed = Market::new(world, MarketConfig::new(60, 42)).run(&mut reputation);
+
+    println!("selection quality over 60 rounds (expected utility, 0..1):");
+    println!(
+        "  blind choice      : settled {:.3}, regret {:.3}, oracle hit rate {:.1}%",
+        blind.settled_utility,
+        blind.mean_regret,
+        blind.hit_rate * 100.0
+    );
+    println!(
+        "  beta reputation   : settled {:.3}, regret {:.3}, oracle hit rate {:.1}%",
+        informed.settled_utility,
+        informed.mean_regret,
+        informed.hit_rate * 100.0
+    );
+    println!(
+        "\nreputation-based selection recovered {:.0}% of the regret of blind choice",
+        (1.0 - informed.mean_regret / blind.mean_regret.max(1e-9)) * 100.0
+    );
+    assert!(informed.settled_utility > blind.settled_utility);
+}

@@ -1,0 +1,80 @@
+//! The three properties Section 3 of the survey ascribes to trust —
+//! **context-specific**, **multi-faceted**, and **transitive** — each
+//! demonstrated on the paper's own examples.
+//!
+//! Run with `cargo run --release --example trust_properties`.
+
+use wsrep::core::context::{Context, ContextualTrust};
+use wsrep::core::facets::FacetedTrust;
+use wsrep::core::id::AgentId;
+use wsrep::core::opinion::Opinion;
+use wsrep::core::time::Time;
+use wsrep::core::transitive::TrustGraph;
+use wsrep::qos::metric::Metric;
+use wsrep::qos::preference::Preferences;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Context-specific: "Mike trusts John as his doctor, but he does not
+    // trust John as a mechanic to fix his car."
+    let john = AgentId::new(1);
+    const DOCTOR: Context = Context(1);
+    const MECHANIC: Context = Context(2);
+    let mut mikes_view = ContextualTrust::new();
+    for t in 0..8 {
+        mikes_view.record(john, DOCTOR, 0.95, Time::new(t));
+        mikes_view.record(john, MECHANIC, 0.15, Time::new(t));
+    }
+    let now = Time::new(8);
+    let as_doctor = mikes_view.trust(john, DOCTOR, now).unwrap();
+    let as_mechanic = mikes_view.trust(john, MECHANIC, now).unwrap();
+    println!("context-specific trust in John:");
+    println!("  as a doctor   : {}", as_doctor.value);
+    println!("  as a mechanic : {}", as_mechanic.value);
+    assert!(as_doctor.value.get() > 0.9 && as_mechanic.value.get() < 0.2);
+
+    // ------------------------------------------------------------------
+    // Multi-faceted: "a user might evaluate a web service from different
+    // QoS aspects … For each aspect, she develops a kind of trust."
+    let mut service_trust = FacetedTrust::new();
+    for t in 0..10 {
+        service_trust.record(Metric::ResponseTime, 0.95, Time::new(t)); // blazing fast
+        service_trust.record(Metric::Accuracy, 0.30, Time::new(t)); // often wrong
+    }
+    let now = Time::new(10);
+    let speed_freak =
+        Preferences::from_weights([(Metric::ResponseTime, 0.9), (Metric::Accuracy, 0.1)]);
+    let precision_buyer =
+        Preferences::from_weights([(Metric::ResponseTime, 0.1), (Metric::Accuracy, 0.9)]);
+    println!("\nmulti-faceted trust in one service:");
+    println!(
+        "  for a latency-sensitive consumer : {}",
+        service_trust.overall(&speed_freak, now).value
+    );
+    println!(
+        "  for an accuracy-sensitive one    : {}",
+        service_trust.overall(&precision_buyer, now).value
+    );
+
+    // ------------------------------------------------------------------
+    // Transitive: "Alice trusts her doctor and her doctor trusts an eye
+    // specialist. Then Alice can trust the eye specialist."
+    let alice = AgentId::new(10);
+    let doctor = AgentId::new(11);
+    let specialist = AgentId::new(12);
+    let mut graph = TrustGraph::new();
+    graph.set(alice, doctor, Opinion::from_evidence(15.0, 0.0, 0.5));
+    graph.set(doctor, specialist, Opinion::from_evidence(12.0, 1.0, 0.5));
+    let derived = graph.derive(alice, specialist, 3).unwrap();
+    println!("\ntransitive trust:");
+    println!(
+        "  Alice -> doctor -> eye specialist: expectation {:.3} (uncertainty {:.3})",
+        derived.expectation(),
+        derived.u
+    );
+    assert!(derived.expectation() > 0.6);
+    // But transitivity dilutes: the derived opinion is weaker than the
+    // direct links it chains.
+    assert!(derived.b < graph.direct(alice, doctor).unwrap().b);
+    println!("  (weaker than either direct link, as the calculus requires)");
+}

@@ -1,0 +1,17 @@
+//! # wsrep — trust and reputation for web service selection
+//!
+//! Umbrella crate re-exporting the whole workspace. See the README for an
+//! architecture overview and DESIGN.md for the paper-to-module map.
+//!
+//! ```
+//! use wsrep::qos::metric::Metric;
+//! let m = Metric::ResponseTime;
+//! assert_eq!(m.to_string(), "response_time");
+//! ```
+
+pub use wsrep_core as core;
+pub use wsrep_net as net;
+pub use wsrep_qos as qos;
+pub use wsrep_robust as robust;
+pub use wsrep_select as select;
+pub use wsrep_sim as sim;

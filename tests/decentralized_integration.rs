@@ -1,0 +1,219 @@
+//! Integration: decentralized protocols over simulated overlays against
+//! their centralized counterparts.
+
+use std::collections::BTreeMap;
+use wsrep::core::feedback::Feedback;
+use wsrep::core::id::{AgentId, ServiceId, SubjectId};
+use wsrep::core::mechanisms::eigentrust::EigenTrustMechanism;
+use wsrep::core::time::Time;
+use wsrep::core::ReputationMechanism;
+use wsrep::net::overlay::graph::NeighborGraph;
+use wsrep::net::protocols::eigentrust_dist::DistributedEigenTrust;
+use wsrep::net::protocols::pgrid_rep::PGridQosRegistry;
+use wsrep::net::protocols::poll::network_poll;
+use wsrep::net::SimNetwork;
+use wsrep::qos::metric::Metric;
+use wsrep::qos::preference::Preferences;
+use wsrep::qos::value::QosVector;
+
+fn a(i: u64) -> AgentId {
+    AgentId::new(i)
+}
+
+/// 12 peers: 0..9 honest mutual raters, 10..11 defectors.
+fn ratings() -> Vec<Feedback> {
+    let mut out = Vec::new();
+    for i in 0..10u64 {
+        for j in 0..10u64 {
+            if i != j {
+                out.push(Feedback::scored(a(i), a(j), 0.9, Time::ZERO));
+            }
+        }
+        out.push(Feedback::scored(a(i), a(10), 0.1, Time::ZERO));
+        out.push(Feedback::scored(a(i), a(11), 0.1, Time::ZERO));
+    }
+    out
+}
+
+#[test]
+fn distributed_and_centralized_eigentrust_agree() {
+    let mut central = EigenTrustMechanism::new();
+    central.pre_trust(a(0));
+    for fb in ratings() {
+        central.submit(&fb);
+    }
+    let central_trust = central.global_trust();
+
+    let mut rows: BTreeMap<AgentId, BTreeMap<AgentId, f64>> = BTreeMap::new();
+    for i in 0..12u64 {
+        let row = central
+            .local_trust(SubjectId::Agent(a(i)))
+            .into_iter()
+            .filter_map(|(s, v)| s.as_agent().map(|ag| (ag, v)))
+            .collect();
+        rows.insert(a(i), row);
+    }
+    let protocol = DistributedEigenTrust::new(rows, vec![a(0)], 0.15);
+    let mut net = SimNetwork::ideal(1);
+    let out = protocol.run(&mut net);
+
+    for i in 0..12u64 {
+        let c = central_trust[&SubjectId::Agent(a(i))];
+        let d = out.trust[&a(i)];
+        assert!((c - d).abs() < 0.03, "peer {i}: centralized {c} vs distributed {d}");
+    }
+    assert!(out.messages > 0);
+}
+
+#[test]
+fn distributed_eigentrust_survives_latency_and_loss() {
+    let mut rows: BTreeMap<AgentId, BTreeMap<AgentId, f64>> = BTreeMap::new();
+    for i in 0..6u64 {
+        let mut row = BTreeMap::new();
+        for j in 0..6u64 {
+            if i != j {
+                row.insert(a(j), 0.2);
+            }
+        }
+        rows.insert(a(i), row);
+    }
+    rows.insert(a(6), BTreeMap::new()); // unrated defector
+    let protocol = DistributedEigenTrust::new(rows, vec![a(0)], 0.2);
+    let mut net = SimNetwork::new(2, 0.1, 9);
+    let out = protocol.run(&mut net);
+    let defector = out.trust[&a(6)];
+    for i in 0..6u64 {
+        assert!(out.trust[&a(i)] >= defector, "honest peer {i} must not trail");
+    }
+}
+
+#[test]
+fn pgrid_registry_neutralizes_dishonest_qos_reports() {
+    let peers: Vec<AgentId> = (200..208).map(AgentId::new).collect();
+    let mut reg = PGridQosRegistry::new(&peers);
+    let fast = ServiceId::new(1);
+    let slow = ServiceId::new(2);
+    // Trusted probes establish ground truth.
+    reg.submit_trusted_probe(fast, QosVector::from_pairs([(Metric::ResponseTime, 50.0)]));
+    reg.submit_trusted_probe(slow, QosVector::from_pairs([(Metric::ResponseTime, 500.0)]));
+    // Honest reports.
+    for r in 0..6u64 {
+        reg.submit_report(
+            &Feedback::scored(a(r), fast, 0.9, Time::ZERO)
+                .with_observed(QosVector::from_pairs([(Metric::ResponseTime, 52.0)])),
+        );
+        reg.submit_report(
+            &Feedback::scored(a(r), slow, 0.2, Time::ZERO)
+                .with_observed(QosVector::from_pairs([(Metric::ResponseTime, 490.0)])),
+        );
+    }
+    // A liar praises the slow service with fabricated measurements.
+    for _ in 0..6 {
+        reg.submit_report(
+            &Feedback::scored(a(99), slow, 1.0, Time::ZERO)
+                .with_observed(QosVector::from_pairs([(Metric::ResponseTime, 10.0)])),
+        );
+    }
+    let prefs = Preferences::uniform([Metric::ResponseTime]);
+    let (fast_est, _) = reg.query(a(0), fast, Some(&prefs));
+    let (slow_est, _) = reg.query(a(0), slow, Some(&prefs));
+    assert!(
+        fast_est.unwrap().value > slow_est.unwrap().value,
+        "trusted-monitor cross-checking must defeat the liar"
+    );
+}
+
+#[test]
+fn eigentrust_recovers_after_partition_heals() {
+    // Fail half the peers, run, recover them, run again: the healed run
+    // must rank everyone sensibly and conserve trust mass.
+    let mut rows: BTreeMap<AgentId, BTreeMap<AgentId, f64>> = BTreeMap::new();
+    for i in 0..8u64 {
+        let mut row = BTreeMap::new();
+        for j in 0..8u64 {
+            if i != j {
+                row.insert(a(j), 1.0 / 7.0);
+            }
+        }
+        rows.insert(a(i), row);
+    }
+    let protocol = DistributedEigenTrust::new(rows, vec![a(0)], 0.15);
+    let mut net = SimNetwork::ideal(13);
+    for p in protocol.peers() {
+        net.add_node(p);
+    }
+    for i in 4..8u64 {
+        net.fail(a(i));
+    }
+    let partitioned = protocol.run(&mut net);
+    assert_eq!(partitioned.trust.len(), 4, "only the live half is scored");
+    let total: f64 = partitioned.trust.values().sum();
+    assert!((total - 1.0).abs() < 1e-6);
+
+    for i in 4..8u64 {
+        net.recover(a(i));
+    }
+    let healed = protocol.run(&mut net);
+    assert_eq!(healed.trust.len(), 8);
+    let total: f64 = healed.trust.values().sum();
+    assert!((total - 1.0).abs() < 1e-6);
+    // Symmetric graph: apart from the pre-trusted anchor (which keeps its
+    // alpha mass), everyone ends up roughly equal after healing.
+    let others: Vec<f64> = healed
+        .trust
+        .iter()
+        .filter(|(&p, _)| p != a(0))
+        .map(|(_, &v)| v)
+        .collect();
+    let max = others.iter().cloned().fold(f64::MIN, f64::max);
+    let min = others.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(max - min < 0.05, "max {max} min {min}");
+    assert!(healed.trust[&a(0)] >= max, "the anchor keeps its pre-trust mass");
+}
+
+#[test]
+fn pgrid_query_fails_cleanly_when_responsible_registry_is_gone() {
+    // The survey's criticism of centralization cuts both ways: a P-Grid
+    // registry peer owns a key range, and while it is down those services
+    // are unreachable — but only those.
+    let peers: Vec<AgentId> = (300..308).map(AgentId::new).collect();
+    let mut reg = PGridQosRegistry::new(&peers);
+    for svc in 0..12u64 {
+        reg.submit_report(
+            &Feedback::scored(a(1), ServiceId::new(svc), 0.8, Time::ZERO)
+                .with_observed(QosVector::from_pairs([(Metric::ResponseTime, 100.0)])),
+        );
+    }
+    // Every service resolves to exactly one responsible registry.
+    for svc in 0..12u64 {
+        let owner = reg.responsible(ServiceId::new(svc)).unwrap();
+        assert!(peers.contains(&owner));
+        let (est, hops) = reg.query(a(9), ServiceId::new(svc), None);
+        assert!(est.is_some());
+        assert!(hops >= 1);
+    }
+}
+
+#[test]
+fn xrep_polling_matches_local_tables() {
+    use wsrep::core::mechanisms::damiani::DamianiMechanism;
+    let mut tables = DamianiMechanism::new();
+    let subject = ServiceId::new(5);
+    let mut graph = NeighborGraph::new();
+    for i in 1..=6u64 {
+        graph.add_edge(a(0), a(i));
+        tables.submit(&Feedback::scored(
+            a(i),
+            subject,
+            if i <= 4 { 0.9 } else { 0.1 },
+            Time::ZERO,
+        ));
+    }
+    let out = network_poll(&graph, &tables, a(0), subject.into(), 2);
+    assert_eq!(out.votes.len(), 6);
+    let est = out.estimate.unwrap();
+    assert!((est.value.get() - 4.0 / 6.0).abs() < 1e-9);
+    // The same answer the mechanism computes centrally.
+    let central = tables.global(subject.into()).unwrap();
+    assert!((central.value.get() - est.value.get()).abs() < 1e-9);
+}

@@ -1,0 +1,140 @@
+//! Property tests over the entire mechanism collection: invariants every
+//! Figure 4 implementation must hold regardless of the feedback sequence.
+
+use proptest::prelude::*;
+use wsrep::core::feedback::Feedback;
+use wsrep::core::id::{AgentId, ServiceId, SubjectId};
+use wsrep::core::mechanisms::all_figure4_mechanisms;
+use wsrep::core::time::Time;
+use wsrep::qos::metric::Metric;
+use wsrep::qos::value::QosVector;
+
+/// A random but well-formed feedback stream: small rater/subject spaces so
+/// mechanisms see repeat interactions, timestamps non-decreasing.
+fn feedback_stream() -> impl Strategy<Value = Vec<Feedback>> {
+    proptest::collection::vec(
+        (0u64..6, 0u64..4, 0.0f64..=1.0, 0.0f64..=1.0, 10.0f64..500.0),
+        1..40,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (rater, subject, score, facet, rt))| {
+                Feedback::scored(
+                    AgentId::new(rater),
+                    ServiceId::new(subject),
+                    score,
+                    Time::new(i as u64 / 4),
+                )
+                .with_facet(Metric::Accuracy, facet)
+                .with_observed(QosVector::from_pairs([(Metric::ResponseTime, rt)]))
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every estimate any mechanism ever returns is a valid trust value
+    /// with a valid confidence, for both query styles.
+    #[test]
+    fn estimates_are_always_well_formed(stream in feedback_stream()) {
+        for mut m in all_figure4_mechanisms() {
+            let key = m.info().key;
+            for fb in &stream {
+                m.submit(fb);
+            }
+            m.refresh(Time::new(12));
+            for subject in 0u64..4 {
+                let s: SubjectId = ServiceId::new(subject).into();
+                for e in [m.global(s), m.personalized(AgentId::new(0), s)].into_iter().flatten() {
+                    prop_assert!(
+                        (0.0..=1.0).contains(&e.value.get()),
+                        "{key}: value {} out of range", e.value.get()
+                    );
+                    prop_assert!(
+                        (0.0..=1.0).contains(&e.confidence),
+                        "{key}: confidence {} out of range", e.confidence
+                    );
+                }
+            }
+        }
+    }
+
+    /// Feedback accounting is exact.
+    #[test]
+    fn feedback_count_matches_submissions(stream in feedback_stream()) {
+        for mut m in all_figure4_mechanisms() {
+            for fb in &stream {
+                m.submit(fb);
+            }
+            prop_assert_eq!(m.feedback_count(), stream.len(), "{}", m.info().key);
+        }
+    }
+
+    /// Mechanisms are deterministic: the same stream gives the same answers.
+    #[test]
+    fn mechanisms_are_deterministic(stream in feedback_stream()) {
+        let run = || {
+            all_figure4_mechanisms()
+                .into_iter()
+                .map(|mut m| {
+                    for fb in &stream {
+                        m.submit(fb);
+                    }
+                    m.refresh(Time::new(12));
+                    (0u64..4)
+                        .map(|s| {
+                            m.global(ServiceId::new(s).into())
+                                .map(|e| (e.value.get(), e.confidence))
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// The core semantic invariant: a unanimously praised subject never
+    /// ranks *below* a unanimously condemned one. (Several mechanisms —
+    /// EigenTrust with its `max(s, 0)` rule, the beta prior — cannot
+    /// express absolute distrust, but all must get the relative order
+    /// right. Pure-topology systems (PageRank, NodeRanking) are exempt:
+    /// they rank importance, and an interaction is a tie whatever its
+    /// score — a documented property of those systems, not a bug.)
+    #[test]
+    fn praise_never_ranks_below_condemnation(n in 4usize..20) {
+        let praised: SubjectId = ServiceId::new(1).into();
+        let condemned: SubjectId = ServiceId::new(2).into();
+        for mut m in all_figure4_mechanisms() {
+            let key = m.info().key;
+            if matches!(key, "pagerank" | "social") {
+                continue;
+            }
+            for i in 0..n {
+                m.submit(&Feedback::scored(
+                    AgentId::new(i as u64),
+                    ServiceId::new(1),
+                    0.95,
+                    Time::new(i as u64),
+                ).with_facet(Metric::Accuracy, 0.95));
+                m.submit(&Feedback::scored(
+                    AgentId::new(i as u64),
+                    ServiceId::new(2),
+                    0.05,
+                    Time::new(i as u64),
+                ).with_facet(Metric::Accuracy, 0.05));
+            }
+            m.refresh(Time::new(n as u64));
+            if let (Some(hi), Some(lo)) = (m.global(praised), m.global(condemned)) {
+                prop_assert!(
+                    hi.value.get() >= lo.value.get() - 1e-9,
+                    "{key}: praised {} < condemned {}",
+                    hi.value.get(),
+                    lo.value.get()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Integration: attacker populations from the simulator against the
+//! defenses, end to end.
+
+use wsrep::core::id::{AgentId, ServiceId};
+use wsrep::core::store::FeedbackStore;
+use wsrep::robust::cluster::ClusterFiltering;
+use wsrep::robust::defense::{NoDefense, UnfairRatingDefense};
+use wsrep::robust::majority::witnesses_needed;
+use wsrep::robust::zhang_cohen::ZhangCohen;
+use wsrep::sim::world::{DishonestKind, World, WorldConfig};
+
+/// Generate a world with attackers and collect `rounds` of random-pick
+/// feedback into a store; returns (world, store, an honest observer).
+fn attacked_market(
+    kind: DishonestKind,
+    fraction: f64,
+    seed: u64,
+) -> (World, FeedbackStore, AgentId) {
+    let mut cfg = WorldConfig::small(seed);
+    cfg.preference_heterogeneity = 0.0;
+    cfg.dishonest_fraction = fraction;
+    cfg.dishonest_behavior = kind;
+    let mut world = World::generate(cfg);
+    let mut store = FeedbackStore::new();
+    let services: Vec<ServiceId> = world.services().map(|s| s.id).collect();
+    for _ in 0..15 {
+        for idx in 0..world.consumers.len() {
+            let pick = services[rand::Rng::gen_range(world.rng(), 0..services.len())];
+            if let Some((_, fb)) = world.invoke_and_report(idx, pick) {
+                store.push(fb);
+            }
+        }
+        world.step();
+    }
+    let observer = world
+        .consumers
+        .iter()
+        .find(|c| c.is_honest())
+        .map(|c| c.id)
+        .expect("honest consumer exists");
+    (world, store, observer)
+}
+
+/// True utility rank position (0 = best) of the service a defense would
+/// pick, judging all services by the defended estimates.
+fn rank_of_pick(world: &World, store: &FeedbackStore, observer: AgentId, defense: &dyn UnfairRatingDefense) -> usize {
+    let prefs = wsrep::qos::preference::Preferences::uniform(world.metrics().to_vec());
+    let mut by_truth: Vec<ServiceId> = world.services().map(|s| s.id).collect();
+    by_truth.sort_by(|&x, &y| {
+        let ux = prefs.utility_raw(&world.service(x).unwrap().quality.means(), world.bounds());
+        let uy = prefs.utility_raw(&world.service(y).unwrap().quality.means(), world.bounds());
+        uy.partial_cmp(&ux).unwrap()
+    });
+    let pick = by_truth
+        .iter()
+        .copied()
+        .max_by(|&x, &y| {
+            let ex = defense
+                .estimate(store, observer, x.into())
+                .map(|e| e.value.get())
+                .unwrap_or(0.0);
+            let ey = defense
+                .estimate(store, observer, y.into())
+                .map(|e| e.value.get())
+                .unwrap_or(0.0);
+            ex.partial_cmp(&ey).unwrap()
+        })
+        .expect("services exist");
+    by_truth.iter().position(|&s| s == pick).unwrap()
+}
+
+#[test]
+fn collusion_fools_the_mean_but_not_the_defenses() {
+    let mut undefended_bad = 0usize;
+    let mut defended_bad = 0usize;
+    for seed in [5u64, 23, 47] {
+        let (world, store, observer) = attacked_market(DishonestKind::ColludeWorst, 0.45, seed);
+        let n = world.services().count();
+        if rank_of_pick(&world, &store, observer, &NoDefense) > n / 2 {
+            undefended_bad += 1;
+        }
+        if rank_of_pick(&world, &store, observer, &ZhangCohen::default()) > n / 2 {
+            defended_bad += 1;
+        }
+    }
+    assert!(
+        defended_bad <= undefended_bad,
+        "Zhang-Cohen must not pick bottom-half services more often than the mean"
+    );
+}
+
+#[test]
+fn cluster_filtering_handles_ballot_stuffing_end_to_end() {
+    let (world, store, observer) = attacked_market(DishonestKind::BallotStuffWorst, 0.35, 11);
+    let n = world.services().count();
+    let rank = rank_of_pick(&world, &store, observer, &ClusterFiltering::default());
+    assert!(rank < n / 2, "cluster filtering picked rank {rank} of {n}");
+}
+
+#[test]
+fn no_attack_means_all_defenses_pick_well() {
+    let (world, store, observer) = attacked_market(DishonestKind::Random, 0.0, 31);
+    let n = world.services().count();
+    for defense in wsrep::robust::defense::all_defenses() {
+        let rank = rank_of_pick(&world, &store, observer, defense.as_ref());
+        // The majority opinion is boolean by construction: it separates
+        // good from bad but cannot rank within the good class, so it only
+        // guarantees a top-half pick.
+        let bound = if defense.name() == "majority" { n / 2 } else { n / 3 };
+        assert!(
+            rank < bound,
+            "{} picked rank {rank} of {n} in a clean market",
+            defense.name()
+        );
+    }
+}
+
+#[test]
+fn sen_sajja_witness_bound_matches_simulation() {
+    // The analytic bound says: with 30% liars, n witnesses give ≥95%
+    // correct majority. Simulate and check the empirical rate clears 90%.
+    let liar_fraction = 0.3;
+    let n = witnesses_needed(liar_fraction, 0.95, 1001).expect("feasible");
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(77);
+    let trials = 2000;
+    let mut correct = 0;
+    for _ in 0..trials {
+        let honest_votes = (0..n)
+            .filter(|_| rand::Rng::gen::<f64>(&mut rng) >= liar_fraction)
+            .count();
+        if honest_votes * 2 > n {
+            correct += 1;
+        }
+    }
+    let rate = correct as f64 / trials as f64;
+    assert!(rate > 0.9, "empirical {rate} with n={n}");
+}
