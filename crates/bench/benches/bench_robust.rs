@@ -31,9 +31,7 @@ fn bench_defenses(c: &mut Criterion) {
         for defense in all_defenses() {
             let name = format!("{}_{n}", defense.name());
             group.bench_with_input(BenchmarkId::from_parameter(name), &st, |b, st| {
-                b.iter(|| {
-                    defense.estimate(st, AgentId::new(0), ServiceId::new(7).into())
-                });
+                b.iter(|| defense.estimate(st, AgentId::new(0), ServiceId::new(7).into()));
             });
         }
     }

@@ -78,17 +78,17 @@ fn main() {
     for (label, decay) in [
         ("none (uniform mean)", DecayModel::None),
         ("window 20", DecayModel::Window { window: 20 }),
-        ("exponential hl=10", DecayModel::Exponential { half_life: 10 }),
-        ("exponential hl=50", DecayModel::Exponential { half_life: 50 }),
+        (
+            "exponential hl=10",
+            DecayModel::Exponential { half_life: 10 },
+        ),
+        (
+            "exponential hl=50",
+            DecayModel::Exponential { half_life: 50 },
+        ),
     ] {
-        let e_osc = (0..5)
-            .map(|s| tracking_error(osc, decay, s))
-            .sum::<f64>()
-            / 5.0;
-        let e_deg = (0..5)
-            .map(|s| tracking_error(deg, decay, s))
-            .sum::<f64>()
-            / 5.0;
+        let e_osc = (0..5).map(|s| tracking_error(osc, decay, s)).sum::<f64>() / 5.0;
+        let e_deg = (0..5).map(|s| tracking_error(deg, decay, s)).sum::<f64>() / 5.0;
         t.row([label.to_string(), f3(e_osc), f3(e_deg)]);
     }
     print!("{}", t.render());
@@ -104,8 +104,7 @@ fn main() {
             cfg.preference_heterogeneity = 0.0;
             cfg.dynamic_fraction = 1.0;
             let world = World::generate(cfg);
-            let mut strat =
-                ReputationSelect::new(Box::new(BetaMechanism::with_forgetting(lambda)));
+            let mut strat = ReputationSelect::new(Box::new(BetaMechanism::with_forgetting(lambda)));
             let report = Market::new(world, MarketConfig::new(80, seed)).run(&mut strat);
             u += report.settled_utility;
             r += report.mean_regret;
@@ -139,8 +138,7 @@ fn main() {
             let mut frozen = DesignTimeSelect::new(ReputationSelect::new(Box::new(
                 BetaMechanism::with_forgetting(0.95),
             )));
-            let d = Market::new(World::generate(cfg), MarketConfig::new(80, seed))
-                .run(&mut frozen);
+            let d = Market::new(World::generate(cfg), MarketConfig::new(80, seed)).run(&mut frozen);
             design_time.0 += d.settled_utility;
             design_time.1 += d.mean_regret;
         }

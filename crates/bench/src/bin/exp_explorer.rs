@@ -136,10 +136,7 @@ fn run(epsilon: f64, explorers: usize, seed: u64) -> (f64, u64, u64) {
                 .map(|s| {
                     (
                         s.id,
-                        strat
-                            .mechanism()
-                            .global(s.id.into())
-                            .map(|e| e.value.get()),
+                        strat.mechanism().global(s.id.into()).map(|e| e.value.get()),
                     )
                 })
                 .collect();
@@ -169,9 +166,8 @@ fn run(epsilon: f64, explorers: usize, seed: u64) -> (f64, u64, u64) {
                     probes += 1;
                     // Explorer agents report honestly: normalized utility
                     // of what they measured, under uniform weights.
-                    let prefs = wsrep_qos::preference::Preferences::uniform(
-                        world.metrics().to_vec(),
-                    );
+                    let prefs =
+                        wsrep_qos::preference::Preferences::uniform(world.metrics().to_vec());
                     let score = prefs.utility_raw(&observed, world.bounds());
                     let recent = probe_means.entry(target).or_default();
                     recent.push(score);
@@ -194,7 +190,11 @@ fn run(epsilon: f64, explorers: usize, seed: u64) -> (f64, u64, u64) {
         strat.refresh(world.now());
     }
     (
-        if tail_n > 0 { tail_utility / tail_n as f64 } else { 0.0 },
+        if tail_n > 0 {
+            tail_utility / tail_n as f64
+        } else {
+            0.0
+        },
         recovered_at,
         probes,
     )
@@ -202,7 +202,11 @@ fn run(epsilon: f64, explorers: usize, seed: u64) -> (f64, u64, u64) {
 
 /// Swap a service's latent quality (test-style backdoor via whitewashing
 /// would change ids; we mutate through the public-ish path instead).
-fn set_quality(world: &mut World, service: wsrep_core::ServiceId, quality: wsrep_qos::profile::QualityProfile) {
+fn set_quality(
+    world: &mut World,
+    service: wsrep_core::ServiceId,
+    quality: wsrep_qos::profile::QualityProfile,
+) {
     world.set_service_quality(service, quality);
 }
 

@@ -44,14 +44,26 @@ fn main() {
 
     // Blind choice.
     let mut random = RandomSelect;
-    let r = Market::new(World::generate(config(SEED)), MarketConfig::new(ROUNDS, SEED))
-        .run(&mut random);
-    t.row(["random (blind)", &f3(r.settled_utility), &f3(r.mean_regret), "0", "-"]);
+    let r = Market::new(
+        World::generate(config(SEED)),
+        MarketConfig::new(ROUNDS, SEED),
+    )
+    .run(&mut random);
+    t.row([
+        "random (blind)",
+        &f3(r.settled_utility),
+        &f3(r.mean_regret),
+        "0",
+        "-",
+    ]);
 
     // Provider-advertised QoS.
     let mut adv = AdvertisedQos;
-    let a = Market::new(World::generate(config(SEED)), MarketConfig::new(ROUNDS, SEED))
-        .run(&mut adv);
+    let a = Market::new(
+        World::generate(config(SEED)),
+        MarketConfig::new(ROUNDS, SEED),
+    )
+    .run(&mut adv);
     t.row([
         "advertised QoS",
         &f3(a.settled_utility),
@@ -62,8 +74,11 @@ fn main() {
 
     // SLA-backed.
     let mut sla = SlaSelect::new();
-    let s = Market::new(World::generate(config(SEED)), MarketConfig::new(ROUNDS, SEED))
-        .run_sla(&mut sla);
+    let s = Market::new(
+        World::generate(config(SEED)),
+        MarketConfig::new(ROUNDS, SEED),
+    )
+    .run_sla(&mut sla);
     t.row([
         "SLA (blacklist on violations)",
         &f3(s.settled_utility),
@@ -84,8 +99,11 @@ fn main() {
 
     // Consumer feedback → beta reputation.
     let mut beta = ReputationSelect::new(Box::new(BetaMechanism::new()));
-    let b = Market::new(World::generate(config(SEED)), MarketConfig::new(ROUNDS, SEED))
-        .run(&mut beta);
+    let b = Market::new(
+        World::generate(config(SEED)),
+        MarketConfig::new(ROUNDS, SEED),
+    )
+    .run(&mut beta);
     t.row([
         "consumer feedback (beta reputation)",
         &f3(b.settled_utility),
@@ -96,8 +114,11 @@ fn main() {
 
     // Consumer feedback → LNZ QoS registry.
     let mut lnz = ReputationSelect::new(Box::new(LnzMechanism::new()));
-    let l = Market::new(World::generate(config(SEED)), MarketConfig::new(ROUNDS, SEED))
-        .run(&mut lnz);
+    let l = Market::new(
+        World::generate(config(SEED)),
+        MarketConfig::new(ROUNDS, SEED),
+    )
+    .run(&mut lnz);
     t.row([
         "consumer feedback (LNZ QoS registry)",
         &f3(l.settled_utility),

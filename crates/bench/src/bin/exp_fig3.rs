@@ -84,8 +84,14 @@ fn main() {
             // Scalar: every consumer sees the same single trust number.
             let scalar_pick = (0..svcs.len())
                 .max_by(|&a, &b| {
-                    let sa = trackers[a].scalar(now).map(|e| e.value.get()).unwrap_or(0.0);
-                    let sb = trackers[b].scalar(now).map(|e| e.value.get()).unwrap_or(0.0);
+                    let sa = trackers[a]
+                        .scalar(now)
+                        .map(|e| e.value.get())
+                        .unwrap_or(0.0);
+                    let sb = trackers[b]
+                        .scalar(now)
+                        .map(|e| e.value.get())
+                        .unwrap_or(0.0);
                     sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal)
                 })
                 .unwrap();

@@ -60,8 +60,7 @@ fn main() {
     let rows: BTreeMap<AgentId, BTreeMap<AgentId, f64>> = rows
         .into_iter()
         .map(|(i, row)| {
-            let pos: BTreeMap<AgentId, f64> =
-                row.into_iter().filter(|&(_, v)| v > 0.0).collect();
+            let pos: BTreeMap<AgentId, f64> = row.into_iter().filter(|&(_, v)| v > 0.0).collect();
             let total: f64 = pos.values().sum();
             (
                 i,
@@ -113,7 +112,10 @@ fn main() {
         "settled utility (with outage)",
         "degradation",
     ]);
-    for (label, decentralized) in [("rep:beta (centralized)", false), ("rep:peertrust (decentralized)", true)] {
+    for (label, decentralized) in [
+        ("rep:beta (centralized)", false),
+        ("rep:peertrust (decentralized)", true),
+    ] {
         let build = || -> Box<dyn wsrep_core::ReputationMechanism> {
             if decentralized {
                 Box::new(PeerTrustMechanism::new())
@@ -152,7 +154,12 @@ fn main() {
 
     // ---------------------------------------------------------------
     section("structured-overlay routing cost vs network size");
-    let mut t = Table::new(["peers", "Chord mean hops", "P-Grid mean hops", "P-Grid depth"]);
+    let mut t = Table::new([
+        "peers",
+        "Chord mean hops",
+        "P-Grid mean hops",
+        "P-Grid depth",
+    ]);
     for n in [16u64, 64, 256] {
         let ring = ChordRing::new((0..n).map(AgentId::new));
         let peers: Vec<AgentId> = (0..n).map(AgentId::new).collect();

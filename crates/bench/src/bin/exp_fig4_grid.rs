@@ -61,8 +61,7 @@ fn main() {
                 Box::new(ReputationSelect::new(mechanism)) as _,
             )
         });
-        let utility =
-            reports.iter().map(|r| r.settled_utility).sum::<f64>() / seeds.len() as f64;
+        let utility = reports.iter().map(|r| r.settled_utility).sum::<f64>() / seeds.len() as f64;
         t.row([
             info.display.to_string(),
             info.centralization.to_string(),

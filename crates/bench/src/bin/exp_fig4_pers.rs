@@ -59,22 +59,8 @@ fn main() {
             seeds.iter().map(|&s| f(s)).sum::<f64>() / seeds.len() as f64
         };
         let global = avg(&|s| run(h, Box::new(BetaMechanism::new()), false, s));
-        let pearson = avg(&|s| {
-            run(
-                h,
-                Box::new(CfMechanism::new(Similarity::Pearson)),
-                false,
-                s,
-            )
-        });
-        let cosine = avg(&|s| {
-            run(
-                h,
-                Box::new(CfMechanism::new(Similarity::Cosine)),
-                false,
-                s,
-            )
-        });
+        let pearson = avg(&|s| run(h, Box::new(CfMechanism::new(Similarity::Pearson)), false, s));
+        let cosine = avg(&|s| run(h, Box::new(CfMechanism::new(Similarity::Cosine)), false, s));
         let lnz = avg(&|s| run(h, Box::new(BetaMechanism::new()), true, s));
         let best = [
             ("global", global),

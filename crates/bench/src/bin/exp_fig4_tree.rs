@@ -46,7 +46,14 @@ fn main() {
     print!("{}", render_figure4(&published));
 
     section("flat classification");
-    let mut t = Table::new(["system", "refs", "centralization", "subject", "scope", "web services?"]);
+    let mut t = Table::new([
+        "system",
+        "refs",
+        "centralization",
+        "subject",
+        "scope",
+        "web services?",
+    ]);
     for e in &published {
         t.row([
             e.display,
@@ -54,7 +61,11 @@ fn main() {
             &e.centralization.to_string(),
             &e.subject.to_string(),
             &e.scope.to_string(),
-            if e.proposed_for_web_services { "yes" } else { "" },
+            if e.proposed_for_web_services {
+                "yes"
+            } else {
+                ""
+            },
         ]);
     }
     print!("{}", t.render());
@@ -72,5 +83,8 @@ fn main() {
          (centralized, resource, personalized)."
     );
     assert_eq!(mismatches, 0, "implementations must match the paper");
-    assert!(missing.is_empty(), "every Figure 4 system must be implemented");
+    assert!(
+        missing.is_empty(),
+        "every Figure 4 system must be implemented"
+    );
 }

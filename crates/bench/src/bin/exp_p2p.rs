@@ -39,10 +39,8 @@ fn main() {
     for fb in store.iter() {
         central.submit(fb);
     }
-    let central_ok = ranks_best_over_worst(&world, |s| {
-        central.global(s.into()).map(|e| e.value.get())
-    })
-    .unwrap();
+    let central_ok =
+        ranks_best_over_worst(&world, |s| central.global(s.into()).map(|e| e.value.get())).unwrap();
 
     let registry_peers: Vec<AgentId> = (500..516).map(AgentId::new).collect();
     let mut pgrid = PGridQosRegistry::new(&registry_peers);

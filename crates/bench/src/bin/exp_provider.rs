@@ -33,7 +33,10 @@ fn main() {
     let seeds: Vec<u64> = (0..20).collect();
     let mut results: Vec<(String, f64, f64)> = Vec::new();
 
-    for (label, enabled) in [("provider bootstrap ON", true), ("provider bootstrap OFF", false)] {
+    for (label, enabled) in [
+        ("provider bootstrap ON", true),
+        ("provider bootstrap OFF", false),
+    ] {
         let mut utility_sum = 0.0;
         let mut hits = 0usize;
         for &seed in &seeds {
@@ -61,8 +64,7 @@ fn main() {
             // 30 rounds of feedback on established services only.
             for _ in 0..30 {
                 for idx in 0..world.consumers.len() {
-                    let pick = established
-                        [rand::Rng::gen_range(world.rng(), 0..established.len())];
+                    let pick = established[rand::Rng::gen_range(world.rng(), 0..established.len())];
                     if let Some((_, fb)) = world.invoke_and_report(idx, pick) {
                         mech.submit(&fb);
                     }
@@ -80,12 +82,8 @@ fn main() {
                 })
                 .expect("held-out services exist");
             let prefs = Preferences::uniform(world.metrics().to_vec());
-            let utility = |s| {
-                prefs.utility_raw(
-                    &world.service(s).unwrap().quality.means(),
-                    world.bounds(),
-                )
-            };
+            let utility =
+                |s| prefs.utility_raw(&world.service(s).unwrap().quality.means(), world.bounds());
             let best_new = held_out
                 .iter()
                 .copied()
@@ -112,14 +110,13 @@ fn main() {
         let mut cfg = base_config(seed);
         cfg.preference_heterogeneity = 0.0;
         let mut world = World::generate(cfg);
-        let held_out: Vec<_> = world
-            .providers
-            .values()
-            .map(|p| p.services[1])
-            .collect();
+        let held_out: Vec<_> = world.providers.values().map(|p| p.services[1]).collect();
         let prefs = Preferences::uniform(world.metrics().to_vec());
         let pick = held_out[world.rng().gen_range(0..held_out.len())];
-        rand_sum += prefs.utility_raw(&world.service(pick).unwrap().quality.means(), world.bounds());
+        rand_sum += prefs.utility_raw(
+            &world.service(pick).unwrap().quality.means(),
+            world.bounds(),
+        );
     }
     t.row([
         "random new service".to_string(),

@@ -55,11 +55,7 @@ fn main() {
              (honest raters file ~480 reports; mean of {} seeds)",
             seeds.len()
         ));
-        let mut t = Table::new([
-            "defense",
-            "best>worst kept",
-            "promoted svc rank (1=best)",
-        ]);
+        let mut t = Table::new(["defense", "best>worst kept", "promoted svc rank (1=best)"]);
         for defense in all_defenses() {
             let mut kept = 0usize;
             let mut rank_sum = 0usize;
@@ -176,7 +172,11 @@ fn main() {
                         );
                     }
                     if guarded {
-                        for s in world.services().map(|s| (s.id, s.quality.clone())).collect::<Vec<_>>() {
+                        for s in world
+                            .services()
+                            .map(|s| (s.id, s.quality.clone()))
+                            .collect::<Vec<_>>()
+                        {
                             for _ in 0..3 {
                                 let probe = s.1.sample(world.rng());
                                 vu.submit_trusted(s.0, probe);
@@ -188,11 +188,14 @@ fn main() {
                         .map(|svc| {
                             (
                                 svc.id,
-                                vu.global(svc.id.into()).map(|e| e.value.get()).unwrap_or(0.0),
+                                vu.global(svc.id.into())
+                                    .map(|e| e.value.get())
+                                    .unwrap_or(0.0),
                             )
                         })
                         .collect();
-                    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                    scored
+                        .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
                     scored.iter().position(|&(svc, _)| svc == promoted).unwrap() + 1
                 };
                 rank_plain += build(false);

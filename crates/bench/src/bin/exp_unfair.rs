@@ -50,9 +50,18 @@ fn main() {
     println!("# E5 — unfair-rating defenses (cluster filtering, majority, Zhang-Cohen)");
 
     for (attack, label) in [
-        (DishonestKind::BallotStuffWorst, "ballot-stuff the worst provider (push it toward rank 1)"),
-        (DishonestKind::BadmouthBest, "badmouth the best provider (push it toward rank N)"),
-        (DishonestKind::ColludeWorst, "collusion ring around the worst provider"),
+        (
+            DishonestKind::BallotStuffWorst,
+            "ballot-stuff the worst provider (push it toward rank 1)",
+        ),
+        (
+            DishonestKind::BadmouthBest,
+            "badmouth the best provider (push it toward rank N)",
+        ),
+        (
+            DishonestKind::ColludeWorst,
+            "collusion ring around the worst provider",
+        ),
     ] {
         section(&format!("attack: {label}"));
         let mut t = Table::new([
@@ -119,8 +128,7 @@ fn main() {
                         err_sum += e;
                         err_n += 1;
                     }
-                    rank_sum +=
-                        attacked_rank(&world, &store, observer, defense.as_ref(), attacked);
+                    rank_sum += attacked_rank(&world, &store, observer, defense.as_ref(), attacked);
                 }
                 let err_cell = if defense.name() == "majority" {
                     "n/a (boolean)".to_string()
@@ -189,11 +197,9 @@ fn main() {
                         .services()
                         .map(|svc| (svc.id, est(svc.id).unwrap_or(0.0)))
                         .collect();
-                    scored.sort_by(|a, b| {
-                        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
-                    });
-                    rank_sum +=
-                        scored.iter().position(|&(svc, _)| svc == attacked).unwrap() + 1;
+                    scored
+                        .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                    rank_sum += scored.iter().position(|&(svc, _)| svc == attacked).unwrap() + 1;
                 }
                 t.row([
                     pct(frac),

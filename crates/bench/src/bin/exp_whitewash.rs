@@ -121,9 +121,21 @@ fn run(mut strategy: Box<dyn SelectionStrategy>, spread: f64, seed: u64) -> (f64
         strategy.refresh(world.now());
     }
     (
-        if tail_n > 0 { tail_utility / tail_n as f64 } else { 0.0 },
-        if selections > 0 { on_washer as f64 / selections as f64 } else { 0.0 },
-        if selections > 0 { on_newcomer as f64 / selections as f64 } else { 0.0 },
+        if tail_n > 0 {
+            tail_utility / tail_n as f64
+        } else {
+            0.0
+        },
+        if selections > 0 {
+            on_washer as f64 / selections as f64
+        } else {
+            0.0
+        },
+        if selections > 0 {
+            on_newcomer as f64 / selections as f64
+        } else {
+            0.0
+        },
     )
 }
 
@@ -136,7 +148,6 @@ fn provider_quality(world: &World, p: ProviderId, prefs: &Preferences) -> f64 {
         .sum::<f64>()
         / services.len().max(1) as f64
 }
-
 
 /// Reputation laundering, measured directly: train a mechanism on 25
 /// rounds of feedback, then whitewash every washer service and compare
@@ -228,8 +239,7 @@ fn main() {
             "beta, skeptical prior (0.3)",
             Box::new(|| {
                 Box::new(
-                    ReputationSelect::new(Box::new(BetaMechanism::new()))
-                        .with_default_trust(0.3),
+                    ReputationSelect::new(Box::new(BetaMechanism::new())).with_default_trust(0.3),
                 ) as Box<dyn SelectionStrategy>
             }),
         ),
@@ -244,8 +254,14 @@ fn main() {
     let seeds: Vec<u64> = (1..=10).collect();
 
     for (spread, label) in [
-        (1.0, "diverse market (quality spread 1.0) — a dominant incumbent exists"),
-        (0.25, "near-substitute market (quality spread 0.25) — the whitewasher's habitat"),
+        (
+            1.0,
+            "diverse market (quality spread 1.0) — a dominant incumbent exists",
+        ),
+        (
+            0.25,
+            "near-substitute market (quality spread 0.25) — the whitewasher's habitat",
+        ),
     ] {
         section(&format!(
             "{label}; bottom-third providers whitewash every {WHITEWASH_EVERY} rounds \

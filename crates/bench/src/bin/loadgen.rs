@@ -1,0 +1,217 @@
+//! loadgen — a multi-threaded load driver for the served registry.
+//!
+//! Spawns M ingest threads force-feeding the bounded pipeline and K query
+//! threads hammering `score` / `top_k` at the same time, then reports
+//! throughput (ops/sec per side) and query latency percentiles (p50 /
+//! p99). The workload is fully determined by the seed and thread counts,
+//! so two runs on the same machine are comparable.
+//!
+//! ```text
+//! loadgen [ingest_threads] [query_threads] [reports_per_ingester] \
+//!         [queries_per_querier] [shards] [seed]
+//! ```
+//!
+//! Defaults: 4 ingesters, 4 queriers, 50 000 reports and 50 000 queries
+//! per thread, 8 shards, seed 42. The last stdout line is a JSON object
+//! (see BENCH_serve.json at the repo root for a checked-in baseline).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Instant;
+use wsrep_core::feedback::Feedback;
+use wsrep_core::id::{AgentId, ProviderId, ServiceId, SubjectId};
+use wsrep_core::time::Time;
+use wsrep_qos::metric::Metric;
+use wsrep_qos::preference::Preferences;
+use wsrep_qos::value::QosVector;
+use wsrep_serve::ReputationService;
+use wsrep_sim::registry::Listing;
+
+const SERVICES: u64 = 64;
+const CATEGORIES: u32 = 4;
+/// One in this many queries is a `top_k` instead of a `score`.
+const TOPK_EVERY: u64 = 100;
+
+struct Config {
+    ingest_threads: u64,
+    query_threads: u64,
+    reports_per_ingester: u64,
+    queries_per_querier: u64,
+    shards: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Config {
+    let args: Vec<u64> = std::env::args()
+        .skip(1)
+        .map(|a| {
+            a.parse()
+                .unwrap_or_else(|_| panic!("expected a number, got {a:?}"))
+        })
+        .collect();
+    let get = |i: usize, default: u64| args.get(i).copied().unwrap_or(default);
+    Config {
+        ingest_threads: get(0, 4),
+        query_threads: get(1, 4),
+        reports_per_ingester: get(2, 50_000),
+        queries_per_querier: get(3, 50_000),
+        shards: get(4, 8) as usize,
+        seed: get(5, 42),
+    }
+}
+
+fn percentile(sorted_nanos: &[u64], p: f64) -> u64 {
+    if sorted_nanos.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_nanos.len() - 1) as f64 * p).round() as usize;
+    sorted_nanos[rank]
+}
+
+fn main() {
+    let config = parse_args();
+    assert!(config.ingest_threads >= 1 && config.query_threads >= 1);
+
+    let service = Arc::new(
+        ReputationService::builder()
+            .shards(config.shards)
+            .channel_capacity(4096)
+            .batch_size(128)
+            .build(),
+    );
+    let mut seeder = StdRng::seed_from_u64(config.seed);
+    for s in 0..SERVICES {
+        service.publish(Listing {
+            service: ServiceId::new(s),
+            provider: ProviderId::new(s / 4),
+            category: (s % CATEGORIES as u64) as u32,
+            advertised: QosVector::from_pairs([
+                (Metric::Price, seeder.gen_range(1.0..10.0)),
+                (Metric::ResponseTime, seeder.gen_range(20.0..500.0)),
+                (Metric::Accuracy, seeder.gen_range(0.3..1.0)),
+            ]),
+        });
+    }
+    let prefs = Preferences::uniform([Metric::Price, Metric::ResponseTime, Metric::Accuracy]);
+
+    let started = Instant::now();
+    let mut query_latencies: Vec<u64> = Vec::new();
+    let mut ingest_elapsed = 0.0f64;
+    let mut query_elapsed = 0.0f64;
+
+    std::thread::scope(|scope| {
+        let mut ingest_handles = Vec::new();
+        for t in 0..config.ingest_threads {
+            let service = Arc::clone(&service);
+            let reports = config.reports_per_ingester;
+            let seed = config.seed.wrapping_add(t + 1);
+            ingest_handles.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let begun = Instant::now();
+                for i in 0..reports {
+                    let subject = rng.gen_range(0..SERVICES);
+                    let score: f64 = rng.gen();
+                    service
+                        .ingest(Feedback::scored(
+                            AgentId::new(t * 1_000 + 1),
+                            ServiceId::new(subject),
+                            score,
+                            Time::new(i),
+                        ))
+                        .expect("pipeline open for the whole run");
+                }
+                begun.elapsed().as_secs_f64()
+            }));
+        }
+
+        let mut query_handles = Vec::new();
+        for q in 0..config.query_threads {
+            let service = Arc::clone(&service);
+            let prefs = prefs.clone();
+            let queries = config.queries_per_querier;
+            let seed = config.seed.wrapping_add(1_000 + q);
+            query_handles.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut latencies = Vec::with_capacity(queries as usize);
+                let begun = Instant::now();
+                for i in 0..queries {
+                    let op_started = Instant::now();
+                    if i % TOPK_EVERY == 0 {
+                        let category = rng.gen_range(0..CATEGORIES);
+                        let top = service.top_k(category, &prefs, 10);
+                        assert!(top.len() <= 10);
+                    } else {
+                        let subject: SubjectId = ServiceId::new(rng.gen_range(0..SERVICES)).into();
+                        if let Some(estimate) = service.score(subject) {
+                            assert!((0.0..=1.0).contains(&estimate.value.get()));
+                        }
+                    }
+                    latencies.push(op_started.elapsed().as_nanos() as u64);
+                }
+                (latencies, begun.elapsed().as_secs_f64())
+            }));
+        }
+
+        for handle in ingest_handles {
+            ingest_elapsed = ingest_elapsed.max(handle.join().expect("ingester panicked"));
+        }
+        for handle in query_handles {
+            let (latencies, elapsed) = handle.join().expect("querier panicked");
+            query_latencies.extend(latencies);
+            query_elapsed = query_elapsed.max(elapsed);
+        }
+    });
+
+    service.flush();
+    let wall = started.elapsed().as_secs_f64();
+    let stats = service.stats();
+    let total_reports = config.ingest_threads * config.reports_per_ingester;
+    let total_queries = config.query_threads * config.queries_per_querier;
+    assert_eq!(
+        stats.feedback, total_reports,
+        "every accepted report must be applied"
+    );
+
+    query_latencies.sort_unstable();
+    let p50 = percentile(&query_latencies, 0.50);
+    let p99 = percentile(&query_latencies, 0.99);
+    let ingest_rate = total_reports as f64 / ingest_elapsed;
+    let query_rate = total_queries as f64 / query_elapsed;
+
+    println!(
+        "loadgen: {}i x {} reports + {}q x {} queries, {} shards, seed {}",
+        config.ingest_threads,
+        config.reports_per_ingester,
+        config.query_threads,
+        config.queries_per_querier,
+        config.shards,
+        config.seed
+    );
+    println!("wall time          {wall:>12.3} s");
+    println!("ingest throughput  {ingest_rate:>12.0} reports/sec");
+    println!("query throughput   {query_rate:>12.0} queries/sec");
+    println!("query p50          {:>12.2} µs", p50 as f64 / 1_000.0);
+    println!("query p99          {:>12.2} µs", p99 as f64 / 1_000.0);
+    println!(
+        "cache              {:>12} hits / {} misses",
+        stats.cache_hits, stats.cache_misses
+    );
+    println!(
+        "{{\"ingest_threads\":{},\"query_threads\":{},\"reports_per_ingester\":{},\"queries_per_querier\":{},\"shards\":{},\"seed\":{},\"wall_seconds\":{:.3},\"ingest_ops_per_sec\":{:.0},\"query_ops_per_sec\":{:.0},\"query_p50_ns\":{},\"query_p99_ns\":{},\"cache_hits\":{},\"cache_misses\":{},\"feedback_applied\":{}}}",
+        config.ingest_threads,
+        config.query_threads,
+        config.reports_per_ingester,
+        config.queries_per_querier,
+        config.shards,
+        config.seed,
+        wall,
+        ingest_rate,
+        query_rate,
+        p50,
+        p99,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.feedback
+    );
+}

@@ -46,10 +46,7 @@ pub fn run_monitored(mut world: World, rounds: u64, probe_cost: f64) -> (f64, f6
             .collect();
         for (sid, quality) in &services {
             let obs = fleet.probe(world.rng(), *sid, quality);
-            measured
-                .entry(*sid)
-                .or_default()
-                .ema_update(&obs, 0.3);
+            measured.entry(*sid).or_default().ema_update(&obs, 0.3);
         }
         // Consumers select on measured means.
         let ids: Vec<ServiceId> = measured.keys().copied().collect();
@@ -105,12 +102,7 @@ where
     let prefs = wsrep_qos::preference::Preferences::uniform(world.metrics().to_vec());
     let mut ranked: Vec<(ServiceId, f64)> = world
         .services()
-        .map(|s| {
-            (
-                s.id,
-                prefs.utility_raw(&s.quality.means(), world.bounds()),
-            )
-        })
+        .map(|s| (s.id, prefs.utility_raw(&s.quality.means(), world.bounds())))
         .collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
     let best = ranked.first()?.0;
@@ -190,10 +182,8 @@ mod tests {
         let store = collect_feedback(&mut world, 10);
         let mut beta = BetaMechanism::new();
         replay(&store, &mut beta);
-        let ok = ranks_best_over_worst(&world, |s| {
-            beta.global(s.into()).map(|e| e.value.get())
-        })
-        .unwrap();
+        let ok = ranks_best_over_worst(&world, |s| beta.global(s.into()).map(|e| e.value.get()))
+            .unwrap();
         assert!(ok);
     }
 
@@ -203,10 +193,7 @@ mod tests {
         let store = collect_feedback(&mut world, 10);
         let mut beta = BetaMechanism::new();
         replay(&store, &mut beta);
-        let err = estimate_error(&world, |s| {
-            beta.global(s.into()).map(|e| e.value.get())
-        })
-        .unwrap();
+        let err = estimate_error(&world, |s| beta.global(s.into()).map(|e| e.value.get())).unwrap();
         assert!((0.0..=1.0).contains(&err));
     }
 

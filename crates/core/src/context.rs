@@ -73,7 +73,13 @@ impl ContextualTrust {
     }
 
     /// Record an in-context experience (`score` in `\[0, 1\]`).
-    pub fn record(&mut self, subject: impl Into<SubjectId>, context: Context, score: f64, at: Time) {
+    pub fn record(
+        &mut self,
+        subject: impl Into<SubjectId>,
+        context: Context,
+        score: f64,
+        at: Time,
+    ) {
         self.series
             .entry((subject.into(), context))
             .or_default()
@@ -226,8 +232,7 @@ mod tests {
 
     #[test]
     fn decay_applies_within_contexts() {
-        let mut ct =
-            ContextualTrust::with_params(DecayModel::Exponential { half_life: 1 }, 0.3);
+        let mut ct = ContextualTrust::with_params(DecayModel::Exponential { half_life: 1 }, 0.3);
         ct.record(john(), DOCTOR, 0.0, Time::new(0));
         ct.record(john(), DOCTOR, 1.0, Time::new(10));
         let est = ct.in_context(john(), DOCTOR, Time::new(10)).unwrap();

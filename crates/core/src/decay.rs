@@ -121,7 +121,9 @@ mod tests {
         let m = d.weighted_mean(samples, Time::new(20)).unwrap();
         assert!(m > 0.95, "m={m}");
         // Without decay the mean would be 0.5.
-        let flat = DecayModel::None.weighted_mean(samples, Time::new(20)).unwrap();
+        let flat = DecayModel::None
+            .weighted_mean(samples, Time::new(20))
+            .unwrap();
         assert!((flat - 0.5).abs() < 1e-12);
     }
 

@@ -48,9 +48,7 @@ impl FacetedTrust {
     /// Trust in one facet at time `now`.
     pub fn facet(&self, metric: Metric, now: Time) -> Option<TrustEstimate> {
         let samples = self.samples.get(&metric)?;
-        let mean = self
-            .decay
-            .weighted_mean(samples.iter().copied(), now)?;
+        let mean = self.decay.weighted_mean(samples.iter().copied(), now)?;
         Some(TrustEstimate::new(
             TrustValue::new(mean),
             evidence_confidence(samples.len(), 3.0),
@@ -66,9 +64,7 @@ impl FacetedTrust {
         let mut conf = 0.0;
         let mut weight_seen = 0.0;
         for (m, w) in prefs.iter() {
-            let est = self
-                .facet(m, now)
-                .unwrap_or_else(TrustEstimate::ignorance);
+            let est = self.facet(m, now).unwrap_or_else(TrustEstimate::ignorance);
             value += w * est.value.get();
             conf += w * est.confidence;
             weight_seen += w;
@@ -83,12 +79,7 @@ impl FacetedTrust {
     /// recorded facets, losing the per-aspect structure. This is the
     /// baseline `exp_fig3` compares against.
     pub fn scalar(&self, now: Time) -> Option<TrustEstimate> {
-        let all: Vec<(f64, Time)> = self
-            .samples
-            .values()
-            .flatten()
-            .copied()
-            .collect();
+        let all: Vec<(f64, Time)> = self.samples.values().flatten().copied().collect();
         if all.is_empty() {
             return None;
         }

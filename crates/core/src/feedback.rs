@@ -46,12 +46,7 @@ impl Feedback {
     /// let fb = Feedback::scored(AgentId::new(1), ServiceId::new(2), 0.8, Time::new(3));
     /// assert!(fb.is_positive(0.5));
     /// ```
-    pub fn scored(
-        rater: AgentId,
-        subject: impl Into<SubjectId>,
-        score: f64,
-        at: Time,
-    ) -> Self {
+    pub fn scored(rater: AgentId, subject: impl Into<SubjectId>, score: f64, at: Time) -> Self {
         Feedback {
             rater,
             subject: subject.into(),

@@ -57,6 +57,37 @@ pub trait ReputationMechanism: fmt::Debug + Send {
     fn feedback_count(&self) -> usize;
 }
 
+/// Replay a feedback log through `mechanism` and answer with the global
+/// estimate for `subject`.
+///
+/// This is the single scoring entry point shared by batch recomputation
+/// (the served registry's cache rebuilds a subject's score from its shard
+/// log through this function) and one-off offline analysis. `refresh` is
+/// driven to the timestamp of the newest replayed report so windowed and
+/// decaying mechanisms observe the same clock they would have seen live.
+pub fn score_from_log<'a, M, I>(
+    mechanism: &mut M,
+    log: I,
+    subject: SubjectId,
+) -> Option<TrustEstimate>
+where
+    M: ReputationMechanism + ?Sized,
+    I: IntoIterator<Item = &'a Feedback>,
+{
+    let mut latest: Option<Time> = None;
+    for feedback in log {
+        mechanism.submit(feedback);
+        latest = Some(match latest {
+            Some(t) if t >= feedback.at => t,
+            _ => feedback.at,
+        });
+    }
+    if let Some(now) = latest {
+        mechanism.refresh(now);
+    }
+    mechanism.global(subject)
+}
+
 /// Convenience: rank `candidates` by a mechanism's estimate for `observer`,
 /// best first. Subjects without evidence rank by the ignorance prior.
 pub fn rank_candidates<M: ReputationMechanism + ?Sized>(
@@ -118,9 +149,9 @@ mod tests {
         }
 
         fn global(&self, subject: SubjectId) -> Option<TrustEstimate> {
-            self.sums.get(&subject).map(|&(sum, n)| {
-                TrustEstimate::new(TrustValue::new(sum / n as f64), 1.0)
-            })
+            self.sums
+                .get(&subject)
+                .map(|&(sum, n)| TrustEstimate::new(TrustValue::new(sum / n as f64), 1.0))
         }
 
         fn feedback_count(&self) -> usize {
@@ -137,6 +168,26 @@ mod tests {
         let p = m.personalized(AgentId::new(42), s.into()).unwrap();
         assert_eq!(g, p);
         assert_eq!(m.feedback_count(), 1);
+    }
+
+    #[test]
+    fn score_from_log_matches_live_submission() {
+        let s = ServiceId::new(1);
+        let log = vec![
+            Feedback::scored(AgentId::new(0), s, 0.9, Time::new(0)),
+            Feedback::scored(AgentId::new(1), s, 0.5, Time::new(3)),
+        ];
+        let mut live = MeanMechanism::default();
+        for f in &log {
+            live.submit(f);
+        }
+        let mut replayed = MeanMechanism::default();
+        let from_log = score_from_log(&mut replayed, &log, s.into());
+        assert_eq!(from_log, live.global(s.into()));
+        assert_eq!(
+            score_from_log(&mut MeanMechanism::default(), &[], s.into()),
+            None
+        );
     }
 
     #[test]

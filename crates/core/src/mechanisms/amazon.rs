@@ -75,10 +75,13 @@ impl ReputationMechanism for AmazonMechanism {
     }
 
     fn submit(&mut self, feedback: &Feedback) {
-        self.reviews.entry(feedback.subject).or_default().push(Review {
-            reviewer: feedback.rater,
-            score: feedback.score,
-        });
+        self.reviews
+            .entry(feedback.subject)
+            .or_default()
+            .push(Review {
+                reviewer: feedback.rater,
+                score: feedback.score,
+            });
         self.submitted += 1;
     }
 

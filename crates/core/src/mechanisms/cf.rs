@@ -229,12 +229,7 @@ mod tests {
     use crate::time::Time;
 
     fn fb(rater: u64, item: u64, score: f64) -> Feedback {
-        Feedback::scored(
-            AgentId::new(rater),
-            ServiceId::new(item),
-            score,
-            Time::ZERO,
-        )
+        Feedback::scored(AgentId::new(rater), ServiceId::new(item), score, Time::ZERO)
     }
 
     /// Two taste camps: evens love items 0/1 and hate 2/3; odds opposite.
@@ -273,8 +268,12 @@ mod tests {
         // A new even-camp user who has rated only items 0 and 2.
         m.submit(&fb(100, 0, 0.9));
         m.submit(&fb(100, 2, 0.1));
-        let p1 = m.predict(AgentId::new(100), ServiceId::new(1).into()).unwrap();
-        let p3 = m.predict(AgentId::new(100), ServiceId::new(3).into()).unwrap();
+        let p1 = m
+            .predict(AgentId::new(100), ServiceId::new(1).into())
+            .unwrap();
+        let p3 = m
+            .predict(AgentId::new(100), ServiceId::new(3).into())
+            .unwrap();
         assert!(p1 > 0.7, "camp item predicted high, got {p1}");
         assert!(p3 < 0.3, "anti-camp item predicted low, got {p3}");
     }
@@ -300,7 +299,10 @@ mod tests {
         let mut m = CfMechanism::new(Similarity::Pearson);
         two_camps(&mut m);
         m.submit(&fb(0, 0, 0.42));
-        assert_eq!(m.predict(AgentId::new(0), ServiceId::new(0).into()), Some(0.42));
+        assert_eq!(
+            m.predict(AgentId::new(0), ServiceId::new(0).into()),
+            Some(0.42)
+        );
     }
 
     #[test]
@@ -329,7 +331,10 @@ mod tests {
         m.submit(&fb(0, 1, 0.5));
         m.submit(&fb(1, 0, 0.5));
         m.submit(&fb(1, 1, 0.5));
-        assert_eq!(m.user_similarity(AgentId::new(0), AgentId::new(1)), Some(0.0));
+        assert_eq!(
+            m.user_similarity(AgentId::new(0), AgentId::new(1)),
+            Some(0.0)
+        );
     }
 
     #[test]

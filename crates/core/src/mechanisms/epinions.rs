@@ -48,8 +48,16 @@ impl EpinionsMechanism {
 
     /// A reviewer's influence: saturating function of net incoming trust.
     pub fn influence(&self, reviewer: AgentId) -> f64 {
-        let t = self.trusted_by.get(&reviewer).map(BTreeSet::len).unwrap_or(0) as f64;
-        let b = self.blocked_by.get(&reviewer).map(BTreeSet::len).unwrap_or(0) as f64;
+        let t = self
+            .trusted_by
+            .get(&reviewer)
+            .map(BTreeSet::len)
+            .unwrap_or(0) as f64;
+        let b = self
+            .blocked_by
+            .get(&reviewer)
+            .map(BTreeSet::len)
+            .unwrap_or(0) as f64;
         let net = (t - b).max(0.0);
         // 0 trusters → 0.2 baseline; influence saturates toward 1.
         0.2 + 0.8 * net / (net + 3.0)

@@ -45,11 +45,7 @@ impl LnzMechanism {
 
     /// The metrics any report has mentioned, in stable order.
     fn metrics(&self) -> Vec<Metric> {
-        let mut ms: Vec<Metric> = self
-            .reported
-            .values()
-            .flat_map(|v| v.metrics())
-            .collect();
+        let mut ms: Vec<Metric> = self.reported.values().flat_map(|v| v.metrics()).collect();
         ms.sort();
         ms.dedup();
         ms
@@ -59,10 +55,7 @@ impl LnzMechanism {
     /// best first. This is the full "QoS computation" of the paper.
     pub fn rank(&self, prefs: &Preferences) -> Vec<(SubjectId, f64)> {
         let subjects: Vec<SubjectId> = self.reported.keys().copied().collect();
-        let vectors: Vec<QosVector> = subjects
-            .iter()
-            .map(|s| self.reported[s].clone())
-            .collect();
+        let vectors: Vec<QosVector> = subjects.iter().map(|s| self.reported[s].clone()).collect();
         let metrics = self.metrics();
         let matrix = NormalizationMatrix::new(&vectors, &metrics);
         matrix
@@ -104,10 +97,7 @@ impl ReputationMechanism for LnzMechanism {
             // LNZ consumes measured QoS; a bare score carries no signal for
             // the matrix but still counts as an execution report.
         } else {
-            let entry = self
-                .reported
-                .entry(feedback.subject)
-                .or_default();
+            let entry = self.reported.entry(feedback.subject).or_default();
             entry.ema_update(&feedback.observed, 0.2);
         }
         *self.counts.entry(feedback.subject).or_insert(0) += 1;
@@ -139,11 +129,9 @@ mod tests {
     use crate::time::Time;
 
     fn report(rater: u64, item: u64, rt: f64, price: f64) -> Feedback {
-        Feedback::scored(AgentId::new(rater), ServiceId::new(item), 0.5, Time::ZERO)
-            .with_observed(QosVector::from_pairs([
-                (Metric::ResponseTime, rt),
-                (Metric::Price, price),
-            ]))
+        Feedback::scored(AgentId::new(rater), ServiceId::new(item), 0.5, Time::ZERO).with_observed(
+            QosVector::from_pairs([(Metric::ResponseTime, rt), (Metric::Price, price)]),
+        )
     }
 
     fn seeded() -> LnzMechanism {
@@ -178,10 +166,7 @@ mod tests {
     fn unknown_profile_gets_global_view() {
         let m = seeded();
         let fast = SubjectId::from(ServiceId::new(0));
-        assert_eq!(
-            m.personalized(AgentId::new(99), fast),
-            m.global(fast)
-        );
+        assert_eq!(m.personalized(AgentId::new(99), fast), m.global(fast));
     }
 
     #[test]

@@ -134,11 +134,7 @@ mod tests {
         }
         // Experienced even-camp user.
         for item in [0u64, 2, 0, 2, 0, 2, 0, 2] {
-            m.submit(&fb(
-                100,
-                item,
-                if item == 0 { 0.9 } else { 0.1 },
-            ));
+            m.submit(&fb(100, item, if item == 0 { 0.9 } else { 0.1 }));
         }
         assert!(m.cf_weight(AgentId::new(100)) > 0.5);
         let est = m

@@ -142,9 +142,14 @@ mod tests {
     use crate::id::ServiceId;
 
     fn fb(rater: u64, item: u64, score: f64, acc: f64, speed: f64, t: u64) -> Feedback {
-        Feedback::scored(AgentId::new(rater), ServiceId::new(item), score, Time::new(t))
-            .with_facet(Metric::Accuracy, acc)
-            .with_facet(Metric::ResponseTime, speed)
+        Feedback::scored(
+            AgentId::new(rater),
+            ServiceId::new(item),
+            score,
+            Time::new(t),
+        )
+        .with_facet(Metric::Accuracy, acc)
+        .with_facet(Metric::ResponseTime, speed)
     }
 
     #[test]

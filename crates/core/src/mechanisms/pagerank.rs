@@ -111,11 +111,7 @@ impl PageRankMechanism {
             for v in next.iter_mut() {
                 *v += spread;
             }
-            let delta: f64 = rank
-                .iter()
-                .zip(&next)
-                .map(|(a, b)| (a - b).abs())
-                .sum();
+            let delta: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
             rank = next;
             if delta < self.epsilon {
                 break;
@@ -144,7 +140,10 @@ impl ReputationMechanism for PageRankMechanism {
         self.nodes.insert(rater);
         self.nodes.insert(feedback.subject);
         if feedback.ebay_sign() == 1 {
-            self.edges.entry(rater).or_default().insert(feedback.subject);
+            self.edges
+                .entry(rater)
+                .or_default()
+                .insert(feedback.subject);
         }
         self.cache = None;
         self.submitted += 1;

@@ -119,12 +119,7 @@ impl PeerTrustMechanism {
             return 0.0;
         };
         let mine = self.filed.get(&agent).map(BTreeMap::len).unwrap_or(0) as f64;
-        let max = self
-            .filed
-            .values()
-            .map(BTreeMap::len)
-            .max()
-            .unwrap_or(0) as f64;
+        let max = self.filed.values().map(BTreeMap::len).max().unwrap_or(0) as f64;
         if max == 0.0 {
             0.0
         } else {
@@ -192,11 +187,14 @@ impl ReputationMechanism for PeerTrustMechanism {
 
     fn submit(&mut self, feedback: &Feedback) {
         self.now = self.now.max(feedback.at);
-        self.records.entry(feedback.subject).or_default().push(Record {
-            rater: feedback.rater,
-            score: feedback.score,
-            at: feedback.at,
-        });
+        self.records
+            .entry(feedback.subject)
+            .or_default()
+            .push(Record {
+                rater: feedback.rater,
+                score: feedback.score,
+                at: feedback.at,
+            });
         self.filed
             .entry(feedback.rater)
             .or_default()
@@ -258,7 +256,11 @@ mod tests {
             m.submit(&fb(t, 100, 0.95, t));
         }
         let est = m.global(s(100)).unwrap();
-        assert!(est.value.get() > 0.8, "stale negatives expired: {}", est.value);
+        assert!(
+            est.value.get() > 0.8,
+            "stale negatives expired: {}",
+            est.value
+        );
     }
 
     #[test]
@@ -311,7 +313,11 @@ mod tests {
         m.submit(&fb(1, 100, 0.9, 6));
         m.submit(&fb(2, 100, 0.1, 6));
         let est = m.global(s(100)).unwrap();
-        assert!(est.value.get() > 0.6, "trusted reporter wins: {}", est.value);
+        assert!(
+            est.value.get() > 0.6,
+            "trusted reporter wins: {}",
+            est.value
+        );
     }
 
     #[test]

@@ -61,7 +61,10 @@ impl SocialMechanism {
 
     /// In-degree of a node (for the degree-baseline comparison).
     pub fn in_degree(&self, node: SubjectId) -> usize {
-        self.out.values().filter(|outs| outs.contains(&node)).count()
+        self.out
+            .values()
+            .filter(|outs| outs.contains(&node))
+            .count()
     }
 
     fn compute(&self) -> BTreeMap<SubjectId, f64> {

@@ -199,7 +199,12 @@ mod tests {
         let rater_rep = m.raw_reputation(reputable.into()).unwrap();
         assert!(rater_rep > 1500.0);
 
-        m.submit(&Feedback::scored(reputable, ServiceId::new(10), 1.0, Time::ZERO));
+        m.submit(&Feedback::scored(
+            reputable,
+            ServiceId::new(10),
+            1.0,
+            Time::ZERO,
+        ));
         let by_reputable = m.raw_reputation(ServiceId::new(10).into()).unwrap();
 
         m.submit(&Feedback::scored(

@@ -74,7 +74,10 @@ impl VuMechanism {
 
     /// Ingest a probe from a trusted monitoring agent.
     pub fn submit_trusted(&mut self, subject: impl Into<SubjectId>, observed: QosVector) {
-        self.trusted.entry(subject.into()).or_default().push(observed);
+        self.trusted
+            .entry(subject.into())
+            .or_default()
+            .push(observed);
     }
 
     /// Mean trusted observation per metric for a subject, if probed.
@@ -248,11 +251,14 @@ impl ReputationMechanism for VuMechanism {
     }
 
     fn submit(&mut self, feedback: &Feedback) {
-        self.reports.entry(feedback.subject).or_default().push(Report {
-            reporter: feedback.rater,
-            observed: feedback.observed.clone(),
-            score: feedback.score,
-        });
+        self.reports
+            .entry(feedback.subject)
+            .or_default()
+            .push(Report {
+                reporter: feedback.rater,
+                observed: feedback.observed.clone(),
+                score: feedback.score,
+            });
         self.submitted += 1;
     }
 
@@ -306,7 +312,10 @@ mod tests {
     #[test]
     fn truthful_reporters_keep_high_credibility() {
         let mut m = VuMechanism::new();
-        m.submit_trusted(ServiceId::new(1), QosVector::from_pairs([(Metric::ResponseTime, 100.0)]));
+        m.submit_trusted(
+            ServiceId::new(1),
+            QosVector::from_pairs([(Metric::ResponseTime, 100.0)]),
+        );
         m.submit(&report(0, 1, 102.0)); // close to truth
         m.submit(&report(1, 1, 500.0)); // wild exaggeration
         assert!(m.reporter_credibility(AgentId::new(0)) > 0.9);
@@ -323,7 +332,10 @@ mod tests {
     #[test]
     fn liar_reports_are_dropped_from_estimates() {
         let mut m = VuMechanism::new();
-        m.submit_trusted(ServiceId::new(1), QosVector::from_pairs([(Metric::ResponseTime, 100.0)]));
+        m.submit_trusted(
+            ServiceId::new(1),
+            QosVector::from_pairs([(Metric::ResponseTime, 100.0)]),
+        );
         // Honest reports around 100; one liar claims 5.
         for r in 0..3 {
             m.submit(&report(r, 1, 100.0 + r as f64));
@@ -349,8 +361,14 @@ mod tests {
         let mut m = VuMechanism::new();
         let fast = QosVector::from_pairs([(Metric::ResponseTime, 50.0), (Metric::Price, 10.0)]);
         let cheap = QosVector::from_pairs([(Metric::ResponseTime, 500.0), (Metric::Price, 1.0)]);
-        m.submit(&Feedback::scored(AgentId::new(0), ServiceId::new(1), 0.5, Time::ZERO).with_observed(fast));
-        m.submit(&Feedback::scored(AgentId::new(0), ServiceId::new(2), 0.5, Time::ZERO).with_observed(cheap));
+        m.submit(
+            &Feedback::scored(AgentId::new(0), ServiceId::new(1), 0.5, Time::ZERO)
+                .with_observed(fast),
+        );
+        m.submit(
+            &Feedback::scored(AgentId::new(0), ServiceId::new(2), 0.5, Time::ZERO)
+                .with_observed(cheap),
+        );
         m.set_profile(AgentId::new(5), Preferences::uniform([Metric::Price]));
         let view_fast = m.personalized(AgentId::new(5), s(1)).unwrap();
         let view_cheap = m.personalized(AgentId::new(5), s(2)).unwrap();
@@ -360,7 +378,12 @@ mod tests {
     #[test]
     fn score_only_reports_still_give_reputation() {
         let mut m = VuMechanism::new();
-        m.submit(&Feedback::scored(AgentId::new(0), ServiceId::new(1), 0.8, Time::ZERO));
+        m.submit(&Feedback::scored(
+            AgentId::new(0),
+            ServiceId::new(1),
+            0.8,
+            Time::ZERO,
+        ));
         let est = m.global(s(1)).unwrap();
         assert!((est.value.get() - 0.8).abs() < 1e-9);
     }
@@ -368,7 +391,10 @@ mod tests {
     #[test]
     fn trusted_probes_alone_support_estimates() {
         let mut m = VuMechanism::new();
-        m.submit_trusted(ServiceId::new(1), QosVector::from_pairs([(Metric::ResponseTime, 100.0)]));
+        m.submit_trusted(
+            ServiceId::new(1),
+            QosVector::from_pairs([(Metric::ResponseTime, 100.0)]),
+        );
         assert!(m.estimated_qos(s(1)).is_some());
     }
 

@@ -56,8 +56,11 @@ impl YuSinghMechanism {
     /// Declare an acquaintance edge: `from` knows (and somewhat trusts)
     /// `to`, enabling referrals through it.
     pub fn add_acquaintance(&mut self, from: AgentId, to: AgentId) {
-        self.acquaintances
-            .set(from, to, crate::opinion::Opinion::from_evidence(4.0, 0.0, 0.5));
+        self.acquaintances.set(
+            from,
+            to,
+            crate::opinion::Opinion::from_evidence(4.0, 0.0, 0.5),
+        );
     }
 
     /// The belief mass `observer` assigns `subject` from local history.
@@ -145,10 +148,7 @@ impl ReputationMechanism for YuSinghMechanism {
             if *s != subject || scores.is_empty() {
                 continue;
             }
-            let mass = Self::discount(
-                BeliefMass::from_scores(scores, self.lower, self.upper),
-                0.8,
-            );
+            let mass = Self::discount(BeliefMass::from_scores(scores, self.lower, self.upper), 0.8);
             n += scores.len();
             combined = Some(match combined {
                 None => mass,
@@ -185,11 +185,7 @@ impl ReputationMechanism for YuSinghMechanism {
         let mut n = own_scores.len();
         for w in witnesses {
             let mass = Self::discount(self.local_belief(w, subject), 0.8);
-            n += self
-                .histories
-                .get(&(w, subject))
-                .map(Vec::len)
-                .unwrap_or(0);
+            n += self.histories.get(&(w, subject)).map(Vec::len).unwrap_or(0);
             combined = combined.combine(&mass).unwrap_or(combined);
         }
         Some(TrustEstimate::new(

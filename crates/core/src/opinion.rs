@@ -277,7 +277,10 @@ mod tests {
 
     #[test]
     fn empty_scores_are_vacuous() {
-        assert_eq!(BeliefMass::from_scores(&[], 0.3, 0.8), BeliefMass::vacuous());
+        assert_eq!(
+            BeliefMass::from_scores(&[], 0.3, 0.8),
+            BeliefMass::vacuous()
+        );
         assert_eq!(BeliefMass::vacuous().trust_score(), 0.5);
     }
 

@@ -166,7 +166,9 @@ mod tests {
             .latest(AgentId::new(0), ServiceId::new(1).into())
             .unwrap();
         assert_eq!(f.at, Time::new(10));
-        assert!(st.latest(AgentId::new(9), ServiceId::new(1).into()).is_none());
+        assert!(st
+            .latest(AgentId::new(9), ServiceId::new(1).into())
+            .is_none());
     }
 
     #[test]

@@ -73,7 +73,14 @@ impl TrustGraph {
         let mut path_opinions = Vec::new();
         let mut visited = BTreeSet::new();
         visited.insert(source);
-        self.dfs(source, target, max_hops, None, &mut visited, &mut path_opinions);
+        self.dfs(
+            source,
+            target,
+            max_hops,
+            None,
+            &mut visited,
+            &mut path_opinions,
+        );
         if path_opinions.is_empty() {
             return None;
         }

@@ -141,10 +141,8 @@ mod tests {
 
     #[test]
     fn combine_weights_by_confidence() {
-        let e = TrustEstimate::combine([
-            TrustEstimate::new(1.0, 0.9),
-            TrustEstimate::new(0.0, 0.1),
-        ]);
+        let e =
+            TrustEstimate::combine([TrustEstimate::new(1.0, 0.9), TrustEstimate::new(0.0, 0.1)]);
         assert!((e.value.get() - 0.9).abs() < 1e-12);
         assert_eq!(e.confidence, 0.9);
     }

@@ -323,8 +323,7 @@ pub fn figure4() -> Vec<MechanismInfo> {
 /// underline).
 pub fn render_figure4(entries: &[MechanismInfo]) -> String {
     use std::collections::BTreeMap;
-    let mut tree: BTreeMap<(Centralization, Subject, Scope), Vec<&MechanismInfo>> =
-        BTreeMap::new();
+    let mut tree: BTreeMap<(Centralization, Subject, Scope), Vec<&MechanismInfo>> = BTreeMap::new();
     for e in entries {
         tree.entry(e.coordinates()).or_default().push(e);
     }
@@ -340,8 +339,15 @@ pub fn render_figure4(entries: &[MechanismInfo]) -> String {
         last = Some((*c, *s));
         out.push_str(&format!("      {g}\n"));
         for info in infos {
-            let marker = if info.proposed_for_web_services { " *" } else { "" };
-            out.push_str(&format!("        {} [{}]{}\n", info.display, info.citation, marker));
+            let marker = if info.proposed_for_web_services {
+                " *"
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "        {} [{}]{}\n",
+                info.display, info.citation, marker
+            ));
         }
     }
     out
@@ -376,7 +382,10 @@ mod tests {
             .filter(|e| e.proposed_for_web_services)
             .map(|e| e.key)
             .collect();
-        assert_eq!(ws, vec!["maximilien", "lnz", "manikrao", "day", "karta", "vu"]);
+        assert_eq!(
+            ws,
+            vec!["maximilien", "lnz", "manikrao", "day", "karta", "vu"]
+        );
     }
 
     #[test]
@@ -390,7 +399,11 @@ mod tests {
             } else {
                 assert_eq!(
                     e.coordinates(),
-                    (Centralization::Centralized, Subject::Resource, Scope::Personalized),
+                    (
+                        Centralization::Centralized,
+                        Subject::Resource,
+                        Scope::Personalized
+                    ),
                     "{}",
                     e.key
                 );
@@ -403,16 +416,27 @@ mod tests {
         let e = figure4().into_iter().find(|e| e.key == "ebay").unwrap();
         assert_eq!(
             e.coordinates(),
-            (Centralization::Centralized, Subject::PersonAgent, Scope::Global)
+            (
+                Centralization::Centralized,
+                Subject::PersonAgent,
+                Scope::Global
+            )
         );
     }
 
     #[test]
     fn eigentrust_is_decentralized_person_global() {
-        let e = figure4().into_iter().find(|e| e.key == "eigentrust").unwrap();
+        let e = figure4()
+            .into_iter()
+            .find(|e| e.key == "eigentrust")
+            .unwrap();
         assert_eq!(
             e.coordinates(),
-            (Centralization::Decentralized, Subject::PersonAgent, Scope::Global)
+            (
+                Centralization::Decentralized,
+                Subject::PersonAgent,
+                Scope::Global
+            )
         );
     }
 

@@ -30,10 +30,8 @@ pub fn hash_key(x: u64) -> u64 {
 impl ChordRing {
     /// Build a ring over the given nodes.
     pub fn new<I: IntoIterator<Item = AgentId>>(nodes: I) -> Self {
-        let ring: BTreeMap<u64, AgentId> = nodes
-            .into_iter()
-            .map(|n| (hash_key(n.raw()), n))
-            .collect();
+        let ring: BTreeMap<u64, AgentId> =
+            nodes.into_iter().map(|n| (hash_key(n.raw()), n)).collect();
         let mut chord = ChordRing {
             ring,
             fingers: BTreeMap::new(),

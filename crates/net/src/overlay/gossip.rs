@@ -39,9 +39,7 @@ pub fn gossip<R: Rng + ?Sized>(
         rounds += 1;
         let mut newly: BTreeSet<AgentId> = BTreeSet::new();
         for &node in &informed {
-            let targets = graph
-                .neighbors(node)
-                .choose_multiple(rng, fanout);
+            let targets = graph.neighbors(node).choose_multiple(rng, fanout);
             for t in targets {
                 messages += 1;
                 if !informed.contains(&t) {

@@ -85,7 +85,11 @@ impl PGrid {
                 // Complement bit `level`, keep earlier bits, find any peer
                 // under that complementary prefix.
                 let mut target: String = prefix[..level].to_string();
-                let flipped = if &prefix[level..=level] == "0" { '1' } else { '0' };
+                let flipped = if &prefix[level..=level] == "0" {
+                    '1'
+                } else {
+                    '0'
+                };
                 target.push(flipped);
                 let reference = self
                     .by_prefix
@@ -143,10 +147,7 @@ impl PGrid {
             guard += 1;
             let prefix = &self.prefixes[&at];
             // First bit where our prefix disagrees with the key.
-            let mismatch = prefix
-                .chars()
-                .zip(bits.chars())
-                .position(|(a, b)| a != b);
+            let mismatch = prefix.chars().zip(bits.chars()).position(|(a, b)| a != b);
             let Some(level) = mismatch else {
                 break; // we own a prefix of the key: we are responsible
             };

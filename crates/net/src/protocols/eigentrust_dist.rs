@@ -49,7 +49,10 @@ impl DistributedEigenTrust {
         alpha: f64,
     ) -> Self {
         assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
-        assert!(!pre_trusted.is_empty(), "need at least one pre-trusted peer");
+        assert!(
+            !pre_trusted.is_empty(),
+            "need at least one pre-trusted peer"
+        );
         DistributedEigenTrust {
             rows,
             pre_trusted,
@@ -134,10 +137,7 @@ impl DistributedEigenTrust {
                     *v /= total;
                 }
             }
-            let delta: f64 = live
-                .iter()
-                .map(|p| (t[p] - next[p]).abs())
-                .sum();
+            let delta: f64 = live.iter().map(|p| (t[p] - next[p]).abs()).sum();
             t = next;
             if delta < self.epsilon {
                 break;
@@ -211,10 +211,14 @@ mod tests {
         }
         let mut central_rows = BTreeMap::new();
         for i in 0..6u64 {
-            central_rows.insert(a(i), central.local_trust(SubjectId::Agent(a(i)))
-                .into_iter()
-                .filter_map(|(s, v)| s.as_agent().map(|ag| (ag, v)))
-                .collect::<BTreeMap<_, _>>());
+            central_rows.insert(
+                a(i),
+                central
+                    .local_trust(SubjectId::Agent(a(i)))
+                    .into_iter()
+                    .filter_map(|(s, v)| s.as_agent().map(|ag| (ag, v)))
+                    .collect::<BTreeMap<_, _>>(),
+            );
         }
         let det = DistributedEigenTrust::new(central_rows, vec![a(0)], 0.15);
         let mut net = SimNetwork::ideal(9);

@@ -133,7 +133,10 @@ impl PGridQosRegistry {
         };
         if let Some(p) = prefs {
             registry.set_profile(observer, p.clone());
-            (registry.personalized(observer, SubjectId::Service(service)), hops)
+            (
+                registry.personalized(observer, SubjectId::Service(service)),
+                hops,
+            )
         } else {
             (registry.global(SubjectId::Service(service)), hops)
         }

@@ -276,7 +276,10 @@ mod tests {
     #[test]
     fn app_specific_metrics_are_distinct() {
         assert_ne!(Metric::AppSpecific(0), Metric::AppSpecific(1));
-        assert_eq!(Metric::AppSpecific(3).category(), Category::ApplicationSpecific);
+        assert_eq!(
+            Metric::AppSpecific(3).category(),
+            Category::ApplicationSpecific
+        );
     }
 
     #[test]

@@ -82,7 +82,10 @@ impl NormalizationMatrix {
 
     /// Normalized row for candidate `i` as `(metric, value)` pairs.
     pub fn row(&self, i: usize) -> impl Iterator<Item = (Metric, f64)> + '_ {
-        self.metrics.iter().copied().zip(self.rows[i].iter().copied())
+        self.metrics
+            .iter()
+            .copied()
+            .zip(self.rows[i].iter().copied())
     }
 
     /// Weighted overall scores under `prefs`, sorted best-first.
@@ -91,11 +94,7 @@ impl NormalizationMatrix {
     /// nothing; weights over metrics absent from the matrix are ignored
     /// (the preference mass is renormalized over present metrics).
     pub fn scores(&self, prefs: &Preferences) -> Vec<OverallScore> {
-        let weights: Vec<f64> = self
-            .metrics
-            .iter()
-            .map(|&m| prefs.weight(m))
-            .collect();
+        let weights: Vec<f64> = self.metrics.iter().map(|&m| prefs.weight(m)).collect();
         let total: f64 = weights.iter().sum();
         let mut out: Vec<OverallScore> = self
             .rows
@@ -103,18 +102,21 @@ impl NormalizationMatrix {
             .enumerate()
             .map(|(i, row)| {
                 let score = if total > 0.0 {
-                    row.iter()
-                        .zip(&weights)
-                        .map(|(v, w)| v * w)
-                        .sum::<f64>()
-                        / total
+                    row.iter().zip(&weights).map(|(v, w)| v * w).sum::<f64>() / total
                 } else {
                     0.0
                 };
-                OverallScore { candidate: i, score }
+                OverallScore {
+                    candidate: i,
+                    score,
+                }
             })
             .collect();
-        out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        out.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         out
     }
 
@@ -122,6 +124,17 @@ impl NormalizationMatrix {
     /// matrix.
     pub fn best(&self, prefs: &Preferences) -> Option<usize> {
         self.scores(prefs).first().map(|s| s.candidate)
+    }
+
+    /// Candidate indexes ordered best-first under `prefs`.
+    ///
+    /// The ranking the served registry's `top_k` walks before blending in
+    /// reputation; equal scores keep their input order (stable sort).
+    pub fn rank(&self, prefs: &Preferences) -> Vec<usize> {
+        self.scores(prefs)
+            .into_iter()
+            .map(|s| s.candidate)
+            .collect()
     }
 }
 
@@ -228,6 +241,19 @@ mod tests {
     fn empty_matrix_has_no_best() {
         let m = NormalizationMatrix::new(&[], &[Metric::Price]);
         assert_eq!(m.best(&Preferences::uniform([Metric::Price])), None);
+    }
+
+    #[test]
+    fn rank_is_a_permutation_led_by_best() {
+        let cands = candidates();
+        let m = NormalizationMatrix::new(&cands, &[Metric::ResponseTime, Metric::Price]);
+        let prefs = Preferences::from_weights([(Metric::ResponseTime, 0.9), (Metric::Price, 0.1)]);
+        let ranked = m.rank(&prefs);
+        assert_eq!(ranked.len(), cands.len());
+        assert_eq!(ranked[0], m.best(&prefs).unwrap());
+        let mut sorted = ranked.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
     }
 
     #[test]

@@ -42,8 +42,7 @@ impl Preferences {
     /// Build from explicit non-negative weights; they are renormalized to
     /// sum to 1. Entries with zero or negative weight are dropped.
     pub fn from_weights<I: IntoIterator<Item = (Metric, f64)>>(weights: I) -> Self {
-        let filtered: Vec<(Metric, f64)> =
-            weights.into_iter().filter(|&(_, w)| w > 0.0).collect();
+        let filtered: Vec<(Metric, f64)> = weights.into_iter().filter(|&(_, w)| w > 0.0).collect();
         let total: f64 = filtered.iter().map(|&(_, w)| w).sum();
         if total <= 0.0 {
             return Self::default();
@@ -111,10 +110,7 @@ impl Preferences {
     /// Used by personalized mechanisms (Histos, collaborative filtering)
     /// to find like-minded consumers.
     pub fn similarity(&self, other: &Preferences) -> f64 {
-        let dot: f64 = self
-            .iter()
-            .map(|(m, w)| w * other.weight(m))
-            .sum();
+        let dot: f64 = self.iter().map(|(m, w)| w * other.weight(m)).sum();
         let na: f64 = self.iter().map(|(_, w)| w * w).sum::<f64>().sqrt();
         let nb: f64 = other.iter().map(|(_, w)| w * w).sum::<f64>().sqrt();
         if na == 0.0 || nb == 0.0 {
@@ -250,7 +246,12 @@ mod tests {
     #[test]
     fn high_heterogeneity_sampling_is_peaked() {
         let mut rng = StdRng::seed_from_u64(42);
-        let metrics = [Metric::Price, Metric::Accuracy, Metric::Latency, Metric::Throughput];
+        let metrics = [
+            Metric::Price,
+            Metric::Accuracy,
+            Metric::Latency,
+            Metric::Throughput,
+        ];
         // Average max-weight over many draws should approach 1 at h≈1 and
         // 1/4 at h=0.
         let mut acc_peaked = 0.0;

@@ -46,7 +46,8 @@ impl QualityProfile {
 
     /// Set the latent quality of one metric.
     pub fn set(&mut self, metric: Metric, mean: f64, jitter: f64) -> &mut Self {
-        self.qualities.insert(metric, MetricQuality { mean, jitter });
+        self.qualities
+            .insert(metric, MetricQuality { mean, jitter });
         self
     }
 
@@ -72,10 +73,7 @@ impl QualityProfile {
 
     /// The mean vector: expected observation, without jitter.
     pub fn means(&self) -> QosVector {
-        self.qualities
-            .iter()
-            .map(|(m, q)| (*m, q.mean))
-            .collect()
+        self.qualities.iter().map(|(m, q)| (*m, q.mean)).collect()
     }
 
     /// Sample one observed invocation: per metric, a Gaussian draw around

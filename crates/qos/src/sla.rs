@@ -59,7 +59,8 @@ impl Sla {
 
     /// Add an obligation; later calls replace earlier ones for the metric.
     pub fn require(&mut self, metric: Metric, bound: f64, penalty: f64) -> &mut Self {
-        self.obligations.insert(metric, Obligation { bound, penalty });
+        self.obligations
+            .insert(metric, Obligation { bound, penalty });
         self
     }
 
@@ -145,10 +146,8 @@ mod tests {
 
     #[test]
     fn compliant_invocation_pays_nothing() {
-        let obs = QosVector::from_pairs([
-            (Metric::ResponseTime, 120.0),
-            (Metric::Availability, 0.95),
-        ]);
+        let obs =
+            QosVector::from_pairs([(Metric::ResponseTime, 120.0), (Metric::Availability, 0.95)]);
         let out = sla().check(&obs);
         assert!(out.compliant());
         assert_eq!(out.penalty, 0.0);
@@ -167,10 +166,8 @@ mod tests {
 
     #[test]
     fn boundary_values_are_compliant() {
-        let obs = QosVector::from_pairs([
-            (Metric::ResponseTime, 150.0),
-            (Metric::Availability, 0.9),
-        ]);
+        let obs =
+            QosVector::from_pairs([(Metric::ResponseTime, 150.0), (Metric::Availability, 0.9)]);
         assert!(sla().check(&obs).compliant());
     }
 
@@ -183,10 +180,8 @@ mod tests {
 
     #[test]
     fn from_advertised_applies_slack_by_orientation() {
-        let adv = QosVector::from_pairs([
-            (Metric::ResponseTime, 100.0),
-            (Metric::Availability, 0.9),
-        ]);
+        let adv =
+            QosVector::from_pairs([(Metric::ResponseTime, 100.0), (Metric::Availability, 0.9)]);
         let sla = Sla::from_advertised(&adv, 0.1, 1.0, 2.0);
         let rt = sla.obligation(Metric::ResponseTime).unwrap();
         assert!((rt.bound - 110.0).abs() < 1e-9); // 10% slower allowed

@@ -29,7 +29,10 @@ impl Taxonomy {
     /// needed for general services in the mediated scenario.
     pub fn with_app_specific(n: u8) -> Self {
         let mut tax = Self::standard();
-        let leaf = tax.branches.entry(Category::ApplicationSpecific).or_default();
+        let leaf = tax
+            .branches
+            .entry(Category::ApplicationSpecific)
+            .or_default();
         for k in 0..n {
             leaf.push(Metric::AppSpecific(k));
         }
@@ -38,7 +41,10 @@ impl Taxonomy {
 
     /// Metrics under one category. Empty slice if the category has no leaves.
     pub fn metrics_in(&self, category: Category) -> &[Metric] {
-        self.branches.get(&category).map(Vec::as_slice).unwrap_or(&[])
+        self.branches
+            .get(&category)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Iterate `(category, metrics)` pairs in stable category order.

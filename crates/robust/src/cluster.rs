@@ -105,8 +105,16 @@ pub fn two_means(scores: &[f64]) -> Clusters {
                 high.push(s);
             }
         }
-        let new_low = if low.is_empty() { c_low } else { Clusters::mean(&low) };
-        let new_high = if high.is_empty() { c_high } else { Clusters::mean(&high) };
+        let new_low = if low.is_empty() {
+            c_low
+        } else {
+            Clusters::mean(&low)
+        };
+        let new_high = if high.is_empty() {
+            c_high
+        } else {
+            Clusters::mean(&high)
+        };
         if (new_low - c_low).abs() < 1e-12 && (new_high - c_high).abs() < 1e-12 {
             break;
         }

@@ -94,6 +94,9 @@ mod tests {
     #[test]
     fn registry_lists_five_defenses() {
         let names: Vec<&str> = all_defenses().iter().map(|d| d.name()).collect();
-        assert_eq!(names, vec!["none", "cluster", "majority", "deviation", "zhang-cohen"]);
+        assert_eq!(
+            names,
+            vec!["none", "cluster", "majority", "deviation", "zhang-cohen"]
+        );
     }
 }

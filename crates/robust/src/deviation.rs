@@ -33,7 +33,10 @@ impl Default for DeviationFilter {
 impl DeviationFilter {
     /// Run the filter: returns `(surviving rater means, consensus)` or
     /// `None` without evidence. Never removes the last rater.
-    pub fn filter(&self, per_rater: &BTreeMap<AgentId, f64>) -> Option<(BTreeMap<AgentId, f64>, f64)> {
+    pub fn filter(
+        &self,
+        per_rater: &BTreeMap<AgentId, f64>,
+    ) -> Option<(BTreeMap<AgentId, f64>, f64)> {
         if per_rater.is_empty() {
             return None;
         }
@@ -174,7 +177,11 @@ mod tests {
     #[test]
     fn empty_store_is_none() {
         assert!(DeviationFilter::default()
-            .estimate(&FeedbackStore::new(), AgentId::new(0), ServiceId::new(1).into())
+            .estimate(
+                &FeedbackStore::new(),
+                AgentId::new(0),
+                ServiceId::new(1).into()
+            )
             .is_none());
     }
 }

@@ -179,7 +179,11 @@ mod tests {
     #[test]
     fn empty_store_is_none() {
         assert!(MajorityOpinion::default()
-            .estimate(&FeedbackStore::new(), AgentId::new(0), ServiceId::new(1).into())
+            .estimate(
+                &FeedbackStore::new(),
+                AgentId::new(0),
+                ServiceId::new(1).into()
+            )
             .is_none());
     }
 }

@@ -196,9 +196,7 @@ mod tests {
         store.push(fb(1, 9, 0.9));
         store.push(fb(2, 9, 0.0));
         let zc = ZhangCohen::default();
-        let est = zc
-            .estimate(&store, AgentId::new(0), s(9))
-            .unwrap();
+        let est = zc.estimate(&store, AgentId::new(0), s(9)).unwrap();
         assert!(est.value.get() > 0.6, "got {}", est.value);
     }
 

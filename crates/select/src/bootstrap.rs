@@ -111,10 +111,9 @@ impl ReputationMechanism for ProviderBootstrap {
                                     own.confidence.max(prov.confidence * 0.8),
                                 ))
                             }
-                            (None, Some(prov)) => Some(TrustEstimate::new(
-                                prov.value,
-                                prov.confidence * 0.8,
-                            )),
+                            (None, Some(prov)) => {
+                                Some(TrustEstimate::new(prov.value, prov.confidence * 0.8))
+                            }
                             (own, None) => own,
                         }
                     }
@@ -236,7 +235,7 @@ mod tests {
         b.register(ServiceId::new(0), ProviderId::new(0));
         b.register(ServiceId::new(1), ProviderId::new(0));
         b.register(ServiceId::new(2), ProviderId::new(0)); // new service
-        // Provider 1 has an established terrible service and one new.
+                                                           // Provider 1 has an established terrible service and one new.
         b.register(ServiceId::new(10), ProviderId::new(1));
         b.register(ServiceId::new(11), ProviderId::new(1)); // new service
         for t in 0..20 {
@@ -372,6 +371,10 @@ mod tests {
             ));
         }
         let est = b.global(ServiceId::new(2).into()).unwrap();
-        assert!(est.value.get() < 0.3, "evidence beats pedigree: {}", est.value);
+        assert!(
+            est.value.get() < 0.3,
+            "evidence beats pedigree: {}",
+            est.value
+        );
     }
 }

@@ -12,12 +12,17 @@
 //!   seeded from their provider's track record;
 //! * [`eval`] — the market loop: consumers select, invoke, experience,
 //!   report; outputs utility / regret / hit-rate / cost metrics;
-//! * [`report`] — markdown table rendering for the experiment binaries.
+//! * [`report`] — markdown table rendering for the experiment binaries;
+//! * [`served`] — a strategy backed by the concurrent
+//!   [`wsrep_serve::ReputationService`] registry, so the served stack is
+//!   raceable against the in-process strategies in the same market.
 
 pub mod bootstrap;
 pub mod eval;
 pub mod report;
+pub mod served;
 pub mod strategy;
 
 pub use eval::{Market, MarketConfig, MarketReport};
+pub use served::ServedSelect;
 pub use strategy::SelectionStrategy;

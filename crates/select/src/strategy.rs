@@ -197,7 +197,9 @@ impl SlaSelect {
     pub fn blacklisted(&self, provider: ProviderId) -> bool {
         self.violations
             .get(&provider)
-            .map(|&(v, n)| n >= self.min_settlements && v as f64 / n as f64 > self.max_violation_rate)
+            .map(|&(v, n)| {
+                n >= self.min_settlements && v as f64 / n as f64 > self.max_violation_rate
+            })
             .unwrap_or(false)
     }
 }
@@ -225,10 +227,7 @@ impl SelectionStrategy for SlaSelect {
             // Everyone blacklisted: fall back to the full set.
             return self.inner.choose(ctx, rng);
         }
-        let subset: Vec<Candidate> = allowed
-            .iter()
-            .map(|&i| ctx.candidates[i].clone())
-            .collect();
+        let subset: Vec<Candidate> = allowed.iter().map(|&i| ctx.candidates[i].clone()).collect();
         let sub_ctx = SelectionContext {
             consumer: ctx.consumer,
             candidates: &subset,
@@ -512,8 +511,7 @@ mod tests {
     fn reputation_strategy_learns_and_exploits() {
         let c = consumer();
         let cands = candidates();
-        let mut strat =
-            ReputationSelect::new(Box::new(BetaMechanism::new())).with_epsilon(0.0);
+        let mut strat = ReputationSelect::new(Box::new(BetaMechanism::new())).with_epsilon(0.0);
         // Service 1 earns good feedback, service 0 bad.
         for t in 0..10 {
             strat.observe(&Feedback::scored(
@@ -593,8 +591,7 @@ mod tests {
     fn centralized_reputation_goes_blind_when_registry_fails() {
         let c = consumer();
         let cands = candidates();
-        let mut strat =
-            ReputationSelect::new(Box::new(BetaMechanism::new())).with_epsilon(0.0);
+        let mut strat = ReputationSelect::new(Box::new(BetaMechanism::new())).with_epsilon(0.0);
         for t in 0..20 {
             strat.observe(&Feedback::scored(
                 AgentId::new(5),

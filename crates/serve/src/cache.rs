@@ -1,0 +1,160 @@
+//! Epoch-validated score cache.
+//!
+//! Recomputing a reputation score replays the subject's whole feedback log
+//! through a mechanism — linear work that the registry would otherwise
+//! repeat on every query. The cache memoizes the result stamped with the
+//! store epoch it was computed from; a query first compares epochs, so a
+//! hit is a read-lock and a map lookup, and any applied feedback
+//! invalidates exactly the subjects it touched (their epoch moved).
+//!
+//! Scores are computed *outside* the cache lock: concurrent queries may
+//! race to fill the same entry, in which case both compute the same value
+//! (the epoch pins the input log) and the later write is a no-op.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use wsrep_core::id::SubjectId;
+use wsrep_core::trust::TrustEstimate;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    epoch: u64,
+    estimate: Option<TrustEstimate>,
+}
+
+/// Concurrent subject → (epoch, score) map with hit/miss accounting.
+#[derive(Debug, Default)]
+pub struct ScoreCache {
+    entries: RwLock<HashMap<SubjectId, Entry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ScoreCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cached estimate for `subject` if it was computed at exactly
+    /// `epoch`; a stale or missing entry answers `None` (and counts as a
+    /// miss only in [`ScoreCache::get_or_compute`]).
+    pub fn get(&self, subject: SubjectId, epoch: u64) -> Option<Option<TrustEstimate>> {
+        self.entries
+            .read()
+            .get(&subject)
+            .filter(|e| e.epoch == epoch)
+            .map(|e| e.estimate)
+    }
+
+    /// The estimate for `subject` at `epoch`, running `compute` on a miss
+    /// and remembering its answer.
+    pub fn get_or_compute(
+        &self,
+        subject: SubjectId,
+        epoch: u64,
+        compute: impl FnOnce() -> Option<TrustEstimate>,
+    ) -> Option<TrustEstimate> {
+        if let Some(cached) = self.get(subject, epoch) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return cached;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let estimate = compute();
+        let mut entries = self.entries.write();
+        let entry = entries.entry(subject).or_insert(Entry { epoch, estimate });
+        // Never clobber a fresher entry written by a racing query that
+        // observed more applied feedback.
+        if entry.epoch <= epoch {
+            *entry = Entry { epoch, estimate };
+        }
+        estimate
+    }
+
+    /// Queries answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Queries that had to recompute.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached subjects.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Whether nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsrep_core::id::ServiceId;
+    use wsrep_core::trust::TrustValue;
+
+    fn subject(raw: u64) -> SubjectId {
+        ServiceId::new(raw).into()
+    }
+
+    fn estimate(v: f64) -> Option<TrustEstimate> {
+        Some(TrustEstimate::new(TrustValue::new(v), 1.0))
+    }
+
+    #[test]
+    fn second_lookup_at_same_epoch_hits() {
+        let cache = ScoreCache::new();
+        let mut computed = 0;
+        for _ in 0..3 {
+            let got = cache.get_or_compute(subject(1), 5, || {
+                computed += 1;
+                estimate(0.8)
+            });
+            assert_eq!(got, estimate(0.8));
+        }
+        assert_eq!(computed, 1);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn epoch_bump_invalidates() {
+        let cache = ScoreCache::new();
+        cache.get_or_compute(subject(1), 1, || estimate(0.3));
+        let fresh = cache.get_or_compute(subject(1), 2, || estimate(0.9));
+        assert_eq!(fresh, estimate(0.9));
+        assert_eq!(cache.get(subject(1), 1), None);
+        assert_eq!(cache.get(subject(1), 2), Some(estimate(0.9)));
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn stale_write_does_not_clobber_fresher_entry() {
+        let cache = ScoreCache::new();
+        cache.get_or_compute(subject(1), 7, || estimate(0.7));
+        // A racing query that computed from epoch 3 must not regress the
+        // entry.
+        cache.get_or_compute(subject(1), 3, || estimate(0.1));
+        assert_eq!(cache.get(subject(1), 7), Some(estimate(0.7)));
+    }
+
+    #[test]
+    fn caches_absence_of_evidence_too() {
+        let cache = ScoreCache::new();
+        let mut computed = 0;
+        for _ in 0..2 {
+            let got = cache.get_or_compute(subject(9), 0, || {
+                computed += 1;
+                None
+            });
+            assert_eq!(got, None);
+        }
+        assert_eq!(computed, 1);
+    }
+}

@@ -1,0 +1,223 @@
+//! Batched feedback ingestion.
+//!
+//! Producers push reports into a bounded channel (backpressure: a full
+//! channel blocks the producer instead of growing without bound) and a
+//! single writer thread drains them. The writer greedily gathers up to
+//! `batch_size` queued reports per wake-up and applies them through
+//! [`ShardedStore::insert_batch`], so a burst of B reports costs one lock
+//! acquisition per touched shard instead of one per report.
+//!
+//! [`IngestPipeline::flush`] gives tests and benchmarks a consistency
+//! point: it blocks until everything submitted *so far by this handle* has
+//! been applied to the store.
+
+use crate::shard::ShardedStore;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use wsrep_core::feedback::Feedback;
+
+/// Ingestion tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestConfig {
+    /// Bounded channel capacity; a full channel blocks producers.
+    pub channel_capacity: usize,
+    /// Most reports applied per writer wake-up.
+    pub batch_size: usize,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            channel_capacity: 1024,
+            batch_size: 64,
+        }
+    }
+}
+
+/// Submitting failed because the pipeline already shut down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestClosed;
+
+impl fmt::Display for IngestClosed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ingest pipeline is closed")
+    }
+}
+
+impl std::error::Error for IngestClosed {}
+
+/// Applied-report counter the writer bumps and `flush` waits on.
+#[derive(Debug, Default)]
+struct Progress {
+    applied: Mutex<u64>,
+    moved: Condvar,
+}
+
+impl Progress {
+    fn add(&self, n: u64) {
+        let mut applied = self.applied.lock().unwrap_or_else(|e| e.into_inner());
+        *applied += n;
+        self.moved.notify_all();
+    }
+
+    fn wait_until(&self, target: u64) {
+        let mut applied = self.applied.lock().unwrap_or_else(|e| e.into_inner());
+        while *applied < target {
+            applied = self.moved.wait(applied).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn current(&self) -> u64 {
+        *self.applied.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// The channel + writer-thread pair feeding a [`ShardedStore`].
+#[derive(Debug)]
+pub struct IngestPipeline {
+    sender: Option<Sender<Feedback>>,
+    writer: Option<JoinHandle<()>>,
+    submitted: AtomicU64,
+    progress: Arc<Progress>,
+}
+
+impl IngestPipeline {
+    /// Start the writer thread draining into `store`.
+    pub fn start(store: Arc<ShardedStore>, config: IngestConfig) -> Self {
+        let (sender, receiver) = bounded::<Feedback>(config.channel_capacity);
+        let progress = Arc::new(Progress::default());
+        let writer_progress = Arc::clone(&progress);
+        let batch_size = config.batch_size.max(1);
+        let writer = std::thread::spawn(move || {
+            drain(&store, &receiver, batch_size, &writer_progress);
+        });
+        IngestPipeline {
+            sender: Some(sender),
+            writer: Some(writer),
+            submitted: AtomicU64::new(0),
+            progress,
+        }
+    }
+
+    /// Enqueue one report, blocking while the channel is full.
+    pub fn submit(&self, feedback: Feedback) -> Result<(), IngestClosed> {
+        let sender = self.sender.as_ref().ok_or(IngestClosed)?;
+        sender.send(feedback).map_err(|_| IngestClosed)?;
+        self.submitted.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Reports accepted by [`IngestPipeline::submit`] so far.
+    pub fn submitted(&self) -> u64 {
+        self.submitted.load(Ordering::SeqCst)
+    }
+
+    /// Reports the writer has applied to the store so far.
+    pub fn applied(&self) -> u64 {
+        self.progress.current()
+    }
+
+    /// Reports queued but not yet applied.
+    pub fn backlog(&self) -> usize {
+        self.sender.as_ref().map(|s| s.len()).unwrap_or(0)
+    }
+
+    /// Block until everything submitted before this call is applied.
+    pub fn flush(&self) {
+        self.progress.wait_until(self.submitted());
+    }
+}
+
+impl Drop for IngestPipeline {
+    fn drop(&mut self) {
+        // Disconnect the channel; the writer drains what is queued, then
+        // exits, and we wait for it so no report is lost on shutdown.
+        drop(self.sender.take());
+        if let Some(writer) = self.writer.take() {
+            let _ = writer.join();
+        }
+    }
+}
+
+fn drain(
+    store: &ShardedStore,
+    receiver: &Receiver<Feedback>,
+    batch_size: usize,
+    progress: &Progress,
+) {
+    // Blocking recv for the first report of a batch, then opportunistic
+    // try_recv to gather whatever else is already queued.
+    while let Ok(first) = receiver.recv() {
+        let mut batch = Vec::with_capacity(batch_size);
+        batch.push(first);
+        while batch.len() < batch_size {
+            match receiver.try_recv() {
+                Ok(feedback) => batch.push(feedback),
+                Err(_) => break,
+            }
+        }
+        let applied = batch.len() as u64;
+        store.insert_batch(batch);
+        progress.add(applied);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsrep_core::id::{AgentId, ServiceId, SubjectId};
+    use wsrep_core::time::Time;
+
+    fn fb(rater: u64, service: u64) -> Feedback {
+        Feedback::scored(
+            AgentId::new(rater),
+            ServiceId::new(service),
+            0.5,
+            Time::ZERO,
+        )
+    }
+
+    #[test]
+    fn flush_observes_every_submitted_report() {
+        let store = Arc::new(ShardedStore::new(4));
+        let pipeline = IngestPipeline::start(Arc::clone(&store), IngestConfig::default());
+        for i in 0..500 {
+            pipeline.submit(fb(i, i % 11)).unwrap();
+        }
+        pipeline.flush();
+        assert_eq!(store.len(), 500);
+        assert_eq!(pipeline.applied(), 500);
+    }
+
+    #[test]
+    fn drop_drains_the_queue() {
+        let store = Arc::new(ShardedStore::new(2));
+        {
+            let pipeline = IngestPipeline::start(Arc::clone(&store), IngestConfig::default());
+            for i in 0..100 {
+                pipeline.submit(fb(i, 3)).unwrap();
+            }
+        } // drop: disconnect + join
+        assert_eq!(store.len(), 100);
+        let subject: SubjectId = ServiceId::new(3).into();
+        assert_eq!(store.epoch(subject), 100);
+    }
+
+    #[test]
+    fn tiny_channel_applies_backpressure_without_loss() {
+        let store = Arc::new(ShardedStore::new(2));
+        let config = IngestConfig {
+            channel_capacity: 2,
+            batch_size: 4,
+        };
+        let pipeline = IngestPipeline::start(Arc::clone(&store), config);
+        for i in 0..200 {
+            pipeline.submit(fb(i, i % 3)).unwrap();
+        }
+        pipeline.flush();
+        assert_eq!(store.len(), 200);
+    }
+}

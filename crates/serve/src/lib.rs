@@ -1,0 +1,30 @@
+//! # wsrep-serve — the reputation registry as a concurrent service
+//!
+//! The paper's Figure 2 places one central QoS registry between providers
+//! and consumers. The simulation crates model that registry single-
+//! threaded; this crate is the same registry grown into a production-shaped
+//! subsystem:
+//!
+//! - [`shard`] — the feedback log split over independently locked shards,
+//!   each tracking per-subject epochs;
+//! - [`ingest`] — a bounded channel + writer thread applying feedback in
+//!   per-shard batches;
+//! - [`cache`] — epoch-validated score memoization, so a hot subject costs
+//!   a map lookup instead of a log replay;
+//! - [`service`] — the query API: `publish` / `ingest` / `score` /
+//!   `top_k`, speaking the same [`Listing`](wsrep_sim::registry::Listing)
+//!   and [`Preferences`](wsrep_qos::preference::Preferences) types as the
+//!   simulator, and scoring through any
+//!   [`ReputationMechanism`](wsrep_core::mechanism::ReputationMechanism).
+
+pub mod cache;
+pub mod ingest;
+pub mod service;
+pub mod shard;
+
+pub use cache::ScoreCache;
+pub use ingest::{IngestClosed, IngestConfig, IngestPipeline};
+pub use service::{
+    MechanismFactory, RankedService, ReputationService, ServiceBuilder, ServiceStats,
+};
+pub use shard::ShardedStore;

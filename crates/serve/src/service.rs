@@ -1,0 +1,406 @@
+//! The served reputation registry.
+//!
+//! [`ReputationService`] is the paper's Figure 2 central QoS registry
+//! grown into a thread-safe service: providers `publish` listings,
+//! consumers `ingest` feedback (batched, through the bounded pipeline) and
+//! ask for `score`s and `top_k` rankings. Scoring replays the subject's
+//! shard log through a pluggable [`ReputationMechanism`] via
+//! [`score_from_log`] — the same entry point offline analysis uses — and
+//! memoizes the answer in the epoch-validated cache.
+//!
+//! Reads are eventually consistent with respect to ingestion: a query
+//! reflects the reports the writer has applied, not the ones still queued.
+//! Call [`ReputationService::flush`] for a consistency point.
+
+use crate::cache::ScoreCache;
+use crate::ingest::{IngestClosed, IngestConfig, IngestPipeline};
+use crate::shard::ShardedStore;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+use wsrep_core::feedback::Feedback;
+use wsrep_core::id::{ProviderId, ServiceId, SubjectId};
+use wsrep_core::mechanism::{score_from_log, ReputationMechanism};
+use wsrep_core::mechanisms::beta::BetaMechanism;
+use wsrep_core::trust::TrustEstimate;
+use wsrep_qos::metric::Metric;
+use wsrep_qos::normalize::NormalizationMatrix;
+use wsrep_qos::preference::Preferences;
+use wsrep_qos::value::QosVector;
+use wsrep_sim::registry::{search_category, Listing, PublishStatus, RegistryError};
+
+/// Builds a fresh mechanism instance for one scoring pass.
+pub type MechanismFactory = Box<dyn Fn() -> Box<dyn ReputationMechanism> + Send + Sync>;
+
+/// One entry of a [`ReputationService::top_k`] answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedService {
+    /// The ranked service.
+    pub service: ServiceId,
+    /// Its provider.
+    pub provider: ProviderId,
+    /// Advertised-QoS score in `[0, 1]` from the normalization matrix.
+    pub qos_score: f64,
+    /// Reputation evidence, when any feedback exists.
+    pub reputation: Option<TrustEstimate>,
+    /// The blended ranking score.
+    pub score: f64,
+}
+
+/// Operational counters for dashboards and benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Shards in the feedback store.
+    pub shards: usize,
+    /// Published listings.
+    pub listings: usize,
+    /// Feedback reports applied to the store.
+    pub feedback: u64,
+    /// Reports accepted but possibly still queued.
+    pub submitted: u64,
+    /// Score queries answered from the cache.
+    pub cache_hits: u64,
+    /// Score queries that recomputed.
+    pub cache_misses: u64,
+}
+
+/// Configures and builds a [`ReputationService`].
+pub struct ServiceBuilder {
+    shards: usize,
+    ingest: IngestConfig,
+    reputation_weight: f64,
+    factory: MechanismFactory,
+}
+
+impl Default for ServiceBuilder {
+    fn default() -> Self {
+        ServiceBuilder {
+            shards: 8,
+            ingest: IngestConfig::default(),
+            reputation_weight: 0.5,
+            factory: Box::new(|| Box::new(BetaMechanism::new())),
+        }
+    }
+}
+
+impl ServiceBuilder {
+    /// Number of store shards (clamped to at least 1).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Bounded ingest channel capacity.
+    pub fn channel_capacity(mut self, capacity: usize) -> Self {
+        self.ingest.channel_capacity = capacity;
+        self
+    }
+
+    /// Most reports the writer applies per wake-up.
+    pub fn batch_size(mut self, batch: usize) -> Self {
+        self.ingest.batch_size = batch;
+        self
+    }
+
+    /// Weight of reputation vs advertised QoS in `top_k` (clamped to
+    /// `[0, 1]`; 0 ranks purely on claims, 1 purely on reputation).
+    pub fn reputation_weight(mut self, weight: f64) -> Self {
+        self.reputation_weight = weight.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The reputation mechanism scoring queries replay feedback through.
+    pub fn mechanism<F, M>(mut self, factory: F) -> Self
+    where
+        F: Fn() -> M + Send + Sync + 'static,
+        M: ReputationMechanism + 'static,
+    {
+        self.factory = Box::new(move || Box::new(factory()));
+        self
+    }
+
+    /// Start the service (spawns the ingest writer thread).
+    pub fn build(self) -> ReputationService {
+        let store = Arc::new(ShardedStore::new(self.shards));
+        let ingest = IngestPipeline::start(Arc::clone(&store), self.ingest);
+        ReputationService {
+            store,
+            cache: ScoreCache::new(),
+            listings: RwLock::new(BTreeMap::new()),
+            reputation_weight: self.reputation_weight,
+            factory: self.factory,
+            ingest,
+        }
+    }
+}
+
+/// Thread-safe reputation registry: sharded store + batched ingestion +
+/// epoch-validated score cache + preference-aware top-k.
+pub struct ReputationService {
+    store: Arc<ShardedStore>,
+    cache: ScoreCache,
+    listings: RwLock<BTreeMap<ServiceId, Listing>>,
+    reputation_weight: f64,
+    factory: MechanismFactory,
+    ingest: IngestPipeline,
+}
+
+impl fmt::Debug for ReputationService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReputationService")
+            .field("shards", &self.store.num_shards())
+            .field("listings", &self.listings.read().len())
+            .field("feedback", &self.store.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for ReputationService {
+    fn default() -> Self {
+        Self::builder().build()
+    }
+}
+
+impl ReputationService {
+    /// Configure a service.
+    pub fn builder() -> ServiceBuilder {
+        ServiceBuilder::default()
+    }
+
+    /// Publish (or update) a listing. The served registry has no down
+    /// state — publication always succeeds.
+    pub fn publish(&self, listing: Listing) -> PublishStatus {
+        match self.listings.write().insert(listing.service, listing) {
+            Some(_) => PublishStatus::Updated,
+            None => PublishStatus::Created,
+        }
+    }
+
+    /// Remove a listing.
+    pub fn deregister(&self, service: ServiceId) -> Result<(), RegistryError> {
+        if self.listings.write().remove(&service).is_some() {
+            Ok(())
+        } else {
+            Err(RegistryError::NotFound)
+        }
+    }
+
+    /// Look up one listing.
+    pub fn listing(&self, service: ServiceId) -> Option<Listing> {
+        self.listings.read().get(&service).cloned()
+    }
+
+    /// Every listing in `category`, through the same [`search_category`]
+    /// the simulated UDDI registry answers with.
+    pub fn search(&self, category: u32) -> Vec<Listing> {
+        let listings = self.listings.read();
+        search_category(listings.values(), category)
+            .into_iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Enqueue one feedback report (blocks while the channel is full).
+    pub fn ingest(&self, feedback: Feedback) -> Result<(), IngestClosed> {
+        self.ingest.submit(feedback)
+    }
+
+    /// Block until everything ingested so far is applied and queryable.
+    pub fn flush(&self) {
+        self.ingest.flush();
+    }
+
+    /// The subject's reputation, from cache when the store hasn't moved.
+    ///
+    /// `None` means no evidence: either nothing was ever reported, or the
+    /// mechanism abstains.
+    pub fn score(&self, subject: SubjectId) -> Option<TrustEstimate> {
+        let epoch = self.store.epoch(subject);
+        if epoch == 0 {
+            return None;
+        }
+        self.cache.get_or_compute(subject, epoch, || {
+            self.store.with_subject_shard(subject, |shard| {
+                let mut mechanism = (self.factory)();
+                score_from_log(mechanism.as_mut(), shard.store().about(subject), subject)
+            })
+        })
+    }
+
+    /// The `k` best services in `category` under `prefs`.
+    ///
+    /// Advertised claims are normalized Liu–Ngu–Zeng style across the
+    /// category's candidates; each candidate's claim score is blended with
+    /// its reputation (ignorance counts as the neutral 0.5 prior) by the
+    /// configured weight, and ties keep the deterministic listing order.
+    pub fn top_k(&self, category: u32, prefs: &Preferences, k: usize) -> Vec<RankedService> {
+        let candidates = self.search(category);
+        if candidates.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let vectors: Vec<QosVector> = candidates.iter().map(|l| l.advertised.clone()).collect();
+        let mut metrics: Vec<Metric> = vectors.iter().flat_map(|v| v.metrics()).collect();
+        metrics.sort();
+        metrics.dedup();
+        let matrix = NormalizationMatrix::new(&vectors, &metrics);
+        let mut qos_scores = vec![0.0; candidates.len()];
+        for s in matrix.scores(prefs) {
+            qos_scores[s.candidate] = s.score;
+        }
+        let w = self.reputation_weight;
+        let mut ranked: Vec<RankedService> = candidates
+            .into_iter()
+            .zip(qos_scores)
+            .map(|(listing, qos_score)| {
+                let reputation = self.score(listing.service.into());
+                let rep_value = reputation
+                    .map(|e| e.value.get())
+                    .unwrap_or_else(|| TrustEstimate::ignorance().value.get());
+                RankedService {
+                    service: listing.service,
+                    provider: listing.provider,
+                    qos_score,
+                    reputation,
+                    score: (1.0 - w) * qos_score + w * rep_value,
+                }
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// Operational counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            shards: self.store.num_shards(),
+            listings: self.listings.read().len(),
+            feedback: self.store.len() as u64,
+            submitted: self.ingest.submitted(),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+        }
+    }
+
+    /// The shared sharded store (for tests and benchmarks).
+    pub fn store(&self) -> &Arc<ShardedStore> {
+        &self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsrep_core::id::AgentId;
+    use wsrep_core::time::Time;
+
+    fn listing(service: u64, category: u32, price: f64, accuracy: f64) -> Listing {
+        Listing {
+            service: ServiceId::new(service),
+            provider: ProviderId::new(service),
+            category,
+            advertised: QosVector::from_pairs([
+                (Metric::Price, price),
+                (Metric::Accuracy, accuracy),
+            ]),
+        }
+    }
+
+    fn feedback(rater: u64, service: u64, score: f64, at: u64) -> Feedback {
+        Feedback::scored(
+            AgentId::new(rater),
+            ServiceId::new(service),
+            score,
+            Time::new(at),
+        )
+    }
+
+    #[test]
+    fn publish_search_and_deregister() {
+        let svc = ReputationService::builder().shards(2).build();
+        assert_eq!(svc.publish(listing(1, 0, 5.0, 0.9)), PublishStatus::Created);
+        assert_eq!(svc.publish(listing(1, 0, 4.0, 0.9)), PublishStatus::Updated);
+        assert_eq!(svc.publish(listing(2, 7, 2.0, 0.5)), PublishStatus::Created);
+        assert_eq!(svc.search(0).len(), 1);
+        assert_eq!(svc.search(7).len(), 1);
+        assert_eq!(svc.deregister(ServiceId::new(2)), Ok(()));
+        assert_eq!(
+            svc.deregister(ServiceId::new(2)),
+            Err(RegistryError::NotFound)
+        );
+        assert_eq!(svc.search(7).len(), 0);
+    }
+
+    #[test]
+    fn score_reflects_flushed_feedback_and_caches() {
+        let svc = ReputationService::default();
+        let subject: SubjectId = ServiceId::new(1).into();
+        assert_eq!(svc.score(subject), None);
+        for i in 0..20 {
+            svc.ingest(feedback(i, 1, 0.9, i)).unwrap();
+        }
+        svc.flush();
+        let first = svc.score(subject).expect("evidence exists");
+        assert!(first.value.get() > 0.5, "20 positive reports");
+        let again = svc.score(subject).unwrap();
+        assert_eq!(first, again);
+        let stats = svc.stats();
+        assert!(stats.cache_hits >= 1, "second query must hit: {stats:?}");
+        assert_eq!(stats.feedback, 20);
+    }
+
+    #[test]
+    fn new_feedback_invalidates_the_cached_score() {
+        let svc = ReputationService::default();
+        let subject: SubjectId = ServiceId::new(1).into();
+        svc.ingest(feedback(0, 1, 0.95, 0)).unwrap();
+        svc.flush();
+        let optimistic = svc.score(subject).unwrap();
+        for i in 1..30 {
+            svc.ingest(feedback(i, 1, 0.05, i)).unwrap();
+        }
+        svc.flush();
+        let corrected = svc.score(subject).unwrap();
+        assert!(
+            corrected.value.get() < optimistic.value.get(),
+            "29 negative reports must drag the score down"
+        );
+    }
+
+    #[test]
+    fn top_k_blends_claims_with_reputation() {
+        let svc = ReputationService::builder().reputation_weight(0.5).build();
+        // Same category, same claims — only reputation can separate them.
+        svc.publish(listing(1, 0, 5.0, 0.9));
+        svc.publish(listing(2, 0, 5.0, 0.9));
+        for i in 0..15 {
+            svc.ingest(feedback(i, 1, 0.95, i)).unwrap();
+            svc.ingest(feedback(i, 2, 0.05, i)).unwrap();
+        }
+        svc.flush();
+        let prefs = Preferences::uniform([Metric::Price, Metric::Accuracy]);
+        let top = svc.top_k(0, &prefs, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].service, ServiceId::new(1));
+        assert!(top[0].score > top[1].score);
+        assert_eq!(svc.top_k(0, &prefs, 1).len(), 1);
+        assert_eq!(svc.top_k(99, &prefs, 5), Vec::new());
+    }
+
+    #[test]
+    fn unrated_services_rank_by_claims_alone() {
+        let svc = ReputationService::builder().reputation_weight(0.5).build();
+        svc.publish(listing(1, 0, 1.0, 0.9)); // cheap and accurate
+        svc.publish(listing(2, 0, 9.0, 0.2)); // pricey and sloppy
+        let prefs = Preferences::uniform([Metric::Price, Metric::Accuracy]);
+        let top = svc.top_k(0, &prefs, 5);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].service, ServiceId::new(1));
+        assert!(top.iter().all(|r| r.reputation.is_none()));
+    }
+}

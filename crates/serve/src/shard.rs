@@ -1,0 +1,205 @@
+//! The sharded feedback store behind the served registry.
+//!
+//! The single-threaded [`FeedbackStore`] is the unit of storage; this
+//! module spreads one store per shard, keyed by a hash of the subject, so
+//! ingestion and queries touching different subjects proceed in parallel.
+//! Every report about one subject lands in exactly one shard, which keeps
+//! per-subject scoring local: a score never needs more than one read lock.
+//!
+//! Each shard also tracks a per-subject **epoch** — a counter bumped on
+//! every report about that subject. The score cache stamps entries with
+//! the epoch it computed from; a stale epoch is a cache miss, so readers
+//! can never serve a score that silently ignores applied feedback.
+
+use parking_lot::RwLock;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use wsrep_core::feedback::Feedback;
+use wsrep_core::id::SubjectId;
+use wsrep_core::store::FeedbackStore;
+
+/// One shard: a plain feedback store plus the epoch counters of the
+/// subjects it owns.
+#[derive(Debug, Default)]
+pub struct Shard {
+    store: FeedbackStore,
+    epochs: BTreeMap<SubjectId, u64>,
+}
+
+impl Shard {
+    /// The shard's underlying append-only store.
+    pub fn store(&self) -> &FeedbackStore {
+        &self.store
+    }
+
+    /// How many reports about `subject` this shard has applied
+    /// (0 = never seen).
+    pub fn epoch(&self, subject: SubjectId) -> u64 {
+        self.epochs.get(&subject).copied().unwrap_or(0)
+    }
+
+    fn push(&mut self, feedback: Feedback) {
+        *self.epochs.entry(feedback.subject).or_insert(0) += 1;
+        self.store.push(feedback);
+    }
+}
+
+/// A fixed set of independently locked shards.
+///
+/// All methods take `&self`; interior mutability lives in the per-shard
+/// `RwLock`s, so the store can sit behind an `Arc` and be hit from any
+/// number of ingest and query threads at once.
+#[derive(Debug)]
+pub struct ShardedStore {
+    shards: Vec<RwLock<Shard>>,
+}
+
+impl ShardedStore {
+    /// A store with `shards` independent locks (at least one).
+    pub fn new(shards: usize) -> Self {
+        ShardedStore {
+            shards: (0..shards.max(1)).map(|_| RwLock::default()).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index owning `subject`.
+    pub fn shard_of(&self, subject: SubjectId) -> usize {
+        let mut hasher = DefaultHasher::new();
+        subject.hash(&mut hasher);
+        (hasher.finish() % self.shards.len() as u64) as usize
+    }
+
+    /// Apply one report.
+    pub fn insert(&self, feedback: Feedback) {
+        let idx = self.shard_of(feedback.subject);
+        self.shards[idx].write().push(feedback);
+    }
+
+    /// Apply a batch, taking each shard's write lock once.
+    ///
+    /// This is what makes batched ingestion pay: a batch of B reports
+    /// spread over S shards costs at most `min(B, S)` lock acquisitions
+    /// instead of B.
+    pub fn insert_batch(&self, batch: Vec<Feedback>) {
+        let mut per_shard: Vec<Vec<Feedback>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for feedback in batch {
+            per_shard[self.shard_of(feedback.subject)].push(feedback);
+        }
+        for (idx, group) in per_shard.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[idx].write();
+            for feedback in group {
+                shard.push(feedback);
+            }
+        }
+    }
+
+    /// The subject's current epoch (0 = no evidence yet).
+    pub fn epoch(&self, subject: SubjectId) -> u64 {
+        self.shards[self.shard_of(subject)].read().epoch(subject)
+    }
+
+    /// Snapshot of every report about `subject`, oldest first.
+    pub fn about(&self, subject: SubjectId) -> Vec<Feedback> {
+        self.shards[self.shard_of(subject)]
+            .read()
+            .store
+            .about(subject)
+            .cloned()
+            .collect()
+    }
+
+    /// Run `f` against the shard owning `subject` under its read lock —
+    /// scoring without copying the log out.
+    pub fn with_subject_shard<R>(&self, subject: SubjectId, f: impl FnOnce(&Shard) -> R) -> R {
+        f(&self.shards[self.shard_of(subject)].read())
+    }
+
+    /// Reports held by shard `idx`.
+    pub fn shard_len(&self, idx: usize) -> usize {
+        self.shards[idx].read().store.len()
+    }
+
+    /// Total reports across all shards.
+    pub fn len(&self) -> usize {
+        (0..self.shards.len()).map(|i| self.shard_len(i)).sum()
+    }
+
+    /// Whether no report has been applied anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsrep_core::id::{AgentId, ServiceId};
+    use wsrep_core::time::Time;
+
+    fn fb(rater: u64, service: u64, score: f64) -> Feedback {
+        Feedback::scored(
+            AgentId::new(rater),
+            ServiceId::new(service),
+            score,
+            Time::ZERO,
+        )
+    }
+
+    #[test]
+    fn subject_always_maps_to_the_same_shard() {
+        let store = ShardedStore::new(8);
+        let s: SubjectId = ServiceId::new(42).into();
+        let first = store.shard_of(s);
+        for _ in 0..10 {
+            assert_eq!(store.shard_of(s), first);
+        }
+    }
+
+    #[test]
+    fn epochs_count_reports_per_subject() {
+        let store = ShardedStore::new(4);
+        let s: SubjectId = ServiceId::new(1).into();
+        assert_eq!(store.epoch(s), 0);
+        store.insert(fb(0, 1, 0.9));
+        store.insert(fb(1, 1, 0.4));
+        store.insert(fb(0, 2, 0.7));
+        assert_eq!(store.epoch(s), 2);
+        assert_eq!(store.epoch(ServiceId::new(2).into()), 1);
+        assert_eq!(store.len(), 3);
+    }
+
+    #[test]
+    fn batch_equals_sequential_inserts() {
+        let batch: Vec<Feedback> = (0..40).map(|i| fb(i, i % 7, 0.5)).collect();
+        let batched = ShardedStore::new(4);
+        batched.insert_batch(batch.clone());
+        let sequential = ShardedStore::new(4);
+        for f in batch {
+            sequential.insert(f);
+        }
+        assert_eq!(batched.len(), sequential.len());
+        for service in 0..7u64 {
+            let s: SubjectId = ServiceId::new(service).into();
+            assert_eq!(batched.epoch(s), sequential.epoch(s));
+            assert_eq!(batched.about(s), sequential.about(s));
+        }
+    }
+
+    #[test]
+    fn zero_shards_is_clamped_to_one() {
+        let store = ShardedStore::new(0);
+        assert_eq!(store.num_shards(), 1);
+        store.insert(fb(0, 1, 0.5));
+        assert_eq!(store.len(), 1);
+    }
+}

@@ -203,8 +203,22 @@ mod tests {
     fn honest_scores_track_quality() {
         let c = consumer(RaterBehavior::Honest);
         let mut rng = StdRng::seed_from_u64(1);
-        let good = c.report(&mut rng, ServiceId::new(1), ProviderId::new(0), &good_observation(), bounds, Time::ZERO);
-        let bad = c.report(&mut rng, ServiceId::new(1), ProviderId::new(0), &bad_observation(), bounds, Time::ZERO);
+        let good = c.report(
+            &mut rng,
+            ServiceId::new(1),
+            ProviderId::new(0),
+            &good_observation(),
+            bounds,
+            Time::ZERO,
+        );
+        let bad = c.report(
+            &mut rng,
+            ServiceId::new(1),
+            ProviderId::new(0),
+            &bad_observation(),
+            bounds,
+            Time::ZERO,
+        );
         assert!(good.score > 0.8);
         assert!(bad.score < 0.2);
         assert_eq!(good.observed, good_observation());
@@ -216,8 +230,22 @@ mod tests {
         targets.insert(ProviderId::new(7));
         let c = consumer(RaterBehavior::BallotStuffer { targets });
         let mut rng = StdRng::seed_from_u64(2);
-        let on_target = c.report(&mut rng, ServiceId::new(1), ProviderId::new(7), &bad_observation(), bounds, Time::ZERO);
-        let off_target = c.report(&mut rng, ServiceId::new(2), ProviderId::new(8), &bad_observation(), bounds, Time::ZERO);
+        let on_target = c.report(
+            &mut rng,
+            ServiceId::new(1),
+            ProviderId::new(7),
+            &bad_observation(),
+            bounds,
+            Time::ZERO,
+        );
+        let off_target = c.report(
+            &mut rng,
+            ServiceId::new(2),
+            ProviderId::new(8),
+            &bad_observation(),
+            bounds,
+            Time::ZERO,
+        );
         assert_eq!(on_target.score, 1.0);
         assert!(off_target.score < 0.2);
         // The claimed measurements are also falsified for the target.
@@ -230,7 +258,14 @@ mod tests {
         targets.insert(ProviderId::new(7));
         let c = consumer(RaterBehavior::BadMouther { targets });
         let mut rng = StdRng::seed_from_u64(3);
-        let on_target = c.report(&mut rng, ServiceId::new(1), ProviderId::new(7), &good_observation(), bounds, Time::ZERO);
+        let on_target = c.report(
+            &mut rng,
+            ServiceId::new(1),
+            ProviderId::new(7),
+            &good_observation(),
+            bounds,
+            Time::ZERO,
+        );
         assert_eq!(on_target.score, 0.0);
         assert!(on_target.observed.get(Metric::ResponseTime).unwrap() > 700.0);
     }
@@ -241,8 +276,22 @@ mod tests {
         ring.insert(ProviderId::new(1));
         let c = consumer(RaterBehavior::Collusive { ring });
         let mut rng = StdRng::seed_from_u64(4);
-        let friend = c.report(&mut rng, ServiceId::new(1), ProviderId::new(1), &bad_observation(), bounds, Time::ZERO);
-        let foe = c.report(&mut rng, ServiceId::new(2), ProviderId::new(2), &good_observation(), bounds, Time::ZERO);
+        let friend = c.report(
+            &mut rng,
+            ServiceId::new(1),
+            ProviderId::new(1),
+            &bad_observation(),
+            bounds,
+            Time::ZERO,
+        );
+        let foe = c.report(
+            &mut rng,
+            ServiceId::new(2),
+            ProviderId::new(2),
+            &good_observation(),
+            bounds,
+            Time::ZERO,
+        );
         assert_eq!(friend.score, 1.0);
         assert_eq!(foe.score, 0.0);
     }
@@ -252,7 +301,14 @@ mod tests {
         let c = consumer(RaterBehavior::Random);
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..50 {
-            let fb = c.report(&mut rng, ServiceId::new(1), ProviderId::new(0), &good_observation(), bounds, Time::ZERO);
+            let fb = c.report(
+                &mut rng,
+                ServiceId::new(1),
+                ProviderId::new(0),
+                &good_observation(),
+                bounds,
+                Time::ZERO,
+            );
             assert!((0.0..=1.0).contains(&fb.score));
         }
     }
@@ -261,7 +317,14 @@ mod tests {
     fn facet_ratings_cover_preference_metrics() {
         let c = consumer(RaterBehavior::Honest);
         let mut rng = StdRng::seed_from_u64(6);
-        let fb = c.report(&mut rng, ServiceId::new(1), ProviderId::new(0), &good_observation(), bounds, Time::ZERO);
+        let fb = c.report(
+            &mut rng,
+            ServiceId::new(1),
+            ProviderId::new(0),
+            &good_observation(),
+            bounds,
+            Time::ZERO,
+        );
         assert!(fb.facet_ratings.contains_key(&Metric::ResponseTime));
         assert!(fb.facet_ratings.contains_key(&Metric::Availability));
         assert!(fb.facet_ratings[&Metric::ResponseTime] > 0.8);

@@ -8,9 +8,55 @@
 //! returned) — the staleness the paper attributes to dynamic environments.
 
 use std::collections::BTreeMap;
+use std::fmt;
 use wsrep_core::id::{ProviderId, ServiceId};
 use wsrep_core::store::FeedbackStore;
 use wsrep_qos::value::QosVector;
+
+/// Why a registry operation was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The central server is unreachable — Figure 2's single point of
+    /// failure in action.
+    Down,
+    /// No listing exists for the given service.
+    NotFound,
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Down => write!(f, "registry is down"),
+            RegistryError::NotFound => write!(f, "service is not listed"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// What a successful publish did to the listing table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PublishStatus {
+    /// A new listing was created.
+    Created,
+    /// An existing listing was replaced in place.
+    Updated,
+}
+
+/// Category search over any listing collection.
+///
+/// Both [`UddiRegistry::search`] and the served registry
+/// (`wsrep-serve`) answer lookups through this one function, so the
+/// simulated and served paths cannot drift apart.
+pub fn search_category<'a, I>(listings: I, category: u32) -> Vec<&'a Listing>
+where
+    I: IntoIterator<Item = &'a Listing>,
+{
+    listings
+        .into_iter()
+        .filter(|l| l.category == category)
+        .collect()
+}
 
 /// A published service entry.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,23 +86,29 @@ impl UddiRegistry {
         Self::default()
     }
 
-    /// Publish (or update) a service listing. Fails silently while the
-    /// registry is down — providers cannot reach it.
-    pub fn publish(&mut self, listing: Listing) -> bool {
+    /// Publish (or update) a service listing. Rejected while the registry
+    /// is down — providers cannot reach it.
+    pub fn publish(&mut self, listing: Listing) -> Result<PublishStatus, RegistryError> {
         if self.down {
-            return false;
+            return Err(RegistryError::Down);
         }
-        self.listings.insert(listing.service, listing);
-        true
+        match self.listings.insert(listing.service, listing) {
+            Some(_) => Ok(PublishStatus::Updated),
+            None => Ok(PublishStatus::Created),
+        }
     }
 
-    /// Remove a listing (provider withdrawal). No-op while down, which is
-    /// exactly how stale entries accumulate.
-    pub fn withdraw(&mut self, service: ServiceId) -> bool {
+    /// Remove a listing (provider withdrawal). Rejected while down, which
+    /// is exactly how stale entries accumulate.
+    pub fn withdraw(&mut self, service: ServiceId) -> Result<(), RegistryError> {
         if self.down {
-            return false;
+            return Err(RegistryError::Down);
         }
-        self.listings.remove(&service).is_some()
+        if self.listings.remove(&service).is_some() {
+            Ok(())
+        } else {
+            Err(RegistryError::NotFound)
+        }
     }
 
     /// Search by function category. Returns `None` while the registry is
@@ -65,12 +117,7 @@ impl UddiRegistry {
         if self.down {
             return None;
         }
-        Some(
-            self.listings
-                .values()
-                .filter(|l| l.category == category)
-                .collect(),
-        )
+        Some(search_category(self.listings.values(), category))
     }
 
     /// Look up one listing.
@@ -108,13 +155,16 @@ impl UddiRegistry {
     }
 
     /// Accept a consumer feedback report into the central QoS store.
-    /// Dropped while down.
-    pub fn accept_feedback(&mut self, feedback: wsrep_core::feedback::Feedback) -> bool {
+    /// Rejected while down.
+    pub fn accept_feedback(
+        &mut self,
+        feedback: wsrep_core::feedback::Feedback,
+    ) -> Result<(), RegistryError> {
         if self.down {
-            return false;
+            return Err(RegistryError::Down);
         }
         self.qos_store.push(feedback);
-        true
+        Ok(())
     }
 }
 
@@ -137,9 +187,9 @@ mod tests {
     #[test]
     fn publish_and_search_by_category() {
         let mut r = UddiRegistry::new();
-        assert!(r.publish(listing(1, 10)));
-        assert!(r.publish(listing(2, 10)));
-        assert!(r.publish(listing(3, 20)));
+        assert_eq!(r.publish(listing(1, 10)), Ok(PublishStatus::Created));
+        assert_eq!(r.publish(listing(2, 10)), Ok(PublishStatus::Created));
+        assert_eq!(r.publish(listing(3, 20)), Ok(PublishStatus::Created));
         assert_eq!(r.search(10).unwrap().len(), 2);
         assert_eq!(r.search(20).unwrap().len(), 1);
         assert_eq!(r.search(99).unwrap().len(), 0);
@@ -148,18 +198,21 @@ mod tests {
     #[test]
     fn down_registry_serves_nothing_and_accepts_nothing() {
         let mut r = UddiRegistry::new();
-        r.publish(listing(1, 10));
+        r.publish(listing(1, 10)).unwrap();
         r.fail();
         assert!(!r.is_up());
         assert_eq!(r.search(10), None);
         assert_eq!(r.listing(ServiceId::new(1)), None);
-        assert!(!r.publish(listing(2, 10)));
-        assert!(!r.accept_feedback(Feedback::scored(
-            AgentId::new(0),
-            ServiceId::new(1),
-            0.5,
-            Time::ZERO
-        )));
+        assert_eq!(r.publish(listing(2, 10)), Err(RegistryError::Down));
+        assert_eq!(
+            r.accept_feedback(Feedback::scored(
+                AgentId::new(0),
+                ServiceId::new(1),
+                0.5,
+                Time::ZERO
+            )),
+            Err(RegistryError::Down)
+        );
         r.recover();
         assert_eq!(r.search(10).unwrap().len(), 1);
     }
@@ -167,14 +220,16 @@ mod tests {
     #[test]
     fn withdrawal_fails_while_down_leaving_stale_entries() {
         let mut r = UddiRegistry::new();
-        r.publish(listing(1, 10));
+        r.publish(listing(1, 10)).unwrap();
         r.fail();
-        assert!(!r.withdraw(ServiceId::new(1)));
+        assert_eq!(r.withdraw(ServiceId::new(1)), Err(RegistryError::Down));
         r.recover();
         // The stale entry is still served.
         assert_eq!(r.search(10).unwrap().len(), 1);
-        assert!(r.withdraw(ServiceId::new(1)));
+        assert_eq!(r.withdraw(ServiceId::new(1)), Ok(()));
         assert!(r.is_empty());
+        // A second withdrawal reports the missing listing.
+        assert_eq!(r.withdraw(ServiceId::new(1)), Err(RegistryError::NotFound));
     }
 
     #[test]
@@ -185,18 +240,27 @@ mod tests {
             ServiceId::new(1),
             0.9,
             Time::ZERO,
-        ));
+        ))
+        .unwrap();
         assert_eq!(r.qos_store.len(), 1);
     }
 
     #[test]
     fn republish_updates_in_place() {
         let mut r = UddiRegistry::new();
-        r.publish(listing(1, 10));
+        assert_eq!(r.publish(listing(1, 10)), Ok(PublishStatus::Created));
         let mut updated = listing(1, 10);
         updated.category = 30;
-        r.publish(updated);
+        assert_eq!(r.publish(updated), Ok(PublishStatus::Updated));
         assert_eq!(r.len(), 1);
         assert_eq!(r.listing(ServiceId::new(1)).unwrap().category, 30);
+    }
+
+    #[test]
+    fn search_category_filters_any_listing_collection() {
+        let ls = [listing(1, 10), listing(2, 20), listing(3, 10)];
+        let hits = search_category(ls.iter(), 10);
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|l| l.category == 10));
     }
 }

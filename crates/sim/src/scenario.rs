@@ -150,15 +150,15 @@ mod tests {
     use rand::SeedableRng;
 
     fn offer(tech_good: bool, general_good: bool) -> MediatedOffer {
-        let (rt, rt_j) = if tech_good { (30.0, 2.0) } else { (700.0, 10.0) };
+        let (rt, rt_j) = if tech_good {
+            (30.0, 2.0)
+        } else {
+            (700.0, 10.0)
+        };
         let gq = if general_good { 0.95 } else { 0.15 };
         MediatedOffer {
             intermediary: ServiceId::new(1),
-            intermediary_quality: QualityProfile::from_triples([(
-                Metric::ResponseTime,
-                rt,
-                rt_j,
-            )]),
+            intermediary_quality: QualityProfile::from_triples([(Metric::ResponseTime, rt, rt_j)]),
             general: GeneralService {
                 id: ServiceId::new(100),
                 quality: QualityProfile::from_triples([
@@ -214,12 +214,13 @@ mod tests {
     #[test]
     fn outcome_fields_are_bounded() {
         let mut rng = StdRng::seed_from_u64(7);
-        let out = invoke_mediated(&mut rng, &offer(true, true), MediationWeights::default(), bounds);
-        for v in [
-            out.intermediary_utility,
-            out.general_utility,
-            out.composite,
-        ] {
+        let out = invoke_mediated(
+            &mut rng,
+            &offer(true, true),
+            MediationWeights::default(),
+            bounds,
+        );
+        for v in [out.intermediary_utility, out.general_utility, out.composite] {
             assert!((0.0..=1.0).contains(&v));
         }
     }

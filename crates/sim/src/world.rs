@@ -170,12 +170,14 @@ impl World {
                         advertised: advertised.clone(),
                     },
                 );
-                registry.publish(Listing {
-                    service: sid,
-                    provider: pid,
-                    category: 0,
-                    advertised,
-                });
+                registry
+                    .publish(Listing {
+                        service: sid,
+                        provider: pid,
+                        category: 0,
+                        advertised,
+                    })
+                    .expect("fresh registry is up during generation");
             }
             providers.insert(pid, provider);
         }
@@ -263,19 +265,18 @@ impl World {
         let Some(svc) = self.services.get(&service) else {
             return 0.0;
         };
-        consumer.prefs.utility_raw(&svc.quality.means(), metric_range)
+        consumer
+            .prefs
+            .utility_raw(&svc.quality.means(), metric_range)
     }
 
     /// The oracle-best service for a consumer (maximal expected utility).
     pub fn oracle_best(&self, consumer: &Consumer) -> Option<ServiceId> {
-        self.services
-            .keys()
-            .copied()
-            .max_by(|&a, &b| {
-                self.expected_utility(consumer, a)
-                    .partial_cmp(&self.expected_utility(consumer, b))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+        self.services.keys().copied().max_by(|&a, &b| {
+            self.expected_utility(consumer, a)
+                .partial_cmp(&self.expected_utility(consumer, b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
     }
 
     /// Provider whose mean service utility under `prefs` is highest.
@@ -383,11 +384,7 @@ impl World {
     /// when the provider is unknown, has no services, or the registry is
     /// down. This is what makes optimistic newcomer priors valuable —
     /// and what whitewashers mimic.
-    pub fn launch_improved(
-        &mut self,
-        provider: ProviderId,
-        improvement: f64,
-    ) -> Option<ServiceId> {
+    pub fn launch_improved(&mut self, provider: ProviderId, improvement: f64) -> Option<ServiceId> {
         if !self.registry.is_up() {
             return None;
         }
@@ -438,12 +435,14 @@ impl World {
             .expect("checked above")
             .services
             .push(new_id);
-        self.registry.publish(crate::registry::Listing {
-            service: new_id,
-            provider,
-            category: template.category,
-            advertised,
-        });
+        self.registry
+            .publish(crate::registry::Listing {
+                service: new_id,
+                provider,
+                category: template.category,
+                advertised,
+            })
+            .expect("registry verified up above");
         Some(new_id)
     }
 
@@ -466,7 +465,13 @@ impl World {
                 .map(|m| m + 1)
                 .unwrap_or(0),
         );
-        self.registry.withdraw(service);
+        // A whitewashed service may already be unlisted (withdrawn during
+        // an earlier outage); only a down registry would abort the attack,
+        // and that was ruled out above.
+        match self.registry.withdraw(service) {
+            Ok(()) | Err(crate::registry::RegistryError::NotFound) => {}
+            Err(e) => unreachable!("registry verified up above: {e}"),
+        }
         self.services.remove(&service);
         if let Some(p) = self.providers.get_mut(&old.provider) {
             p.services.retain(|&s| s != service);
@@ -483,12 +488,14 @@ impl World {
                 advertised: advertised.clone(),
             },
         );
-        self.registry.publish(crate::registry::Listing {
-            service: new_id,
-            provider: old.provider,
-            category: old.category,
-            advertised,
-        });
+        self.registry
+            .publish(crate::registry::Listing {
+                service: new_id,
+                provider: old.provider,
+                category: old.category,
+                advertised,
+            })
+            .expect("registry verified up above");
         Some(new_id)
     }
 }
@@ -675,8 +682,7 @@ mod tests {
             .map(|&s| prefs.utility_raw(&w.service(s).unwrap().quality.means(), metric_range))
             .fold(f64::MIN, f64::max);
         let v2 = w.launch_improved(provider, 0.1).unwrap();
-        let v2_utility =
-            prefs.utility_raw(&w.service(v2).unwrap().quality.means(), metric_range);
+        let v2_utility = prefs.utility_raw(&w.service(v2).unwrap().quality.means(), metric_range);
         assert!(v2_utility >= before_best, "{v2_utility} >= {before_best}");
         assert_eq!(w.provider_of(v2), Some(provider));
         assert!(w.registry.listing(v2).is_some());

@@ -20,22 +20,45 @@ fn main() {
     // 12 honest consumers: the good service really is good.
     for rater in 0..12u64 {
         for t in 0..5u64 {
-            store.push(Feedback::scored(AgentId::new(rater), good, 0.85, Time::new(t)));
-            store.push(Feedback::scored(AgentId::new(rater), poor, 0.25, Time::new(t)));
+            store.push(Feedback::scored(
+                AgentId::new(rater),
+                good,
+                0.85,
+                Time::new(t),
+            ));
+            store.push(Feedback::scored(
+                AgentId::new(rater),
+                poor,
+                0.25,
+                Time::new(t),
+            ));
         }
     }
     // 6 colluders: stuff the poor service, trash the good one.
     for rater in 100..106u64 {
         for t in 0..5u64 {
-            store.push(Feedback::scored(AgentId::new(rater), good, 0.0, Time::new(t)));
-            store.push(Feedback::scored(AgentId::new(rater), poor, 1.0, Time::new(t)));
+            store.push(Feedback::scored(
+                AgentId::new(rater),
+                good,
+                0.0,
+                Time::new(t),
+            ));
+            store.push(Feedback::scored(
+                AgentId::new(rater),
+                poor,
+                1.0,
+                Time::new(t),
+            ));
         }
     }
 
     // The observer is an honest consumer with first-hand experience.
     let observer = AgentId::new(0);
     println!("estimates after a 6-colluder attack (truth: good≈0.85, poor≈0.25):\n");
-    println!("{:<14} {:>12} {:>12} {:>16}", "defense", "good svc", "poor svc", "ranking intact?");
+    println!(
+        "{:<14} {:>12} {:>12} {:>16}",
+        "defense", "good svc", "poor svc", "ranking intact?"
+    );
     for defense in all_defenses() {
         let g = defense
             .estimate(&store, observer, good.into())

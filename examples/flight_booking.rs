@@ -91,7 +91,14 @@ fn main() {
             .means()
             .get(Metric::ResponseTime)
             .unwrap();
-        let airline = offer.general.quality.means().iter().map(|(_, v)| v).sum::<f64>() / 2.0;
+        let airline = offer
+            .general
+            .quality
+            .means()
+            .iter()
+            .map(|(_, v)| v)
+            .sum::<f64>()
+            / 2.0;
         println!("{name:<28} {rt:>10.0} {airline:>12.2} {rep:>10.3}");
         if best.map(|(_, b)| rep > b).unwrap_or(true) {
             best = Some((name, rep));

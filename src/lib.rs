@@ -14,4 +14,5 @@ pub use wsrep_net as net;
 pub use wsrep_qos as qos;
 pub use wsrep_robust as robust;
 pub use wsrep_select as select;
+pub use wsrep_serve as serve;
 pub use wsrep_sim as sim;

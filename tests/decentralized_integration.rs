@@ -60,7 +60,10 @@ fn distributed_and_centralized_eigentrust_agree() {
     for i in 0..12u64 {
         let c = central_trust[&SubjectId::Agent(a(i))];
         let d = out.trust[&a(i)];
-        assert!((c - d).abs() < 0.03, "peer {i}: centralized {c} vs distributed {d}");
+        assert!(
+            (c - d).abs() < 0.03,
+            "peer {i}: centralized {c} vs distributed {d}"
+        );
     }
     assert!(out.messages > 0);
 }
@@ -83,7 +86,10 @@ fn distributed_eigentrust_survives_latency_and_loss() {
     let out = protocol.run(&mut net);
     let defector = out.trust[&a(6)];
     for i in 0..6u64 {
-        assert!(out.trust[&a(i)] >= defector, "honest peer {i} must not trail");
+        assert!(
+            out.trust[&a(i)] >= defector,
+            "honest peer {i} must not trail"
+        );
     }
 }
 
@@ -168,7 +174,10 @@ fn eigentrust_recovers_after_partition_heals() {
     let max = others.iter().cloned().fold(f64::MIN, f64::max);
     let min = others.iter().cloned().fold(f64::MAX, f64::min);
     assert!(max - min < 0.05, "max {max} min {min}");
-    assert!(healed.trust[&a(0)] >= max, "the anchor keeps its pre-trust mass");
+    assert!(
+        healed.trust[&a(0)] >= max,
+        "the anchor keeps its pre-trust mass"
+    );
 }
 
 #[test]

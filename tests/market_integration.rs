@@ -10,7 +10,11 @@ use wsrep::select::eval::{Market, MarketConfig};
 use wsrep::select::strategy::{RandomSelect, ReputationSelect, SelectionStrategy};
 use wsrep::sim::world::{World, WorldConfig};
 
-fn run(strategy: &mut dyn SelectionStrategy, seed: u64, rounds: u64) -> wsrep::select::MarketReport {
+fn run(
+    strategy: &mut dyn SelectionStrategy,
+    seed: u64,
+    rounds: u64,
+) -> wsrep::select::MarketReport {
     let mut cfg = WorldConfig::small(seed);
     cfg.preference_heterogeneity = 0.0;
     let world = World::generate(cfg);
@@ -99,9 +103,8 @@ fn provider_bootstrap_needs_real_provider_correlation() {
         cfg.preference_heterogeneity = 0.0;
         cfg.provider_quality_correlation = correlation;
         let mut world = World::generate(cfg);
-        let mut mech = ProviderBootstrap::new(Box::new(
-            wsrep::core::mechanisms::beta::BetaMechanism::new(),
-        ));
+        let mut mech =
+            ProviderBootstrap::new(Box::new(wsrep::core::mechanisms::beta::BetaMechanism::new()));
         let mut established = Vec::new();
         let mut held_out = Vec::new();
         for p in world.providers.values() {
@@ -114,8 +117,7 @@ fn provider_bootstrap_needs_real_provider_correlation() {
         use wsrep::core::ReputationMechanism;
         for _ in 0..25 {
             for idx in 0..world.consumers.len() {
-                let pick = established
-                    [rand::Rng::gen_range(world.rng(), 0..established.len())];
+                let pick = established[rand::Rng::gen_range(world.rng(), 0..established.len())];
                 if let Some((_, fb)) = world.invoke_and_report(idx, pick) {
                     mech.submit(&fb);
                 }
@@ -150,7 +152,10 @@ fn provider_bootstrap_needs_real_provider_correlation() {
         corr9 > corr0 + 0.2,
         "pedigree must only help when it carries signal: corr0={corr0:.2} corr9={corr9:.2}"
     );
-    assert!(corr9 > 0.8, "strong correlation should find near-best picks");
+    assert!(
+        corr9 > 0.8,
+        "strong correlation should find near-best picks"
+    );
 }
 
 #[test]

@@ -107,7 +107,7 @@ fn sla_derived_from_honest_measurement_is_mostly_compliant() {
 fn sla_derived_from_a_lie_is_mostly_violated() {
     let mut rng = StdRng::seed_from_u64(12);
     let q = &profiles()[2]; // the slow bargain
-    // Advertised as the sprinter's figures.
+                            // Advertised as the sprinter's figures.
     let lie = profiles()[0].means();
     let sla = Sla::from_advertised(&lie, 0.3, 1.0, 1.0);
     let mut violations = 0;

@@ -43,7 +43,12 @@ fn attacked_market(
 
 /// True utility rank position (0 = best) of the service a defense would
 /// pick, judging all services by the defended estimates.
-fn rank_of_pick(world: &World, store: &FeedbackStore, observer: AgentId, defense: &dyn UnfairRatingDefense) -> usize {
+fn rank_of_pick(
+    world: &World,
+    store: &FeedbackStore,
+    observer: AgentId,
+    defense: &dyn UnfairRatingDefense,
+) -> usize {
     let prefs = wsrep::qos::preference::Preferences::uniform(world.metrics().to_vec());
     let mut by_truth: Vec<ServiceId> = world.services().map(|s| s.id).collect();
     by_truth.sort_by(|&x, &y| {
@@ -106,7 +111,11 @@ fn no_attack_means_all_defenses_pick_well() {
         // The majority opinion is boolean by construction: it separates
         // good from bad but cannot rank within the good class, so it only
         // guarantees a top-half pick.
-        let bound = if defense.name() == "majority" { n / 2 } else { n / 3 };
+        let bound = if defense.name() == "majority" {
+            n / 2
+        } else {
+            n / 3
+        };
         assert!(
             rank < bound,
             "{} picked rank {rank} of {n} in a clean market",

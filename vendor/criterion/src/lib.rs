@@ -1,0 +1,294 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Re-implements the API surface the workspace benches use —
+//! [`Criterion::bench_function`], benchmark groups with
+//! `bench_with_input` / `sample_size`, [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`black_box`], and the
+//! `criterion_group!` / `criterion_main!` macros — on a plain wall-clock
+//! loop. No statistics, plots, or outlier rejection: each benchmark warms
+//! up briefly, runs timed batches for a fixed budget, and prints the mean
+//! time per iteration. Good enough to compare orders of magnitude and to
+//! keep `cargo bench` wired end to end while offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration timing budget knobs shared by every benchmark.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    /// Total measurement budget per benchmark.
+    measurement: Duration,
+    /// Warm-up budget per benchmark.
+    warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_millis(200),
+            warm_up: Duration::from_millis(30),
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, &id.into().0, &mut f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API parity; the wall-clock harness sizes its own
+    /// sample counts from the time budget instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Shrink or grow the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.criterion.measurement = budget;
+        self
+    }
+
+    /// Benchmark a closure under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_one(self.criterion, &label, &mut f);
+        self
+    }
+
+    /// Benchmark a closure that borrows a prepared input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_one(self.criterion, &label, &mut |b| f(b, input));
+        self
+    }
+
+    /// End the group (printing happens per-benchmark already).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier; builds from strings or `name/parameter` pairs.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Just the parameter (the group provides the function name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// How `iter_batched` amortizes setup cost; accepted for API parity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh setup for every routine call.
+    PerIteration,
+}
+
+/// Passed to the benchmark closure; drives the timing loop.
+pub struct Bencher<'a> {
+    criterion: &'a Criterion,
+    /// (total elapsed, iterations) accumulated by the `iter*` calls.
+    samples: Vec<(Duration, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: let caches/branch predictors settle, untimed.
+        let warm_deadline = Instant::now() + self.criterion.warm_up;
+        while Instant::now() < warm_deadline {
+            black_box(routine());
+        }
+        let deadline = Instant::now() + self.criterion.measurement;
+        let mut batch = 1u64;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push((elapsed, batch));
+            // Grow batches until each takes ~1ms, bounding timer overhead.
+            if elapsed < Duration::from_millis(1) && batch < 1 << 20 {
+                batch *= 2;
+            }
+        }
+    }
+
+    /// Time `routine` over inputs built by `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let warm_deadline = Instant::now() + self.criterion.warm_up;
+        while Instant::now() < warm_deadline {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let deadline = Instant::now() + self.criterion.measurement;
+        while Instant::now() < deadline {
+            let input = setup();
+            let start = Instant::now();
+            let output = routine(input);
+            let elapsed = start.elapsed();
+            black_box(output);
+            self.samples.push((elapsed, 1));
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but the routine borrows the input.
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(setup, |mut input| routine(&mut input), _size);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(criterion: &Criterion, label: &str, f: &mut F) {
+    let mut bencher = Bencher {
+        criterion,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    let total: Duration = bencher.samples.iter().map(|(d, _)| *d).sum();
+    let iters: u64 = bencher.samples.iter().map(|(_, n)| *n).sum();
+    if iters == 0 {
+        println!("{label:<40} (no samples)");
+        return;
+    }
+    let per_iter = total.as_nanos() as f64 / iters as f64;
+    println!("{label:<40} {:>12} / iter  ({iters} iterations)", format_ns(per_iter));
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(5),
+            warm_up: Duration::from_millis(1),
+        };
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_and_batched_iters_run() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(5),
+            warm_up: Duration::from_millis(1),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| {
+            b.iter_batched(|| vec![0u64; n as usize], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

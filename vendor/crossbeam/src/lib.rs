@@ -1,0 +1,16 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Two pieces the workspace relies on:
+//!
+//! * [`thread::scope`] — crossbeam's borrowing scoped threads, delegated
+//!   to `std::thread::scope` (stable since 1.63), wrapped so existing
+//!   `scope.spawn(|_| …)` call sites compile unchanged;
+//! * [`channel`] — a multi-producer multi-consumer channel (bounded and
+//!   unbounded) built on `Mutex` + `Condvar`. The lock-free performance
+//!   of the real crate is not reproduced, but the blocking semantics —
+//!   senders park when the buffer is full, receivers park when it is
+//!   empty, disconnection wakes everyone — match, which is what the
+//!   batched ingestion pipeline in `wsrep-serve` needs for correctness.
+
+pub mod channel;
+pub mod thread;

@@ -1,0 +1,59 @@
+//! Scoped threads with the crossbeam 0.8 calling convention, implemented
+//! on `std::thread::scope`.
+
+/// A scope handle; `spawn` closures receive `&Scope` like crossbeam's.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread that may borrow from the enclosing scope.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Run `f` with a scope; all spawned threads are joined before returning.
+///
+/// crossbeam returns `Err` when a child panicked; std's scope re-raises
+/// child panics instead, so the `Err` branch here is unreachable — callers
+/// doing `.expect(…)` keep working, with the panic message surfacing from
+/// the child directly.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let mut slots = vec![0u64; 8];
+        super::scope(|s| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u64 * 2);
+            }
+        })
+        .unwrap();
+        assert_eq!(slots, (0..8).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_spawns_through_the_scope_argument() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| flag.store(true, std::sync::atomic::Ordering::SeqCst));
+            });
+        })
+        .unwrap();
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+}

@@ -1,0 +1,123 @@
+//! Offline stand-in for `parking_lot`.
+//!
+//! Wraps `std::sync` primitives behind the `parking_lot` API surface the
+//! workspace uses: guard-returning `lock`/`read`/`write` with no poison
+//! `Result`. Poisoning is erased the way parking_lot semantics dictate —
+//! a panic while holding a lock does not poison it for later users (we
+//! recover the inner value from the `PoisonError`). Fairness and the
+//! word-sized footprint of the real crate are not reproduced; for this
+//! workspace's shard counts the std primitives are adequate.
+
+use std::sync::PoisonError;
+
+/// Shared-read / exclusive-write lock with parking_lot's panic-free API.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+/// Read guard type alias (std guard underneath).
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+/// Write guard type alias (std guard underneath).
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Wrap a value.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Unwrap the value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire a shared read guard (never poisons).
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquire an exclusive write guard (never poisons).
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Direct access through an exclusive borrow — no locking needed.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Mutual exclusion with parking_lot's panic-free API.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard type alias (std guard underneath).
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Wrap a value.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Unwrap the value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock (never poisons).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Direct access through an exclusive borrow — no locking needed.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rwlock_read_write_round_trip() {
+        let lock = RwLock::new(1u32);
+        assert_eq!(*lock.read(), 1);
+        *lock.write() += 1;
+        assert_eq!(*lock.read(), 2);
+        assert_eq!(lock.into_inner(), 2);
+    }
+
+    #[test]
+    fn poisoned_lock_stays_usable() {
+        let lock = Arc::new(Mutex::new(5u32));
+        let clone = Arc::clone(&lock);
+        let _ = std::thread::spawn(move || {
+            let _guard = clone.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*lock.lock(), 5, "parking_lot semantics: no poisoning");
+    }
+}

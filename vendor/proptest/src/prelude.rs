@@ -1,0 +1,7 @@
+//! Glob-import surface mirroring `proptest::prelude`.
+
+pub use crate::collection;
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::Config as ProptestConfig;
+pub use crate::test_runner::TestCaseError;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};

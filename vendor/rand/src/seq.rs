@@ -1,0 +1,135 @@
+//! Sequence sampling: the `SliceRandom` / `IteratorRandom` subset the
+//! workspace uses (`choose`, `shuffle`, `choose_multiple`).
+
+use crate::RngCore;
+
+/// Uniform index in `0..=max` working directly on `RngCore`, so these
+/// helpers stay usable through `dyn RngCore`.
+fn index_up_to<R: RngCore + ?Sized>(rng: &mut R, max: usize) -> usize {
+    (rng.next_u64() % (max as u64 + 1)) as usize
+}
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// A uniformly random element, or `None` when empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// In-place Fisher–Yates shuffle.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// Up to `amount` distinct elements in random order.
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> Vec<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[index_up_to(rng, self.len() - 1)])
+        }
+    }
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = index_up_to(rng, i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose_multiple<R: RngCore + ?Sized>(&self, rng: &mut R, amount: usize) -> Vec<&T> {
+        let mut indexes: Vec<usize> = (0..self.len()).collect();
+        indexes.shuffle(rng);
+        indexes
+            .into_iter()
+            .take(amount)
+            .map(|i| &self[i])
+            .collect()
+    }
+}
+
+/// Random operations on iterators (reservoir sampling, so the length need
+/// not be known up front).
+pub trait IteratorRandom: Iterator + Sized {
+    /// One uniformly random item, or `None` when the iterator is empty.
+    fn choose<R: RngCore + ?Sized>(self, rng: &mut R) -> Option<Self::Item> {
+        let mut chosen = None;
+        for (seen, item) in self.enumerate() {
+            if index_up_to(rng, seen) == 0 {
+                chosen = Some(item);
+            }
+        }
+        chosen
+    }
+
+    /// Up to `amount` distinct items via reservoir sampling.
+    fn choose_multiple<R: RngCore + ?Sized>(self, rng: &mut R, amount: usize) -> Vec<Self::Item> {
+        let mut reservoir: Vec<Self::Item> = Vec::with_capacity(amount);
+        for (seen, item) in self.enumerate() {
+            if reservoir.len() < amount {
+                reservoir.push(item);
+            } else {
+                let j = index_up_to(rng, seen);
+                if j < amount {
+                    reservoir[j] = item;
+                }
+            }
+        }
+        reservoir
+    }
+}
+
+impl<I: Iterator> IteratorRandom for I {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn choose_is_none_on_empty_and_covers_all() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let v = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[*v.choose(&mut rng).unwrap() - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut v: Vec<u32> = (0..20).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 20-element shuffle staying sorted is ~1e-18");
+    }
+
+    #[test]
+    fn iterator_choose_multiple_is_distinct_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let picked = (0..100u32).choose_multiple(&mut rng, 10);
+        assert_eq!(picked.len(), 10);
+        let mut d = picked.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 10);
+        let short = (0..3u32).choose_multiple(&mut rng, 10);
+        assert_eq!(short.len(), 3);
+    }
+}

@@ -1,0 +1,35 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the two trait names and re-exports the no-op derives from the
+//! vendored `serde_derive`, so `#[derive(Serialize, Deserialize)]` and
+//! `T: Serialize` bounds compile unchanged. Both traits are blanket
+//! -implemented: nothing in this workspace actually serializes (there is
+//! no format crate in the tree), the annotations only declare intent for
+//! the day the real dependency is restored.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Namespace parity with the real crate.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Namespace parity with the real crate.
+pub mod ser {
+    pub use crate::Serialize;
+}

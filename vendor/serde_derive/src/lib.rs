@@ -1,0 +1,23 @@
+//! No-op `Serialize` / `Deserialize` derives.
+//!
+//! The workspace never serializes anything (no `serde_json` or format
+//! crate is in the tree); the derives exist so type definitions can keep
+//! their `#[derive(Serialize, Deserialize)]` attributes, which documents
+//! intent and keeps the code source-compatible with the real serde. The
+//! companion `serde` stub blanket-implements the traits, so the derives
+//! can expand to nothing at all.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards the item: the `serde` stub's blanket impl already
+/// covers every type.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards the item (see [`derive_serialize`]).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
