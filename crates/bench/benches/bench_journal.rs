@@ -1,0 +1,126 @@
+//! Benchmarks for the durability layer: what a group-committed WAL costs
+//! on the ingest path (journaled vs unjournaled submit+flush), the raw
+//! append throughput of the journal itself, and the price of recovery.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::fs;
+use std::path::PathBuf;
+use wsrep_core::feedback::Feedback;
+use wsrep_core::id::{AgentId, ServiceId};
+use wsrep_core::time::Time;
+use wsrep_journal::{recover, Journal, JournalConfig, JournalRecord};
+use wsrep_serve::ReputationService;
+
+fn feedback(rater: u64, service: u64, score: f64, at: u64) -> Feedback {
+    Feedback::scored(
+        AgentId::new(rater),
+        ServiceId::new(service),
+        score,
+        Time::new(at),
+    )
+}
+
+/// A fresh, empty journal directory under the system temp dir.
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("wsrep-bench-journal-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The headline number: how much durability costs per 1k ingested
+/// reports. The unjournaled side is the same pipeline without the WAL;
+/// the journaled side pays one group-commit fsync per applied batch.
+fn bench_ingest_journaled_vs_not(c: &mut Criterion) {
+    let mut group = c.benchmark_group("journal_ingest");
+    group.bench_function("unjournaled_1k", |b| {
+        let service = ReputationService::builder()
+            .shards(8)
+            .batch_size(128)
+            .build();
+        let mut round = 0u64;
+        b.iter(|| {
+            for i in 0..1_000u64 {
+                service.ingest(feedback(i, i % 16, 0.5, round)).unwrap();
+            }
+            service.flush();
+            round += 1;
+        })
+    });
+    group.bench_function("journaled_1k", |b| {
+        let dir = temp_dir("ingest");
+        let service = ReputationService::builder()
+            .shards(8)
+            .batch_size(128)
+            .journal(&dir)
+            .build();
+        let mut round = 0u64;
+        b.iter(|| {
+            for i in 0..1_000u64 {
+                service.ingest(feedback(i, i % 16, 0.5, round)).unwrap();
+            }
+            // With the journal attached, flush is a durability barrier.
+            service.flush();
+            round += 1;
+        });
+        drop(service);
+        let _ = fs::remove_dir_all(&dir);
+    });
+    group.finish();
+}
+
+/// Raw group-commit throughput by batch size: the bigger the batch, the
+/// more records each fsync amortizes over.
+fn bench_append_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("journal_append");
+    for &batch_size in &[1usize, 64, 512] {
+        let records: Vec<JournalRecord> = (0..batch_size as u64)
+            .map(|i| JournalRecord::Feedback(feedback(i, i % 16, 0.5, i)))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("batch", batch_size),
+            &batch_size,
+            |b, _| {
+                let dir = temp_dir(&format!("append-{batch_size}"));
+                let mut journal = Journal::open(&dir, JournalConfig::default()).unwrap();
+                b.iter(|| journal.append_batch(black_box(&records)).unwrap());
+                drop(journal);
+                let _ = fs::remove_dir_all(&dir);
+            },
+        );
+    }
+    group.finish();
+}
+
+/// What a restart pays: replaying a 10k-record WAL back into state.
+fn bench_recover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("journal_recover");
+    group.sample_size(20);
+    let dir = temp_dir("recover");
+    {
+        let mut journal = Journal::open(&dir, JournalConfig::default()).unwrap();
+        let records: Vec<JournalRecord> = (0..10_000u64)
+            .map(|i| JournalRecord::Feedback(feedback(i % 50, i % 16, 0.5, i)))
+            .collect();
+        for chunk in records.chunks(128) {
+            journal.append_batch(chunk).unwrap();
+        }
+    }
+    group.bench_function("wal_10k", |b| {
+        b.iter(|| {
+            let recovered = recover(black_box(&dir)).unwrap();
+            assert_eq!(recovered.feedback.len(), 10_000);
+            recovered
+        })
+    });
+    group.finish();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+criterion_group!(
+    benches,
+    bench_ingest_journaled_vs_not,
+    bench_append_batch,
+    bench_recover
+);
+criterion_main!(benches);

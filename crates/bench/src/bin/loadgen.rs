@@ -7,16 +7,23 @@
 //! so two runs on the same machine are comparable.
 //!
 //! ```text
-//! loadgen [ingest_threads] [query_threads] [reports_per_ingester] \
-//!         [queries_per_querier] [shards] [seed]
+//! loadgen [--journal[=DIR]] [ingest_threads] [query_threads] \
+//!         [reports_per_ingester] [queries_per_querier] [shards] [seed]
 //! ```
 //!
 //! Defaults: 4 ingesters, 4 queriers, 50 000 reports and 50 000 queries
 //! per thread, 8 shards, seed 42. The last stdout line is a JSON object
 //! (see BENCH_serve.json at the repo root for a checked-in baseline).
+//!
+//! `--journal` attaches a write-ahead log (to a fresh directory under the
+//! system temp dir, or to `DIR` with `--journal=DIR`), so the ingest side
+//! pays one group-commit fsync per applied batch. Comparing a run with
+//! and without the flag is the durability-cost measurement checked in as
+//! BENCH_journal.json.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 use wsrep_core::feedback::Feedback;
@@ -40,17 +47,28 @@ struct Config {
     queries_per_querier: u64,
     shards: usize,
     seed: u64,
+    journal: Option<PathBuf>,
 }
 
 fn parse_args() -> Config {
-    let args: Vec<u64> = std::env::args()
-        .skip(1)
-        .map(|a| {
-            a.parse()
-                .unwrap_or_else(|_| panic!("expected a number, got {a:?}"))
-        })
-        .collect();
-    let get = |i: usize, default: u64| args.get(i).copied().unwrap_or(default);
+    let mut journal = None;
+    let mut numbers = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--journal" {
+            journal = Some(
+                std::env::temp_dir().join(format!("wsrep-loadgen-journal-{}", std::process::id())),
+            );
+        } else if let Some(dir) = arg.strip_prefix("--journal=") {
+            journal = Some(PathBuf::from(dir));
+        } else {
+            numbers.push(
+                arg.parse::<u64>().unwrap_or_else(|_| {
+                    panic!("expected a number or --journal[=DIR], got {arg:?}")
+                }),
+            );
+        }
+    }
+    let get = |i: usize, default: u64| numbers.get(i).copied().unwrap_or(default);
     Config {
         ingest_threads: get(0, 4),
         query_threads: get(1, 4),
@@ -58,6 +76,7 @@ fn parse_args() -> Config {
         queries_per_querier: get(3, 50_000),
         shards: get(4, 8) as usize,
         seed: get(5, 42),
+        journal,
     }
 }
 
@@ -73,13 +92,14 @@ fn main() {
     let config = parse_args();
     assert!(config.ingest_threads >= 1 && config.query_threads >= 1);
 
-    let service = Arc::new(
-        ReputationService::builder()
-            .shards(config.shards)
-            .channel_capacity(4096)
-            .batch_size(128)
-            .build(),
-    );
+    let mut builder = ReputationService::builder()
+        .shards(config.shards)
+        .channel_capacity(4096)
+        .batch_size(128);
+    if let Some(dir) = &config.journal {
+        builder = builder.journal(dir);
+    }
+    let service = Arc::new(builder.build());
     let mut seeder = StdRng::seed_from_u64(config.seed);
     for s in 0..SERVICES {
         service.publish(Listing {
@@ -180,13 +200,17 @@ fn main() {
     let query_rate = total_queries as f64 / query_elapsed;
 
     println!(
-        "loadgen: {}i x {} reports + {}q x {} queries, {} shards, seed {}",
+        "loadgen: {}i x {} reports + {}q x {} queries, {} shards, seed {}{}",
         config.ingest_threads,
         config.reports_per_ingester,
         config.query_threads,
         config.queries_per_querier,
         config.shards,
-        config.seed
+        config.seed,
+        match &config.journal {
+            Some(dir) => format!(", journal at {}", dir.display()),
+            None => String::new(),
+        }
     );
     println!("wall time          {wall:>12.3} s");
     println!("ingest throughput  {ingest_rate:>12.0} reports/sec");
@@ -197,8 +221,30 @@ fn main() {
         "cache              {:>12} hits / {} misses",
         stats.cache_hits, stats.cache_misses
     );
+    let journal_json = match stats.journal {
+        Some(health) => {
+            assert!(!health.degraded, "journal degraded during the run");
+            println!(
+                "journal            {:>12} segments, {} bytes, {} commits",
+                health.segments, health.bytes_appended, health.commits
+            );
+            println!(
+                "journal last fsync {:>12.2} µs",
+                health.last_fsync_nanos as f64 / 1_000.0
+            );
+            format!(
+                "{{\"segments\":{},\"bytes_appended\":{},\"commits\":{},\"last_fsync_nanos\":{},\"records_recovered\":{}}}",
+                health.segments,
+                health.bytes_appended,
+                health.commits,
+                health.last_fsync_nanos,
+                health.records_recovered
+            )
+        }
+        None => "null".to_string(),
+    };
     println!(
-        "{{\"ingest_threads\":{},\"query_threads\":{},\"reports_per_ingester\":{},\"queries_per_querier\":{},\"shards\":{},\"seed\":{},\"wall_seconds\":{:.3},\"ingest_ops_per_sec\":{:.0},\"query_ops_per_sec\":{:.0},\"query_p50_ns\":{},\"query_p99_ns\":{},\"cache_hits\":{},\"cache_misses\":{},\"feedback_applied\":{}}}",
+        "{{\"ingest_threads\":{},\"query_threads\":{},\"reports_per_ingester\":{},\"queries_per_querier\":{},\"shards\":{},\"seed\":{},\"wall_seconds\":{:.3},\"ingest_ops_per_sec\":{:.0},\"query_ops_per_sec\":{:.0},\"query_p50_ns\":{},\"query_p99_ns\":{},\"cache_hits\":{},\"cache_misses\":{},\"feedback_applied\":{},\"journal\":{}}}",
         config.ingest_threads,
         config.query_threads,
         config.reports_per_ingester,
@@ -212,6 +258,7 @@ fn main() {
         p99,
         stats.cache_hits,
         stats.cache_misses,
-        stats.feedback
+        stats.feedback,
+        journal_json
     );
 }

@@ -1,0 +1,369 @@
+//! Binary encoding of the journal's domain types.
+//!
+//! The on-disk format is a hand-rolled little-endian byte layout rather
+//! than a generic serializer: the journal must be readable by any future
+//! version of the code, so every discriminant below is part of the
+//! **format version 1 contract** and may never be renumbered — new
+//! variants get new tags. The golden-file test in `tests/golden.rs` pins
+//! these bytes.
+//!
+//! Layout primitives: `u8`/`u32`/`u64` little-endian, `f64` as the
+//! little-endian bytes of its IEEE-754 bit pattern. Collections are a
+//! `u32` count followed by the elements in order.
+
+use std::fmt;
+use wsrep_core::feedback::Feedback;
+use wsrep_core::id::{AgentId, ProviderId, ServiceId, SubjectId};
+use wsrep_core::time::Time;
+use wsrep_qos::metric::Metric;
+use wsrep_qos::value::QosVector;
+use wsrep_sim::registry::Listing;
+
+/// Decoding failed: the bytes are not a valid version-1 record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the value was complete.
+    UnexpectedEof,
+    /// A discriminant byte is outside the version-1 vocabulary.
+    BadTag {
+        /// Which kind of value was being decoded.
+        what: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "record truncated mid-value"),
+            CodecError::BadTag { what, tag } => write!(f, "invalid {what} tag {tag:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A reading position over an encoded byte slice.
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Start reading at the front of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read an `f64` stored as its little-endian bit pattern.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+}
+
+/// Append a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an `f64` as its little-endian bit pattern.
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+// Metric discriminants — format contract, never renumber.
+const METRIC_TAGS: [(Metric, u8); 22] = [
+    (Metric::ProcessingTime, 0),
+    (Metric::Throughput, 1),
+    (Metric::ResponseTime, 2),
+    (Metric::Latency, 3),
+    (Metric::Availability, 4),
+    (Metric::Accessibility, 5),
+    (Metric::Accuracy, 6),
+    (Metric::Reliability, 7),
+    (Metric::Capacity, 8),
+    (Metric::Scalability, 9),
+    (Metric::Stability, 10),
+    (Metric::Robustness, 11),
+    (Metric::DataIntegrity, 12),
+    (Metric::TransactionalIntegrity, 13),
+    (Metric::Authentication, 14),
+    (Metric::Authorization, 15),
+    (Metric::Traceability, 16),
+    (Metric::NonRepudiation, 17),
+    (Metric::Confidentiality, 18),
+    (Metric::Encryption, 19),
+    (Metric::Accountability, 20),
+    (Metric::Price, 21),
+];
+const METRIC_APP_SPECIFIC_TAG: u8 = 22;
+
+/// Encode a metric as its stable tag (plus the index byte for
+/// `AppSpecific`).
+pub fn put_metric(out: &mut Vec<u8>, metric: Metric) {
+    if let Metric::AppSpecific(k) = metric {
+        out.push(METRIC_APP_SPECIFIC_TAG);
+        out.push(k);
+        return;
+    }
+    let tag = METRIC_TAGS
+        .iter()
+        .find(|(m, _)| *m == metric)
+        .map(|(_, t)| *t)
+        .expect("every non-app-specific metric has a tag");
+    out.push(tag);
+}
+
+/// Decode a metric tag.
+pub fn get_metric(cur: &mut Cursor<'_>) -> Result<Metric, CodecError> {
+    let tag = cur.u8()?;
+    if tag == METRIC_APP_SPECIFIC_TAG {
+        return Ok(Metric::AppSpecific(cur.u8()?));
+    }
+    METRIC_TAGS
+        .iter()
+        .find(|(_, t)| *t == tag)
+        .map(|(m, _)| *m)
+        .ok_or(CodecError::BadTag {
+            what: "metric",
+            tag,
+        })
+}
+
+const SUBJECT_AGENT: u8 = 0;
+const SUBJECT_SERVICE: u8 = 1;
+const SUBJECT_PROVIDER: u8 = 2;
+
+/// Encode a subject as a kind tag plus the raw 64-bit id.
+pub fn put_subject(out: &mut Vec<u8>, subject: SubjectId) {
+    match subject {
+        SubjectId::Agent(a) => {
+            out.push(SUBJECT_AGENT);
+            put_u64(out, a.raw());
+        }
+        SubjectId::Service(s) => {
+            out.push(SUBJECT_SERVICE);
+            put_u64(out, s.raw());
+        }
+        SubjectId::Provider(p) => {
+            out.push(SUBJECT_PROVIDER);
+            put_u64(out, p.raw());
+        }
+    }
+}
+
+/// Decode a subject tag + id.
+pub fn get_subject(cur: &mut Cursor<'_>) -> Result<SubjectId, CodecError> {
+    let tag = cur.u8()?;
+    let raw = cur.u64()?;
+    match tag {
+        SUBJECT_AGENT => Ok(AgentId::new(raw).into()),
+        SUBJECT_SERVICE => Ok(ServiceId::new(raw).into()),
+        SUBJECT_PROVIDER => Ok(ProviderId::new(raw).into()),
+        _ => Err(CodecError::BadTag {
+            what: "subject",
+            tag,
+        }),
+    }
+}
+
+/// Encode a QoS vector as a count followed by `(metric, f64)` pairs in
+/// the vector's stable metric order.
+pub fn put_qos_vector(out: &mut Vec<u8>, vector: &QosVector) {
+    put_u32(out, vector.len() as u32);
+    for (metric, value) in vector.iter() {
+        put_metric(out, metric);
+        put_f64(out, value);
+    }
+}
+
+/// Decode a QoS vector.
+pub fn get_qos_vector(cur: &mut Cursor<'_>) -> Result<QosVector, CodecError> {
+    let n = cur.u32()?;
+    let mut vector = QosVector::new();
+    for _ in 0..n {
+        let metric = get_metric(cur)?;
+        let value = cur.f64()?;
+        vector.set(metric, value);
+    }
+    Ok(vector)
+}
+
+/// Encode one feedback report.
+pub fn put_feedback(out: &mut Vec<u8>, feedback: &Feedback) {
+    put_u64(out, feedback.rater.raw());
+    put_subject(out, feedback.subject);
+    put_f64(out, feedback.score);
+    put_u64(out, feedback.at.round());
+    put_qos_vector(out, &feedback.observed);
+    put_u32(out, feedback.facet_ratings.len() as u32);
+    for (&metric, &rating) in &feedback.facet_ratings {
+        put_metric(out, metric);
+        put_f64(out, rating);
+    }
+}
+
+/// Decode one feedback report.
+pub fn get_feedback(cur: &mut Cursor<'_>) -> Result<Feedback, CodecError> {
+    let rater = AgentId::new(cur.u64()?);
+    let subject = get_subject(cur)?;
+    let score = cur.f64()?;
+    let at = Time::new(cur.u64()?);
+    let observed = get_qos_vector(cur)?;
+    let mut feedback = Feedback::scored(rater, subject, score, at).with_observed(observed);
+    let facets = cur.u32()?;
+    for _ in 0..facets {
+        let metric = get_metric(cur)?;
+        let rating = cur.f64()?;
+        feedback = feedback.with_facet(metric, rating);
+    }
+    Ok(feedback)
+}
+
+/// Encode one registry listing.
+pub fn put_listing(out: &mut Vec<u8>, listing: &Listing) {
+    put_u64(out, listing.service.raw());
+    put_u64(out, listing.provider.raw());
+    put_u32(out, listing.category);
+    put_qos_vector(out, &listing.advertised);
+}
+
+/// Decode one registry listing.
+pub fn get_listing(cur: &mut Cursor<'_>) -> Result<Listing, CodecError> {
+    Ok(Listing {
+        service: ServiceId::new(cur.u64()?),
+        provider: ProviderId::new(cur.u64()?),
+        category: cur.u32()?,
+        advertised: get_qos_vector(cur)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_feedback(original: &Feedback) -> Feedback {
+        let mut buf = Vec::new();
+        put_feedback(&mut buf, original);
+        let mut cur = Cursor::new(&buf);
+        let decoded = get_feedback(&mut cur).expect("decodes");
+        assert_eq!(cur.remaining(), 0, "no trailing bytes");
+        decoded
+    }
+
+    #[test]
+    fn feedback_round_trips_with_all_fields() {
+        let original = Feedback::scored(AgentId::new(7), ServiceId::new(3), 0.625, Time::new(99))
+            .with_observed(QosVector::from_pairs([
+                (Metric::ResponseTime, 123.5),
+                (Metric::AppSpecific(4), 2.0),
+            ]))
+            .with_facet(Metric::Accuracy, 0.75);
+        assert_eq!(roundtrip_feedback(&original), original);
+    }
+
+    #[test]
+    fn feedback_round_trips_for_every_subject_kind() {
+        for subject in [
+            SubjectId::from(AgentId::new(1)),
+            SubjectId::from(ServiceId::new(2)),
+            SubjectId::from(ProviderId::new(3)),
+        ] {
+            let original = Feedback::scored(AgentId::new(0), subject, 0.5, Time::ZERO);
+            assert_eq!(roundtrip_feedback(&original), original);
+        }
+    }
+
+    #[test]
+    fn every_metric_round_trips() {
+        let mut metrics: Vec<Metric> = Metric::ALL_STANDARD.to_vec();
+        metrics.extend((0..=3).map(Metric::AppSpecific));
+        for metric in metrics {
+            let mut buf = Vec::new();
+            put_metric(&mut buf, metric);
+            let mut cur = Cursor::new(&buf);
+            assert_eq!(get_metric(&mut cur).unwrap(), metric);
+        }
+    }
+
+    #[test]
+    fn listing_round_trips() {
+        let original = Listing {
+            service: ServiceId::new(11),
+            provider: ProviderId::new(5),
+            category: 9,
+            advertised: QosVector::from_pairs([(Metric::Price, 4.25)]),
+        };
+        let mut buf = Vec::new();
+        put_listing(&mut buf, &original);
+        assert_eq!(get_listing(&mut Cursor::new(&buf)).unwrap(), original);
+    }
+
+    #[test]
+    fn truncated_input_is_an_eof_not_a_panic() {
+        let mut buf = Vec::new();
+        put_feedback(
+            &mut buf,
+            &Feedback::scored(AgentId::new(1), ServiceId::new(2), 0.5, Time::ZERO),
+        );
+        for cut in 0..buf.len() {
+            let err = get_feedback(&mut Cursor::new(&buf[..cut]));
+            assert_eq!(err, Err(CodecError::UnexpectedEof), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_tags_are_rejected() {
+        assert_eq!(
+            get_metric(&mut Cursor::new(&[0xEE])),
+            Err(CodecError::BadTag {
+                what: "metric",
+                tag: 0xEE
+            })
+        );
+        let mut buf = vec![9u8];
+        put_u64(&mut buf, 1);
+        assert_eq!(
+            get_subject(&mut Cursor::new(&buf)),
+            Err(CodecError::BadTag {
+                what: "subject",
+                tag: 9
+            })
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! CRC32 record framing.
+//!
+//! Every journal record is wrapped in a fixed 8-byte frame header:
+//!
+//! ```text
+//! ┌──────────────┬───────────────┬────────────────┐
+//! │ len: u32 LE  │ crc32: u32 LE │ payload (len)  │
+//! └──────────────┴───────────────┴────────────────┘
+//! ```
+//!
+//! `crc32` is the IEEE CRC-32 (the zlib/Ethernet polynomial, reflected
+//! 0xEDB88320) of the payload bytes alone. A reader walks frames front to
+//! back and stops at the first header that does not fit, length that
+//! overruns the buffer, or checksum that does not match — which is
+//! exactly the torn-write tolerance a crashed append needs: the valid
+//! prefix is kept, the torn tail is ignored.
+
+/// Frame header bytes: `len` + `crc`.
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// Records larger than this are rejected at append time; a corrupted
+/// length field can therefore never make a reader attempt an absurd
+/// allocation.
+pub const MAX_PAYLOAD_LEN: u32 = 16 * 1024 * 1024;
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// IEEE CRC-32 of `bytes` (the zlib `crc32` function).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Append one framed payload to `out`.
+///
+/// # Panics
+///
+/// Panics if the payload exceeds [`MAX_PAYLOAD_LEN`] — a record that
+/// large is a logic error, not an I/O condition.
+pub fn write_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    assert!(
+        payload.len() <= MAX_PAYLOAD_LEN as usize,
+        "journal record of {} bytes exceeds the {} byte frame limit",
+        payload.len(),
+        MAX_PAYLOAD_LEN
+    );
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Why frame iteration stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameEnd {
+    /// The buffer ended exactly on a frame boundary.
+    Clean,
+    /// Trailing bytes did not form a complete, checksummed frame — a torn
+    /// or truncated final record.
+    Torn,
+}
+
+/// Iterates the valid frame prefix of a byte buffer.
+pub struct FrameReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    end: Option<FrameEnd>,
+}
+
+impl<'a> FrameReader<'a> {
+    /// Read frames from the front of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        FrameReader {
+            buf,
+            pos: 0,
+            end: None,
+        }
+    }
+
+    /// Byte offset of the end of the last *valid* frame returned so far.
+    pub fn valid_len(&self) -> usize {
+        self.pos
+    }
+
+    /// How iteration ended; `None` while frames remain.
+    pub fn end(&self) -> Option<FrameEnd> {
+        self.end
+    }
+
+    /// The next valid payload, or `None` at the end of the valid prefix.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<&'a [u8]> {
+        if self.end.is_some() {
+            return None;
+        }
+        let remaining = &self.buf[self.pos..];
+        if remaining.is_empty() {
+            self.end = Some(FrameEnd::Clean);
+            return None;
+        }
+        if remaining.len() < FRAME_HEADER_LEN {
+            self.end = Some(FrameEnd::Torn);
+            return None;
+        }
+        let len = u32::from_le_bytes(remaining[0..4].try_into().unwrap());
+        let expected_crc = u32::from_le_bytes(remaining[4..8].try_into().unwrap());
+        if len > MAX_PAYLOAD_LEN || remaining.len() - FRAME_HEADER_LEN < len as usize {
+            self.end = Some(FrameEnd::Torn);
+            return None;
+        }
+        let payload = &remaining[FRAME_HEADER_LEN..FRAME_HEADER_LEN + len as usize];
+        if crc32(payload) != expected_crc {
+            self.end = Some(FrameEnd::Torn);
+            return None;
+        }
+        self.pos += FRAME_HEADER_LEN + len as usize;
+        Some(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard zlib/IEEE check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"hello"), 0x3610_A686);
+    }
+
+    #[test]
+    fn frames_round_trip_in_order() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"alpha");
+        write_frame(&mut buf, b"");
+        write_frame(&mut buf, b"gamma");
+        let mut reader = FrameReader::new(&buf);
+        assert_eq!(reader.next(), Some(&b"alpha"[..]));
+        assert_eq!(reader.next(), Some(&b""[..]));
+        assert_eq!(reader.next(), Some(&b"gamma"[..]));
+        assert_eq!(reader.next(), None);
+        assert_eq!(reader.end(), Some(FrameEnd::Clean));
+        assert_eq!(reader.valid_len(), buf.len());
+    }
+
+    #[test]
+    fn any_truncation_yields_a_valid_prefix() {
+        let payloads: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i; 3 + i as usize]).collect();
+        let mut buf = Vec::new();
+        for p in &payloads {
+            write_frame(&mut buf, p);
+        }
+        for cut in 0..buf.len() {
+            let mut reader = FrameReader::new(&buf[..cut]);
+            let mut got = 0;
+            while let Some(payload) = reader.next() {
+                assert_eq!(payload, payloads[got].as_slice(), "cut at {cut}");
+                got += 1;
+            }
+            assert!(got <= payloads.len());
+            if cut < buf.len() {
+                // The cut landed mid-frame unless it hit a boundary.
+                let boundary = reader.valid_len() == cut;
+                assert_eq!(
+                    reader.end(),
+                    Some(if boundary {
+                        FrameEnd::Clean
+                    } else {
+                        FrameEnd::Torn
+                    }),
+                    "cut at {cut}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_byte_stops_iteration_at_the_damage() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first");
+        let first_end = buf.len();
+        write_frame(&mut buf, b"second");
+        // Flip a payload byte of the second frame.
+        let target = first_end + FRAME_HEADER_LEN + 2;
+        buf[target] ^= 0x40;
+        let mut reader = FrameReader::new(&buf);
+        assert_eq!(reader.next(), Some(&b"first"[..]));
+        assert_eq!(reader.next(), None);
+        assert_eq!(reader.end(), Some(FrameEnd::Torn));
+        assert_eq!(reader.valid_len(), first_end);
+    }
+
+    #[test]
+    fn absurd_length_field_is_torn_not_an_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&[0; 16]);
+        let mut reader = FrameReader::new(&buf);
+        assert_eq!(reader.next(), None);
+        assert_eq!(reader.end(), Some(FrameEnd::Torn));
+    }
+}

@@ -1,0 +1,423 @@
+//! The append side: group-committed writes to the active segment.
+//!
+//! A [`Journal`] owns the active segment file. [`Journal::append_batch`]
+//! frames a whole batch of records into one buffer, issues a single
+//! `write` and a single `fdatasync` — **group commit** — so durability
+//! costs one disk round-trip per batch, not per record. When the batch
+//! returns, every record in it is on stable storage.
+//!
+//! Opening an existing journal repairs crash damage the same way
+//! recovery tolerates it: a torn tail on the *final* segment is truncated
+//! away (those records were never acknowledged durable), while damage to
+//! an earlier segment is real corruption and refuses to open.
+
+use crate::frame::write_frame;
+use crate::record::JournalRecord;
+use crate::segment::{
+    list_segments, scan_segment, segment_file_name, segment_header, SEGMENT_HEADER_LEN,
+};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Journal tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalConfig {
+    /// Rotate to a fresh segment once the active one exceeds this size.
+    pub max_segment_bytes: u64,
+}
+
+impl Default for JournalConfig {
+    fn default() -> Self {
+        JournalConfig {
+            // Small enough that compaction has segments to reclaim under
+            // sustained load, large enough that rotation is rare.
+            max_segment_bytes: 8 * 1024 * 1024,
+        }
+    }
+}
+
+/// What one [`Journal::append_batch`] call made durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendReceipt {
+    /// LSN of the batch's first record.
+    pub first_lsn: u64,
+    /// Records in the batch.
+    pub count: u64,
+    /// Wall time of the `fdatasync` for this batch.
+    pub fsync_nanos: u64,
+}
+
+/// Operational counters of a journal writer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JournalStats {
+    /// Segment files currently on disk.
+    pub segments: u64,
+    /// Bytes appended by this writer since open.
+    pub bytes_appended: u64,
+    /// Wall time of the most recent fsync.
+    pub last_fsync_nanos: u64,
+    /// Group commits (fsyncs) issued since open.
+    pub commits: u64,
+}
+
+/// An open, appendable write-ahead log.
+#[derive(Debug)]
+pub struct Journal {
+    dir: PathBuf,
+    config: JournalConfig,
+    file: File,
+    segment_start: u64,
+    segment_bytes: u64,
+    next_lsn: u64,
+    segments: u64,
+    bytes_appended: u64,
+    last_fsync_nanos: u64,
+    commits: u64,
+}
+
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    // Directory fsync makes freshly created/renamed files durable; on
+    // platforms where directories cannot be fsynced this is best-effort.
+    if let Ok(handle) = File::open(dir) {
+        let _ = handle.sync_all();
+    }
+    Ok(())
+}
+
+fn create_segment(dir: &Path, start_lsn: u64) -> io::Result<File> {
+    let path = dir.join(segment_file_name(start_lsn));
+    let mut file = OpenOptions::new()
+        .create_new(true)
+        .write(true)
+        .open(&path)?;
+    file.write_all(&segment_header(start_lsn))?;
+    file.sync_data()?;
+    sync_dir(dir)?;
+    Ok(file)
+}
+
+impl Journal {
+    /// Open (or create) the journal in `dir` and position the writer
+    /// after the last durable record.
+    ///
+    /// A torn tail on the final segment — the signature of a crashed
+    /// append — is truncated. A torn or unreadable *non-final* segment is
+    /// an [`io::ErrorKind::InvalidData`] error: the log lost acknowledged
+    /// history and must not be silently extended.
+    pub fn open(dir: impl Into<PathBuf>, config: JournalConfig) -> io::Result<Journal> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let mut segments = list_segments(&dir)?;
+
+        // A final segment whose header never hit the disk holds zero
+        // acknowledged records; drop it and fall back to its predecessor.
+        while let Some((_, path)) = segments.last() {
+            if scan_segment(path)?.is_some() {
+                break;
+            }
+            fs::remove_file(path)?;
+            segments.pop();
+        }
+
+        if segments.is_empty() {
+            let file = create_segment(&dir, 0)?;
+            return Ok(Journal {
+                dir,
+                config,
+                file,
+                segment_start: 0,
+                segment_bytes: SEGMENT_HEADER_LEN as u64,
+                next_lsn: 0,
+                segments: 1,
+                bytes_appended: 0,
+                last_fsync_nanos: 0,
+                commits: 0,
+            });
+        }
+
+        let last_index = segments.len() - 1;
+        let mut next_lsn = 0;
+        for (i, (start_lsn, path)) in segments.iter().enumerate() {
+            let scan = scan_segment(path)?.ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("segment {} has a corrupt header", path.display()),
+                )
+            })?;
+            if scan.torn && i != last_index {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "non-final segment {} is torn; acknowledged history is damaged",
+                        path.display()
+                    ),
+                ));
+            }
+            if scan.torn {
+                // Crashed append: the tail was never acknowledged.
+                let file = OpenOptions::new().write(true).open(path)?;
+                file.set_len(scan.valid_len)?;
+                file.sync_data()?;
+            }
+            next_lsn = start_lsn + scan.records.len() as u64;
+        }
+
+        let (segment_start, last_path) = segments[last_index].clone();
+        let segment_bytes = fs::metadata(&last_path)?.len();
+        let file = OpenOptions::new().append(true).open(&last_path)?;
+        Ok(Journal {
+            dir,
+            config,
+            file,
+            segment_start,
+            segment_bytes,
+            next_lsn,
+            segments: segments.len() as u64,
+            bytes_appended: 0,
+            last_fsync_nanos: 0,
+            commits: 0,
+        })
+    }
+
+    /// The journal directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// LSN the next appended record will get.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// Start LSN of the active segment.
+    pub fn active_segment_start(&self) -> u64 {
+        self.segment_start
+    }
+
+    /// Current operational counters.
+    pub fn stats(&self) -> JournalStats {
+        JournalStats {
+            segments: self.segments,
+            bytes_appended: self.bytes_appended,
+            last_fsync_nanos: self.last_fsync_nanos,
+            commits: self.commits,
+        }
+    }
+
+    /// Group-commit a batch: one buffered write, one `fdatasync`.
+    ///
+    /// When this returns `Ok`, every record of the batch is durable. An
+    /// empty batch is a no-op that costs nothing.
+    pub fn append_batch(&mut self, records: &[JournalRecord]) -> io::Result<AppendReceipt> {
+        let first_lsn = self.next_lsn;
+        if records.is_empty() {
+            return Ok(AppendReceipt {
+                first_lsn,
+                count: 0,
+                fsync_nanos: 0,
+            });
+        }
+        if self.segment_bytes >= self.config.max_segment_bytes {
+            self.rotate()?;
+        }
+        let mut buf = Vec::new();
+        let mut payload = Vec::new();
+        for record in records {
+            payload.clear();
+            record.encode(&mut payload);
+            write_frame(&mut buf, &payload);
+        }
+        self.file.write_all(&buf)?;
+        let sync_started = Instant::now();
+        self.file.sync_data()?;
+        let fsync_nanos = sync_started.elapsed().as_nanos() as u64;
+
+        self.segment_bytes += buf.len() as u64;
+        self.bytes_appended += buf.len() as u64;
+        self.next_lsn += records.len() as u64;
+        self.last_fsync_nanos = fsync_nanos;
+        self.commits += 1;
+        Ok(AppendReceipt {
+            first_lsn,
+            count: records.len() as u64,
+            fsync_nanos,
+        })
+    }
+
+    /// Close the active segment and start a fresh one at the current LSN.
+    pub fn rotate(&mut self) -> io::Result<()> {
+        self.file.sync_data()?;
+        self.file = create_segment(&self.dir, self.next_lsn)?;
+        self.segment_start = self.next_lsn;
+        self.segment_bytes = SEGMENT_HEADER_LEN as u64;
+        self.segments += 1;
+        Ok(())
+    }
+
+    /// Drop segments and stale snapshots fully covered by a snapshot at
+    /// `covered_lsn`, then refresh the segment counter.
+    pub fn compact(&mut self, covered_lsn: u64) -> io::Result<crate::compact::CompactReport> {
+        let report = crate::compact::compact_dir(&self.dir, covered_lsn)?;
+        self.segments = list_segments(&self.dir)?.len() as u64;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsrep_core::feedback::Feedback;
+    use wsrep_core::id::{AgentId, ServiceId};
+    use wsrep_core::time::Time;
+
+    fn record(i: u64) -> JournalRecord {
+        JournalRecord::Feedback(Feedback::scored(
+            AgentId::new(i),
+            ServiceId::new(i % 3),
+            0.5,
+            Time::new(i),
+        ))
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("wsrep-journal-writer-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn all_records(dir: &Path) -> Vec<JournalRecord> {
+        let mut out = Vec::new();
+        for (_, path) in list_segments(dir).unwrap() {
+            out.extend(scan_segment(&path).unwrap().unwrap().records);
+        }
+        out
+    }
+
+    #[test]
+    fn append_then_reopen_resumes_the_lsn() {
+        let dir = temp_dir("resume");
+        {
+            let mut journal = Journal::open(&dir, JournalConfig::default()).unwrap();
+            let receipt = journal
+                .append_batch(&[record(0), record(1), record(2)])
+                .unwrap();
+            assert_eq!(receipt.first_lsn, 0);
+            assert_eq!(receipt.count, 3);
+            assert_eq!(journal.next_lsn(), 3);
+        }
+        {
+            let mut journal = Journal::open(&dir, JournalConfig::default()).unwrap();
+            assert_eq!(journal.next_lsn(), 3);
+            journal.append_batch(&[record(3)]).unwrap();
+        }
+        let records = all_records(&dir);
+        assert_eq!(records.len(), 4);
+        assert_eq!(records[3], record(3));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_spreads_records_over_segments() {
+        let dir = temp_dir("rotate");
+        let config = JournalConfig {
+            max_segment_bytes: 256,
+        };
+        let mut journal = Journal::open(&dir, config).unwrap();
+        for i in 0..40 {
+            journal.append_batch(&[record(i)]).unwrap();
+        }
+        assert!(
+            journal.stats().segments > 1,
+            "256-byte cap must force rotation"
+        );
+        assert_eq!(all_records(&dir).len(), 40);
+        // Dense LSNs: each segment starts where the previous ended.
+        let mut expected_start = 0;
+        for (start, path) in list_segments(&dir).unwrap() {
+            assert_eq!(start, expected_start);
+            expected_start += scan_segment(&path).unwrap().unwrap().records.len() as u64;
+        }
+        assert_eq!(expected_start, 40);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_final_tail_is_truncated_on_open() {
+        let dir = temp_dir("torn-tail");
+        {
+            let mut journal = Journal::open(&dir, JournalConfig::default()).unwrap();
+            journal
+                .append_batch(&(0..5).map(record).collect::<Vec<_>>())
+                .unwrap();
+        }
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let len = fs::metadata(&path).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(len - 4)
+            .unwrap();
+        let mut journal = Journal::open(&dir, JournalConfig::default()).unwrap();
+        assert_eq!(journal.next_lsn(), 4, "torn record dropped");
+        journal.append_batch(&[record(4)]).unwrap();
+        assert_eq!(all_records(&dir).len(), 5);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_middle_segment_refuses_to_open() {
+        let dir = temp_dir("torn-middle");
+        let config = JournalConfig {
+            max_segment_bytes: 128,
+        };
+        {
+            let mut journal = Journal::open(&dir, config).unwrap();
+            for i in 0..20 {
+                journal.append_batch(&[record(i)]).unwrap();
+            }
+            assert!(journal.stats().segments >= 3);
+        }
+        let segments = list_segments(&dir).unwrap();
+        let (_, middle) = &segments[segments.len() / 2];
+        let len = fs::metadata(middle).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(middle)
+            .unwrap()
+            .set_len(len - 2)
+            .unwrap();
+        let err = Journal::open(&dir, config).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn headerless_final_segment_is_discarded() {
+        let dir = temp_dir("headerless");
+        {
+            let mut journal = Journal::open(&dir, JournalConfig::default()).unwrap();
+            journal.append_batch(&[record(0)]).unwrap();
+        }
+        // Simulate a crash during rotation: the new segment file exists
+        // but its header never made it to disk.
+        fs::write(dir.join(segment_file_name(1)), b"WS").unwrap();
+        let journal = Journal::open(&dir, JournalConfig::default()).unwrap();
+        assert_eq!(journal.next_lsn(), 1);
+        assert_eq!(journal.stats().segments, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let dir = temp_dir("empty");
+        let mut journal = Journal::open(&dir, JournalConfig::default()).unwrap();
+        let receipt = journal.append_batch(&[]).unwrap();
+        assert_eq!(receipt.count, 0);
+        assert_eq!(journal.stats().commits, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

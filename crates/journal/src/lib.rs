@@ -1,0 +1,45 @@
+//! # wsrep-journal — durability for the reputation registry
+//!
+//! The paper's activities model centers on a **central QoS registry that
+//! accumulates consumer feedback over time**; a registry that forgets its
+//! feedback on restart defeats the whole selection mechanism. This crate
+//! is the durability layer under `wsrep-serve`: an append-only,
+//! CRC32-framed, segment-rotated **write-ahead log** of registry events,
+//! point-in-time **snapshots**, and a **recovery** path that replays
+//! `snapshot + WAL tail` back into a serving registry — the same
+//! log-then-derive architecture rs-eigentrust uses for its attestation
+//! log.
+//!
+//! - [`record`] — the event vocabulary: feedback, publish, deregister;
+//! - [`codec`] — the hand-rolled, version-pinned binary layout;
+//! - [`frame`] — CRC32 framing with torn-write detection;
+//! - [`segment`] — LSN-named segment files and their scanner;
+//! - [`journal`] — the group-committing writer (one fsync per batch);
+//! - [`snapshot`] — atomic point-in-time state captures;
+//! - [`recovery`] — snapshot + tail replay, tolerant of a torn final
+//!   record;
+//! - [`compact`] — deletion of segments fully covered by a snapshot.
+//!
+//! ## Durability contract
+//!
+//! A record is *acknowledged* once the [`Journal::append_batch`] call
+//! that carried it returns `Ok`: it has been written and fdatasync'd.
+//! Recovery restores **exactly the acknowledged prefix** of the log — a
+//! crash mid-append loses only the unacknowledged tail, which the framing
+//! detects and truncates. Acknowledged data is never silently dropped: a
+//! torn *non-final* segment refuses to open.
+
+pub mod codec;
+pub mod compact;
+pub mod frame;
+pub mod journal;
+pub mod record;
+pub mod recovery;
+pub mod segment;
+pub mod snapshot;
+
+pub use compact::{compact_dir, CompactReport};
+pub use journal::{AppendReceipt, Journal, JournalConfig, JournalStats};
+pub use record::JournalRecord;
+pub use recovery::{recover, Recovered};
+pub use snapshot::{latest_snapshot, write_snapshot, Snapshot};

@@ -1,0 +1,130 @@
+//! The journal's event vocabulary.
+//!
+//! The registry's durable state is fully determined by three event kinds:
+//! consumer feedback (the reputation evidence), listing publication and
+//! listing withdrawal. Everything else the service holds — per-subject
+//! epochs, cached scores, normalization matrices — is derived and is
+//! rebuilt by replay, never persisted. This is the log-then-derive
+//! architecture: the WAL is the source of truth, the in-memory store is a
+//! view.
+
+use crate::codec::{
+    get_feedback, get_listing, put_feedback, put_listing, put_u64, CodecError, Cursor,
+};
+use wsrep_core::feedback::Feedback;
+use wsrep_core::id::ServiceId;
+use wsrep_sim::registry::Listing;
+
+const TAG_FEEDBACK: u8 = 1;
+const TAG_PUBLISH: u8 = 2;
+const TAG_DEREGISTER: u8 = 3;
+
+/// One durable registry event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalRecord {
+    /// A consumer feedback report was accepted.
+    Feedback(Feedback),
+    /// A listing was published or updated.
+    Publish(Listing),
+    /// A listing was withdrawn.
+    Deregister(ServiceId),
+}
+
+impl JournalRecord {
+    /// Encode into `out` (version-1 layout: a tag byte plus the payload).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            JournalRecord::Feedback(feedback) => {
+                out.push(TAG_FEEDBACK);
+                put_feedback(out, feedback);
+            }
+            JournalRecord::Publish(listing) => {
+                out.push(TAG_PUBLISH);
+                put_listing(out, listing);
+            }
+            JournalRecord::Deregister(service) => {
+                out.push(TAG_DEREGISTER);
+                put_u64(out, service.raw());
+            }
+        }
+    }
+
+    /// Encode into a fresh buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decode one record from `bytes`, requiring the buffer to be exactly
+    /// one record long (frames delimit records, so trailing garbage means
+    /// corruption).
+    pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut cur = Cursor::new(bytes);
+        let record = match cur.u8()? {
+            TAG_FEEDBACK => JournalRecord::Feedback(get_feedback(&mut cur)?),
+            TAG_PUBLISH => JournalRecord::Publish(get_listing(&mut cur)?),
+            TAG_DEREGISTER => JournalRecord::Deregister(ServiceId::new(cur.u64()?)),
+            tag => {
+                return Err(CodecError::BadTag {
+                    what: "record",
+                    tag,
+                })
+            }
+        };
+        if cur.remaining() != 0 {
+            return Err(CodecError::BadTag {
+                what: "record trailing bytes",
+                tag: 0,
+            });
+        }
+        Ok(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsrep_core::id::{AgentId, ProviderId};
+    use wsrep_core::time::Time;
+    use wsrep_qos::metric::Metric;
+    use wsrep_qos::value::QosVector;
+
+    #[test]
+    fn every_variant_round_trips() {
+        let records = [
+            JournalRecord::Feedback(Feedback::scored(
+                AgentId::new(1),
+                ServiceId::new(2),
+                0.75,
+                Time::new(3),
+            )),
+            JournalRecord::Publish(Listing {
+                service: ServiceId::new(4),
+                provider: ProviderId::new(5),
+                category: 6,
+                advertised: QosVector::from_pairs([(Metric::Accuracy, 0.9)]),
+            }),
+            JournalRecord::Deregister(ServiceId::new(7)),
+        ];
+        for record in records {
+            let bytes = record.to_bytes();
+            assert_eq!(JournalRecord::decode(&bytes).unwrap(), record);
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        assert!(matches!(
+            JournalRecord::decode(&[0x7F]),
+            Err(CodecError::BadTag { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = JournalRecord::Deregister(ServiceId::new(1)).to_bytes();
+        bytes.push(0);
+        assert!(JournalRecord::decode(&bytes).is_err());
+    }
+}

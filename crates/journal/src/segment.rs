@@ -1,0 +1,216 @@
+//! WAL segment files.
+//!
+//! The journal directory holds a sequence of segment files named by the
+//! **log sequence number (LSN)** of their first record:
+//!
+//! ```text
+//! wal-0000000000000000.log      records [0, 181)
+//! wal-00000000000000b5.log      records [181, 402)
+//! wal-0000000000000192.log      records [402, …)   ← active segment
+//! snap-0000000000000192.snap    snapshot covering records [0, 402)
+//! ```
+//!
+//! Each segment starts with a 13-byte header (`WSRJ`, format version,
+//! start LSN) followed by CRC32 frames (see [`crate::frame`]). LSNs are
+//! dense — record *n* of a segment has LSN `start_lsn + n` — so a
+//! snapshot LSN alone decides which segments the compactor may drop and
+//! which records recovery must replay.
+
+use crate::frame::{FrameEnd, FrameReader};
+use crate::record::JournalRecord;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every segment file.
+pub const SEGMENT_MAGIC: [u8; 4] = *b"WSRJ";
+/// On-disk format version this code writes and reads.
+pub const FORMAT_VERSION: u8 = 1;
+/// Segment header bytes: magic + version + start LSN.
+pub const SEGMENT_HEADER_LEN: usize = 13;
+
+/// The file name of the segment whose first record has `start_lsn`.
+pub fn segment_file_name(start_lsn: u64) -> String {
+    format!("wal-{start_lsn:016x}.log")
+}
+
+/// Parse a segment file name back to its start LSN.
+pub fn parse_segment_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("wal-")?.strip_suffix(".log")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// Encode a segment header.
+pub fn segment_header(start_lsn: u64) -> [u8; SEGMENT_HEADER_LEN] {
+    let mut header = [0u8; SEGMENT_HEADER_LEN];
+    header[..4].copy_from_slice(&SEGMENT_MAGIC);
+    header[4] = FORMAT_VERSION;
+    header[5..].copy_from_slice(&start_lsn.to_le_bytes());
+    header
+}
+
+/// Segment paths in the directory, ordered by start LSN.
+pub fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut segments = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(start_lsn) = entry.file_name().to_str().and_then(parse_segment_name) {
+            segments.push((start_lsn, entry.path()));
+        }
+    }
+    segments.sort_by_key(|(lsn, _)| *lsn);
+    Ok(segments)
+}
+
+/// The decoded contents of one segment file.
+#[derive(Debug)]
+pub struct SegmentScan {
+    /// LSN of the segment's first record, from the header.
+    pub start_lsn: u64,
+    /// The valid record prefix, in LSN order.
+    pub records: Vec<JournalRecord>,
+    /// File offset just past the last valid frame (header included).
+    pub valid_len: u64,
+    /// Whether bytes after the valid prefix were torn/corrupt.
+    pub torn: bool,
+}
+
+/// Read and validate one segment file.
+///
+/// A header that is missing or corrupt yields `Ok(None)` — the file is
+/// not a usable segment (e.g. a crash tore the very first write) and the
+/// caller decides whether that is fatal. Frame-level damage is *not* an
+/// error: the valid prefix is returned with `torn = true`.
+pub fn scan_segment(path: &Path) -> io::Result<Option<SegmentScan>> {
+    let bytes = fs::read(path)?;
+    if bytes.len() < SEGMENT_HEADER_LEN || bytes[..4] != SEGMENT_MAGIC || bytes[4] != FORMAT_VERSION
+    {
+        return Ok(None);
+    }
+    let start_lsn = u64::from_le_bytes(bytes[5..SEGMENT_HEADER_LEN].try_into().unwrap());
+    let mut reader = FrameReader::new(&bytes[SEGMENT_HEADER_LEN..]);
+    let mut records = Vec::new();
+    let mut valid_len = SEGMENT_HEADER_LEN;
+    let mut torn = false;
+    while let Some(payload) = reader.next() {
+        match JournalRecord::decode(payload) {
+            Ok(record) => {
+                records.push(record);
+                valid_len = SEGMENT_HEADER_LEN + reader.valid_len();
+            }
+            // A frame whose checksum passes but whose payload does not
+            // decode is treated like torn data: keep the prefix, stop.
+            Err(_) => {
+                torn = true;
+                break;
+            }
+        }
+    }
+    if reader.end() == Some(FrameEnd::Torn) {
+        torn = true;
+    }
+    Ok(Some(SegmentScan {
+        start_lsn,
+        records,
+        valid_len: valid_len as u64,
+        torn,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::write_frame;
+    use wsrep_core::feedback::Feedback;
+    use wsrep_core::id::{AgentId, ServiceId};
+    use wsrep_core::time::Time;
+
+    fn record(i: u64) -> JournalRecord {
+        JournalRecord::Feedback(Feedback::scored(
+            AgentId::new(i),
+            ServiceId::new(1),
+            0.5,
+            Time::new(i),
+        ))
+    }
+
+    fn write_segment(path: &Path, start_lsn: u64, n: u64) -> Vec<u8> {
+        let mut bytes = segment_header(start_lsn).to_vec();
+        for i in 0..n {
+            write_frame(&mut bytes, &record(start_lsn + i).to_bytes());
+        }
+        fs::write(path, &bytes).unwrap();
+        bytes
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "wsrep-journal-segment-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn names_round_trip() {
+        assert_eq!(segment_file_name(0), "wal-0000000000000000.log");
+        assert_eq!(parse_segment_name(&segment_file_name(0xb5)), Some(0xb5));
+        assert_eq!(parse_segment_name("snap-0000000000000000.snap"), None);
+        assert_eq!(parse_segment_name("wal-xyz.log"), None);
+    }
+
+    #[test]
+    fn scan_reads_records_back_in_order() {
+        let dir = temp_dir("scan");
+        let path = dir.join(segment_file_name(7));
+        write_segment(&path, 7, 5);
+        let scan = scan_segment(&path).unwrap().expect("valid header");
+        assert_eq!(scan.start_lsn, 7);
+        assert_eq!(scan.records.len(), 5);
+        assert!(!scan.torn);
+        assert_eq!(scan.records[2], record(9));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_keeps_the_prefix() {
+        let dir = temp_dir("torn");
+        let path = dir.join(segment_file_name(0));
+        let bytes = write_segment(&path, 0, 4);
+        fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let scan = scan_segment(&path).unwrap().unwrap();
+        assert_eq!(scan.records.len(), 3);
+        assert!(scan.torn);
+        assert!(scan.valid_len < bytes.len() as u64);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_header_is_not_a_segment() {
+        let dir = temp_dir("header");
+        let path = dir.join(segment_file_name(0));
+        fs::write(&path, b"WS").unwrap();
+        assert!(scan_segment(&path).unwrap().is_none());
+        fs::write(&path, b"NOPE_________").unwrap();
+        assert!(scan_segment(&path).unwrap().is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn listing_orders_by_start_lsn() {
+        let dir = temp_dir("list");
+        for lsn in [40u64, 0, 17] {
+            write_segment(&dir.join(segment_file_name(lsn)), lsn, 1);
+        }
+        fs::write(dir.join("unrelated.txt"), b"x").unwrap();
+        let segments = list_segments(&dir).unwrap();
+        let lsns: Vec<u64> = segments.iter().map(|(l, _)| *l).collect();
+        assert_eq!(lsns, vec![0, 17, 40]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

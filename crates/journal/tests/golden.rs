@@ -1,0 +1,119 @@
+//! Golden-file test pinning the version-1 on-disk layout.
+//!
+//! The journal must stay readable across releases, so the exact bytes of
+//! the segment header and of framed records are part of the public
+//! contract. If this test fails, the change broke compatibility with
+//! every journal already on disk — either revert it, or bump
+//! `FORMAT_VERSION` and add an upgrade path; **never** regenerate the
+//! golden file to paper over an accidental layout change.
+//!
+//! (Deliberate, version-bumped regeneration:
+//! `WSREP_UPDATE_GOLDEN=1 cargo test -p wsrep-journal --test golden`.)
+
+use std::fmt::Write as _;
+use wsrep_core::feedback::Feedback;
+use wsrep_core::id::{AgentId, ProviderId, ServiceId};
+use wsrep_core::time::Time;
+use wsrep_journal::frame::write_frame;
+use wsrep_journal::segment::segment_header;
+use wsrep_journal::JournalRecord;
+use wsrep_qos::metric::Metric;
+use wsrep_qos::value::QosVector;
+use wsrep_sim::registry::Listing;
+
+fn golden_records() -> Vec<JournalRecord> {
+    vec![
+        // A feedback report exercising every field: rater, service
+        // subject, score, time, observed QoS, facet rating.
+        JournalRecord::Feedback(
+            Feedback::scored(
+                AgentId::new(0x0102030405060708),
+                ServiceId::new(42),
+                0.75,
+                Time::new(1000),
+            )
+            .with_observed(QosVector::from_pairs([
+                (Metric::ResponseTime, 250.0),
+                (Metric::AppSpecific(7), 3.5),
+            ]))
+            .with_facet(Metric::Accuracy, 0.5),
+        ),
+        // A provider-subject feedback (distinct subject tag).
+        JournalRecord::Feedback(Feedback::scored(
+            AgentId::new(1),
+            ProviderId::new(2),
+            1.0,
+            Time::ZERO,
+        )),
+        JournalRecord::Publish(Listing {
+            service: ServiceId::new(7),
+            provider: ProviderId::new(3),
+            category: 0xDEAD,
+            advertised: QosVector::from_pairs([
+                (Metric::Price, 9.99),
+                (Metric::Availability, 0.999),
+            ]),
+        }),
+        JournalRecord::Deregister(ServiceId::new(7)),
+    ]
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        write!(out, "{b:02x}").unwrap();
+    }
+    out
+}
+
+fn render() -> String {
+    let mut out = String::new();
+    out.push_str("# wsrep-journal on-disk format v1 — golden bytes, do not edit\n");
+    out.push_str(&format!(
+        "segment_header {}\n",
+        hex(&segment_header(0x1122334455667788))
+    ));
+    for (i, record) in golden_records().iter().enumerate() {
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &record.to_bytes());
+        out.push_str(&format!("record_{i} {}\n", hex(&framed)));
+    }
+    out
+}
+
+#[test]
+fn on_disk_record_format_is_pinned() {
+    let rendered = render();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/record_v1.hex");
+    if std::env::var_os("WSREP_UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &rendered).expect("write golden file");
+        return;
+    }
+    let expected = include_str!("data/record_v1.hex");
+    assert_eq!(
+        rendered, expected,
+        "on-disk layout drifted from the version-1 golden bytes; \
+         this breaks every journal already on disk"
+    );
+}
+
+#[test]
+fn golden_bytes_still_decode_to_the_same_records() {
+    // The reverse direction: the pinned hex must decode to the same
+    // logical records, so old journals stay readable.
+    let expected = golden_records();
+    for (i, line) in include_str!("data/record_v1.hex")
+        .lines()
+        .filter(|l| l.starts_with("record_"))
+        .enumerate()
+    {
+        let hex_bytes = line.split_whitespace().nth(1).expect("hex column");
+        let bytes: Vec<u8> = (0..hex_bytes.len())
+            .step_by(2)
+            .map(|j| u8::from_str_radix(&hex_bytes[j..j + 2], 16).unwrap())
+            .collect();
+        // Skip the 8-byte frame header (len + crc) to reach the payload.
+        let record = JournalRecord::decode(&bytes[8..]).expect("golden payload decodes");
+        assert_eq!(record, expected[i], "record_{i}");
+    }
+}

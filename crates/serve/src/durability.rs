@@ -1,0 +1,95 @@
+//! The serve-side durability seam: one commit lock around the journal.
+//!
+//! Everything that must be journaled — ingested feedback batches, listing
+//! publishes and deregistrations — goes through [`JournalHandle`], which
+//! wraps the [`Journal`] in a mutex and pairs each append with the
+//! in-memory apply **while the lock is held**. That single invariant is
+//! what makes checkpoints consistent: a checkpointer taking the same lock
+//! always observes an `(LSN, state)` pair where the state is exactly the
+//! effect of the first `LSN` journal records — no applied-but-unjournaled
+//! record, no journaled-but-unapplied one.
+//!
+//! Journal I/O failure (disk full, volume gone) does **not** take the
+//! service down: the in-memory apply still happens, the failure is logged
+//! once, and [`JournalHandle::health`] reports the handle as degraded so
+//! operators can see that durability — not availability — was lost.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use wsrep_journal::{Journal, JournalRecord};
+
+/// Journal health counters, surfaced through
+/// [`ServiceStats`](crate::service::ServiceStats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JournalHealth {
+    /// WAL segment files currently on disk.
+    pub segments: u64,
+    /// Bytes appended since the service started.
+    pub bytes_appended: u64,
+    /// Wall time of the most recent group-commit fsync.
+    pub last_fsync_nanos: u64,
+    /// Group commits (fsyncs) issued since the service started.
+    pub commits: u64,
+    /// Entries replayed at startup (snapshot entries + WAL records).
+    pub records_recovered: u64,
+    /// True once any journal append has failed; the service keeps
+    /// serving, but writes since the first failure are not durable.
+    pub degraded: bool,
+}
+
+/// The commit lock: serializes journal appends with their in-memory
+/// applies and with checkpoint state capture.
+#[derive(Debug)]
+pub(crate) struct JournalHandle {
+    journal: Mutex<Journal>,
+    records_recovered: u64,
+    degraded: AtomicBool,
+}
+
+impl JournalHandle {
+    pub(crate) fn new(journal: Journal, records_recovered: u64) -> Self {
+        JournalHandle {
+            journal: Mutex::new(journal),
+            records_recovered,
+            degraded: AtomicBool::new(false),
+        }
+    }
+
+    /// Take the commit lock directly, for multi-step commits (deregister
+    /// checks the map first) and checkpoint capture.
+    pub(crate) fn lock(&self) -> MutexGuard<'_, Journal> {
+        self.journal.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Append under an already-held commit lock. An I/O error degrades
+    /// durability (logged once, visible in [`JournalHandle::health`])
+    /// instead of failing the operation.
+    pub(crate) fn append_locked(&self, journal: &mut Journal, records: &[JournalRecord]) {
+        if let Err(err) = journal.append_batch(records) {
+            if !self.degraded.swap(true, Ordering::SeqCst) {
+                eprintln!("wsrep-serve: journal append failed; durability degraded: {err}");
+            }
+        }
+    }
+
+    /// Group-commit `records`, then run `apply` — both under the commit
+    /// lock, so a concurrent checkpoint can never observe the store
+    /// between a journal append and its apply (or vice versa).
+    pub(crate) fn commit<R>(&self, records: &[JournalRecord], apply: impl FnOnce() -> R) -> R {
+        let mut journal = self.lock();
+        self.append_locked(&mut journal, records);
+        apply()
+    }
+
+    pub(crate) fn health(&self) -> JournalHealth {
+        let stats = self.lock().stats();
+        JournalHealth {
+            segments: stats.segments,
+            bytes_appended: stats.bytes_appended,
+            last_fsync_nanos: stats.last_fsync_nanos,
+            commits: stats.commits,
+            records_recovered: self.records_recovered,
+            degraded: self.degraded.load(Ordering::SeqCst),
+        }
+    }
+}

@@ -7,10 +7,18 @@
 //! [`ShardedStore::insert_batch`], so a burst of B reports costs one lock
 //! acquisition per touched shard instead of one per report.
 //!
+//! When a journal is attached, the writer **group-commits each batch to
+//! the WAL before applying it**: one buffered write and one fsync cover
+//! the whole batch, and only after the apply does the progress counter
+//! move. [`IngestPipeline::flush`] therefore doubles as a durability
+//! barrier — when it returns, everything submitted so far is both
+//! queryable and on stable storage.
+//!
 //! [`IngestPipeline::flush`] gives tests and benchmarks a consistency
 //! point: it blocks until everything submitted *so far by this handle* has
 //! been applied to the store.
 
+use crate::durability::JournalHandle;
 use crate::shard::ShardedStore;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use std::fmt;
@@ -18,6 +26,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use wsrep_core::feedback::Feedback;
+use wsrep_journal::JournalRecord;
 
 /// Ingestion tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,12 +96,28 @@ pub struct IngestPipeline {
 impl IngestPipeline {
     /// Start the writer thread draining into `store`.
     pub fn start(store: Arc<ShardedStore>, config: IngestConfig) -> Self {
+        Self::start_with_journal(store, config, None)
+    }
+
+    /// Start the writer thread, journaling each batch before applying it
+    /// when a journal handle is attached.
+    pub(crate) fn start_with_journal(
+        store: Arc<ShardedStore>,
+        config: IngestConfig,
+        journal: Option<Arc<JournalHandle>>,
+    ) -> Self {
         let (sender, receiver) = bounded::<Feedback>(config.channel_capacity);
         let progress = Arc::new(Progress::default());
         let writer_progress = Arc::clone(&progress);
         let batch_size = config.batch_size.max(1);
         let writer = std::thread::spawn(move || {
-            drain(&store, &receiver, batch_size, &writer_progress);
+            drain(
+                &store,
+                &receiver,
+                batch_size,
+                &writer_progress,
+                journal.as_deref(),
+            );
         });
         IngestPipeline {
             sender: Some(sender),
@@ -126,6 +151,11 @@ impl IngestPipeline {
     }
 
     /// Block until everything submitted before this call is applied.
+    ///
+    /// With a journal attached this is also a **durability barrier**:
+    /// the writer fsyncs each batch before applying it and applies it
+    /// before advancing the counter this waits on, so on return every
+    /// prior submission is on stable storage.
     pub fn flush(&self) {
         self.progress.wait_until(self.submitted());
     }
@@ -147,6 +177,7 @@ fn drain(
     receiver: &Receiver<Feedback>,
     batch_size: usize,
     progress: &Progress,
+    journal: Option<&JournalHandle>,
 ) {
     // Blocking recv for the first report of a batch, then opportunistic
     // try_recv to gather whatever else is already queued.
@@ -160,7 +191,16 @@ fn drain(
             }
         }
         let applied = batch.len() as u64;
-        store.insert_batch(batch);
+        match journal {
+            Some(handle) => {
+                // Journal first (one write + one fsync for the whole
+                // batch), apply second, both under the commit lock.
+                let records: Vec<JournalRecord> =
+                    batch.iter().cloned().map(JournalRecord::Feedback).collect();
+                handle.commit(&records, || store.insert_batch(batch));
+            }
+            None => store.insert_batch(batch),
+        }
         progress.add(applied);
     }
 }

@@ -15,16 +15,23 @@
 //!   `top_k`, speaking the same [`Listing`](wsrep_sim::registry::Listing)
 //!   and [`Preferences`](wsrep_qos::preference::Preferences) types as the
 //!   simulator, and scoring through any
-//!   [`ReputationMechanism`](wsrep_core::mechanism::ReputationMechanism).
+//!   [`ReputationMechanism`](wsrep_core::mechanism::ReputationMechanism);
+//! - [`durability`] — the optional [`wsrep_journal`] integration: batches
+//!   are group-committed to a write-ahead log before they are applied,
+//!   `ServiceBuilder::recover_from` replays snapshot + WAL tail on boot,
+//!   and a background checkpointer snapshots and compacts the log.
 
 pub mod cache;
+pub mod durability;
 pub mod ingest;
 pub mod service;
 pub mod shard;
 
 pub use cache::ScoreCache;
+pub use durability::JournalHealth;
 pub use ingest::{IngestClosed, IngestConfig, IngestPipeline};
 pub use service::{
-    MechanismFactory, RankedService, ReputationService, ServiceBuilder, ServiceStats,
+    CheckpointReport, MechanismFactory, RankedService, ReputationService, ServiceBuilder,
+    ServiceStats,
 };
 pub use shard::ShardedStore;

@@ -13,17 +13,23 @@
 //! Call [`ReputationService::flush`] for a consistency point.
 
 use crate::cache::ScoreCache;
+use crate::durability::{JournalHandle, JournalHealth};
 use crate::ingest::{IngestClosed, IngestConfig, IngestPipeline};
 use crate::shard::ShardedStore;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::Arc;
+use std::io;
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::thread;
+use std::time::Duration;
 use wsrep_core::feedback::Feedback;
 use wsrep_core::id::{ProviderId, ServiceId, SubjectId};
 use wsrep_core::mechanism::{score_from_log, ReputationMechanism};
 use wsrep_core::mechanisms::beta::BetaMechanism;
 use wsrep_core::trust::TrustEstimate;
+use wsrep_journal::{recover, write_snapshot, Journal, JournalConfig, JournalRecord};
 use wsrep_qos::metric::Metric;
 use wsrep_qos::normalize::NormalizationMatrix;
 use wsrep_qos::preference::Preferences;
@@ -63,6 +69,23 @@ pub struct ServiceStats {
     pub cache_hits: u64,
     /// Score queries that recomputed.
     pub cache_misses: u64,
+    /// Journal health, when a write-ahead log is attached.
+    pub journal: Option<JournalHealth>,
+}
+
+/// What one [`ReputationService::checkpoint`] pass captured and reclaimed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointReport {
+    /// The snapshot covers journal records `[0, lsn)`.
+    pub lsn: u64,
+    /// Entries written to the snapshot (listings + feedback).
+    pub entries: u64,
+    /// WAL segments the snapshot made deletable.
+    pub segments_removed: u64,
+    /// Superseded snapshot files deleted.
+    pub snapshots_removed: u64,
+    /// Total bytes reclaimed.
+    pub bytes_reclaimed: u64,
 }
 
 /// Configures and builds a [`ReputationService`].
@@ -71,6 +94,10 @@ pub struct ServiceBuilder {
     ingest: IngestConfig,
     reputation_weight: f64,
     factory: MechanismFactory,
+    journal_dir: Option<PathBuf>,
+    recover: bool,
+    journal_config: JournalConfig,
+    checkpoint_every: Option<Duration>,
 }
 
 impl Default for ServiceBuilder {
@@ -80,6 +107,10 @@ impl Default for ServiceBuilder {
             ingest: IngestConfig::default(),
             reputation_weight: 0.5,
             factory: Box::new(|| Box::new(BetaMechanism::new())),
+            journal_dir: None,
+            recover: false,
+            journal_config: JournalConfig::default(),
+            checkpoint_every: None,
         }
     }
 }
@@ -120,18 +151,94 @@ impl ServiceBuilder {
         self
     }
 
+    /// Attach a write-ahead journal at `dir` (created if missing): every
+    /// ingested batch and every publish/deregister is group-committed to
+    /// the log before it is applied.
+    pub fn journal(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.journal_dir = Some(dir.into());
+        self
+    }
+
+    /// Attach the journal at `dir` **and** replay its latest snapshot
+    /// plus WAL tail into the fresh service before it starts serving.
+    pub fn recover_from(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.journal_dir = Some(dir.into());
+        self.recover = true;
+        self
+    }
+
+    /// Rotate the active WAL segment once it exceeds this many bytes.
+    pub fn max_segment_bytes(mut self, bytes: u64) -> Self {
+        self.journal_config.max_segment_bytes = bytes;
+        self
+    }
+
+    /// Checkpoint (snapshot + compact) in the background at this period.
+    /// Only meaningful with a journal attached.
+    pub fn checkpoint_every(mut self, every: Duration) -> Self {
+        self.checkpoint_every = Some(every);
+        self
+    }
+
     /// Start the service (spawns the ingest writer thread).
+    ///
+    /// Panics if the journal directory cannot be opened or recovered;
+    /// use [`ServiceBuilder::try_build`] to handle that as an error.
     pub fn build(self) -> ReputationService {
+        self.try_build().expect("failed to open reputation journal")
+    }
+
+    /// Start the service, surfacing journal open/recovery errors.
+    pub fn try_build(self) -> io::Result<ReputationService> {
         let store = Arc::new(ShardedStore::new(self.shards));
-        let ingest = IngestPipeline::start(Arc::clone(&store), self.ingest);
-        ReputationService {
+        let listings = Arc::new(RwLock::new(BTreeMap::new()));
+
+        let mut journal = None;
+        if let Some(dir) = self.journal_dir {
+            let mut records_recovered = 0;
+            if self.recover {
+                // Replay BEFORE opening the writer: recovery tolerates a
+                // torn final record, and `Journal::open` then truncates
+                // the same tail, so both agree on the durable prefix.
+                let recovered = recover(&dir)?;
+                records_recovered = recovered.records_recovered;
+                {
+                    let mut map = listings.write();
+                    for listing in recovered.listings {
+                        map.insert(listing.service, listing);
+                    }
+                }
+                // Re-inserting the recovered log restores every
+                // per-subject epoch (an epoch is a count of applied
+                // reports), so the empty score cache can never validate
+                // against a stale epoch.
+                store.insert_batch(recovered.feedback);
+            }
+            let inner = Journal::open(&dir, self.journal_config)?;
+            journal = Some(Arc::new(JournalHandle::new(inner, records_recovered)));
+        }
+
+        let ingest =
+            IngestPipeline::start_with_journal(Arc::clone(&store), self.ingest, journal.clone());
+        let compactor = match (&journal, self.checkpoint_every) {
+            (Some(handle), Some(every)) => Some(Compactor::spawn(
+                every,
+                Arc::clone(handle),
+                Arc::clone(&store),
+                Arc::clone(&listings),
+            )),
+            _ => None,
+        };
+        Ok(ReputationService {
             store,
             cache: ScoreCache::new(),
-            listings: RwLock::new(BTreeMap::new()),
+            listings,
             reputation_weight: self.reputation_weight,
             factory: self.factory,
+            journal,
+            _compactor: compactor,
             ingest,
-        }
+        })
     }
 }
 
@@ -140,9 +247,14 @@ impl ServiceBuilder {
 pub struct ReputationService {
     store: Arc<ShardedStore>,
     cache: ScoreCache,
-    listings: RwLock<BTreeMap<ServiceId, Listing>>,
+    listings: Arc<RwLock<BTreeMap<ServiceId, Listing>>>,
     reputation_weight: f64,
     factory: MechanismFactory,
+    journal: Option<Arc<JournalHandle>>,
+    // Held only for its Drop. Declared before `ingest`: drop stops the
+    // checkpointer first, then the pipeline drains (journaling the
+    // remainder) and joins.
+    _compactor: Option<Compactor>,
     ingest: IngestPipeline,
 }
 
@@ -169,20 +281,52 @@ impl ReputationService {
     }
 
     /// Publish (or update) a listing. The served registry has no down
-    /// state — publication always succeeds.
+    /// state — publication always succeeds. With a journal attached the
+    /// event is committed to the log before the listing table changes.
     pub fn publish(&self, listing: Listing) -> PublishStatus {
-        match self.listings.write().insert(listing.service, listing) {
+        match &self.journal {
+            Some(handle) => {
+                let record = JournalRecord::Publish(listing.clone());
+                handle.commit(std::slice::from_ref(&record), || {
+                    Self::apply_publish(&self.listings, listing)
+                })
+            }
+            None => Self::apply_publish(&self.listings, listing),
+        }
+    }
+
+    fn apply_publish(
+        listings: &RwLock<BTreeMap<ServiceId, Listing>>,
+        listing: Listing,
+    ) -> PublishStatus {
+        match listings.write().insert(listing.service, listing) {
             Some(_) => PublishStatus::Updated,
             None => PublishStatus::Created,
         }
     }
 
-    /// Remove a listing.
+    /// Remove a listing. Journaled only when it actually removes one.
     pub fn deregister(&self, service: ServiceId) -> Result<(), RegistryError> {
-        if self.listings.write().remove(&service).is_some() {
-            Ok(())
-        } else {
-            Err(RegistryError::NotFound)
+        match &self.journal {
+            Some(handle) => {
+                // Hold the commit lock across check-and-remove so a
+                // concurrent checkpoint never sees the removal without
+                // its journal record.
+                let mut journal = handle.lock();
+                if self.listings.write().remove(&service).is_some() {
+                    handle.append_locked(&mut journal, &[JournalRecord::Deregister(service)]);
+                    Ok(())
+                } else {
+                    Err(RegistryError::NotFound)
+                }
+            }
+            None => {
+                if self.listings.write().remove(&service).is_some() {
+                    Ok(())
+                } else {
+                    Err(RegistryError::NotFound)
+                }
+            }
         }
     }
 
@@ -207,8 +351,30 @@ impl ReputationService {
     }
 
     /// Block until everything ingested so far is applied and queryable.
+    ///
+    /// With a journal attached this is also a **durability barrier**: the
+    /// ingest writer group-commits each batch to the WAL before applying
+    /// it and only then advances the counter this waits on. When `flush`
+    /// returns, every previously ingested report is fdatasync'd on disk
+    /// and will survive a crash — [`ServiceBuilder::recover_from`] gets
+    /// it back.
     pub fn flush(&self) {
         self.ingest.flush();
+    }
+
+    /// Snapshot the full registry state at a consistent LSN, then drop
+    /// every WAL segment (and superseded snapshot) the new snapshot
+    /// covers. Returns `None` when no journal is attached.
+    ///
+    /// Flushes first, so the snapshot covers everything ingested before
+    /// the call. The commit lock is held only while state is copied out —
+    /// the snapshot file itself is written with ingestion running.
+    pub fn checkpoint(&self) -> io::Result<Option<CheckpointReport>> {
+        let Some(handle) = &self.journal else {
+            return Ok(None);
+        };
+        self.flush();
+        checkpoint_now(handle, &self.store, &self.listings).map(Some)
     }
 
     /// The subject's reputation, from cache when the store hasn't moved.
@@ -284,12 +450,94 @@ impl ReputationService {
             submitted: self.ingest.submitted(),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
+            journal: self.journal.as_ref().map(|handle| handle.health()),
         }
     }
 
     /// The shared sharded store (for tests and benchmarks).
     pub fn store(&self) -> &Arc<ShardedStore> {
         &self.store
+    }
+}
+
+/// Capture `(LSN, listings, feedback)` under the commit lock, write the
+/// snapshot outside it, then compact.
+///
+/// Consistency argument: every mutation commits its journal record and
+/// its in-memory apply under the same lock, so at capture time the state
+/// is exactly the effect of records `[0, next_lsn)` — including reports
+/// still queued in the ingest channel, which have an LSN above the
+/// captured one and survive compaction in the WAL tail.
+fn checkpoint_now(
+    handle: &JournalHandle,
+    store: &ShardedStore,
+    listings: &RwLock<BTreeMap<ServiceId, Listing>>,
+) -> io::Result<CheckpointReport> {
+    let (lsn, dir, listing_vec, feedback) = {
+        let journal = handle.lock();
+        let lsn = journal.next_lsn();
+        let listing_vec: Vec<Listing> = listings.read().values().cloned().collect();
+        let feedback = store.dump();
+        (lsn, journal.dir().to_path_buf(), listing_vec, feedback)
+    };
+    let entries = listing_vec.len() as u64 + feedback.len() as u64;
+    write_snapshot(&dir, lsn, &listing_vec, &feedback)?;
+    let report = handle.lock().compact(lsn)?;
+    Ok(CheckpointReport {
+        lsn,
+        entries,
+        segments_removed: report.segments_removed,
+        snapshots_removed: report.snapshots_removed,
+        bytes_reclaimed: report.bytes_reclaimed,
+    })
+}
+
+/// The background checkpointer: wakes on a period, snapshots, compacts.
+/// Stopped and joined on drop.
+struct Compactor {
+    stop: Arc<(StdMutex<bool>, Condvar)>,
+    thread: Option<thread::JoinHandle<()>>,
+}
+
+impl Compactor {
+    fn spawn(
+        every: Duration,
+        handle: Arc<JournalHandle>,
+        store: Arc<ShardedStore>,
+        listings: Arc<RwLock<BTreeMap<ServiceId, Listing>>>,
+    ) -> Compactor {
+        let stop = Arc::new((StdMutex::new(false), Condvar::new()));
+        let thread_stop = Arc::clone(&stop);
+        let thread = thread::spawn(move || {
+            let (lock, wake) = &*thread_stop;
+            let mut stopped = lock.lock().unwrap_or_else(|e| e.into_inner());
+            while !*stopped {
+                let (guard, timeout) = wake
+                    .wait_timeout(stopped, every)
+                    .unwrap_or_else(|e| e.into_inner());
+                stopped = guard;
+                if !*stopped && timeout.timed_out() {
+                    // A failed background pass only delays compaction;
+                    // the WAL still holds everything.
+                    let _ = checkpoint_now(&handle, &store, &listings);
+                }
+            }
+        });
+        Compactor {
+            stop,
+            thread: Some(thread),
+        }
+    }
+}
+
+impl Drop for Compactor {
+    fn drop(&mut self) {
+        let (lock, wake) = &*self.stop;
+        *lock.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        wake.notify_all();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
     }
 }
 

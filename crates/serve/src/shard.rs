@@ -124,6 +124,21 @@ impl ShardedStore {
         f(&self.shards[self.shard_of(subject)].read())
     }
 
+    /// Copy out every report, shard by shard.
+    ///
+    /// Per-subject order is preserved — a subject lives in exactly one
+    /// shard — which is all replay needs: re-inserting the dump into a
+    /// fresh store reproduces every per-subject log and epoch exactly.
+    /// This is the state a checkpoint snapshots.
+    pub fn dump(&self) -> Vec<Feedback> {
+        let mut out = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            let shard = shard.read();
+            out.extend(shard.store.iter().cloned());
+        }
+        out
+    }
+
     /// Reports held by shard `idx`.
     pub fn shard_len(&self, idx: usize) -> usize {
         self.shards[idx].read().store.len()

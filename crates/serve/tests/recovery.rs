@@ -1,0 +1,338 @@
+//! Crash-recovery integration tests: kill the service at an arbitrary
+//! point, recover from the journal, and demand the exact acknowledged
+//! state back.
+//!
+//! "Crash" is simulated by copying the journal directory while the
+//! service is still live (everything durable at that instant is in the
+//! copy; everything else is lost, exactly like power failure) or by
+//! truncating segment files at arbitrary byte offsets (a torn write).
+
+use proptest::prelude::*;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+use wsrep_core::feedback::Feedback;
+use wsrep_core::id::{AgentId, ProviderId, ServiceId, SubjectId};
+use wsrep_core::mechanism::score_from_log;
+use wsrep_core::mechanisms::beta::BetaMechanism;
+use wsrep_core::store::FeedbackStore;
+use wsrep_core::time::Time;
+use wsrep_core::trust::TrustEstimate;
+use wsrep_journal::{recover, Journal, JournalConfig, JournalRecord};
+use wsrep_qos::metric::Metric;
+use wsrep_qos::value::QosVector;
+use wsrep_serve::ReputationService;
+use wsrep_sim::registry::Listing;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("wsrep-serve-recovery-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Copy the journal directory byte for byte — the durable state an
+/// abrupt kill would leave behind.
+fn freeze(live: &Path, tag: &str) -> PathBuf {
+    let frozen = temp_dir(tag);
+    fs::create_dir_all(&frozen).unwrap();
+    for entry in fs::read_dir(live).unwrap() {
+        let entry = entry.unwrap();
+        fs::copy(entry.path(), frozen.join(entry.file_name())).unwrap();
+    }
+    frozen
+}
+
+fn feedback(rater: u64, service: u64, score: f64, at: u64) -> Feedback {
+    Feedback::scored(
+        AgentId::new(rater),
+        ServiceId::new(service),
+        score,
+        Time::new(at),
+    )
+}
+
+fn listing(service: u64, category: u32) -> Listing {
+    Listing {
+        service: ServiceId::new(service),
+        provider: ProviderId::new(service),
+        category,
+        advertised: QosVector::from_pairs([(Metric::Price, service as f64 + 1.0)]),
+    }
+}
+
+/// The reference answer: replay a plain sequential [`FeedbackStore`]
+/// through the same mechanism the service scores with.
+fn sequential_score(reports: &[Feedback], subject: SubjectId) -> Option<TrustEstimate> {
+    let mut store = FeedbackStore::new();
+    for report in reports {
+        store.push(report.clone());
+    }
+    let mut mechanism = BetaMechanism::new();
+    score_from_log(&mut mechanism, store.about(subject), subject)
+}
+
+#[test]
+fn kill_and_recover_restores_every_acknowledged_score() {
+    let live = temp_dir("kill-live");
+    let svc = ReputationService::builder()
+        .shards(4)
+        .journal(&live)
+        .build();
+    for s in 0..6 {
+        svc.publish(listing(s, s as u32 % 2));
+    }
+    svc.deregister(ServiceId::new(5)).unwrap();
+    let reports: Vec<Feedback> = (0..300)
+        .map(|i| feedback(i % 17, i % 6, (i % 10) as f64 / 10.0, i))
+        .collect();
+    for report in &reports {
+        svc.ingest(report.clone()).unwrap();
+    }
+    // Durability barrier: everything above is now fdatasync'd.
+    svc.flush();
+    let frozen = freeze(&live, "kill-frozen");
+    let pre_crash: Vec<Option<TrustEstimate>> = (0..6)
+        .map(|s| svc.score(ServiceId::new(s).into()))
+        .collect();
+    drop(svc); // the "crashed" process; its directory is never reused
+
+    let revived = ReputationService::builder()
+        .shards(4)
+        .recover_from(&frozen)
+        .build();
+    for (s, expected) in pre_crash.iter().enumerate() {
+        let subject: SubjectId = ServiceId::new(s as u64).into();
+        assert_eq!(
+            revived.score(subject),
+            *expected,
+            "service {s} must score identically after recovery"
+        );
+        assert_eq!(
+            revived.score(subject),
+            sequential_score(&reports, subject),
+            "recovered score must equal a sequential replay"
+        );
+    }
+    // Listings survive, including the deregistration.
+    assert_eq!(revived.stats().listings, 5);
+    assert!(revived.listing(ServiceId::new(5)).is_none());
+    let health = revived.stats().journal.expect("journal attached");
+    // 6 publishes + 1 deregister + 300 reports.
+    assert_eq!(health.records_recovered, 307);
+    assert!(!health.degraded);
+    fs::remove_dir_all(&live).unwrap();
+    fs::remove_dir_all(&frozen).unwrap();
+}
+
+#[test]
+fn recovery_restores_epochs_so_the_cache_cannot_serve_stale_scores() {
+    let live = temp_dir("epoch-live");
+    let subject: SubjectId = ServiceId::new(1).into();
+    {
+        let svc = ReputationService::builder().journal(&live).build();
+        for i in 0..40 {
+            svc.ingest(feedback(i, 1, 0.9, i)).unwrap();
+        }
+        svc.flush();
+        assert_eq!(svc.store().epoch(subject), 40);
+    }
+    let revived = ReputationService::builder().recover_from(&live).build();
+    // The epoch is the count of applied reports; replay must restore it
+    // exactly, or cached scores could validate against stale state.
+    assert_eq!(revived.store().epoch(subject), 40);
+    let before = revived.score(subject).unwrap();
+    // New feedback after recovery still invalidates the cache.
+    for i in 0..40 {
+        revived.ingest(feedback(100 + i, 1, 0.0, 50 + i)).unwrap();
+    }
+    revived.flush();
+    assert_eq!(revived.store().epoch(subject), 80);
+    let after = revived.score(subject).unwrap();
+    assert!(
+        after.value.get() < before.value.get(),
+        "post-recovery feedback must move the score"
+    );
+    fs::remove_dir_all(&live).unwrap();
+}
+
+#[test]
+fn torn_final_record_is_skipped_without_error() {
+    let live = temp_dir("torn-live");
+    let reports: Vec<Feedback> = (0..25).map(|i| feedback(i, i % 3, 0.7, i)).collect();
+    {
+        let mut journal = Journal::open(&live, JournalConfig::default()).unwrap();
+        // One record per commit, so every frame boundary is a possible
+        // durable point.
+        for report in &reports {
+            journal
+                .append_batch(&[JournalRecord::Feedback(report.clone())])
+                .unwrap();
+        }
+    }
+    // Tear the last record mid-frame.
+    let (_, segment) = wsrep_journal::segment::list_segments(&live)
+        .unwrap()
+        .pop()
+        .unwrap();
+    let len = fs::metadata(&segment).unwrap().len();
+    fs::OpenOptions::new()
+        .write(true)
+        .open(&segment)
+        .unwrap()
+        .set_len(len - 3)
+        .unwrap();
+
+    let revived = ReputationService::builder().recover_from(&live).build();
+    let prefix = &reports[..24];
+    for s in 0..3u64 {
+        let subject: SubjectId = ServiceId::new(s).into();
+        assert_eq!(revived.score(subject), sequential_score(prefix, subject));
+    }
+    assert_eq!(revived.stats().feedback, 24);
+    // The revived journal truncated the torn tail and appends cleanly.
+    revived.ingest(reports[24].clone()).unwrap();
+    revived.flush();
+    assert_eq!(revived.stats().feedback, 25);
+    fs::remove_dir_all(&live).unwrap();
+}
+
+#[test]
+fn checkpoint_plus_tail_recovers_and_reclaims_segments() {
+    let live = temp_dir("checkpoint-live");
+    let svc = ReputationService::builder()
+        .shards(4)
+        .journal(&live)
+        .max_segment_bytes(512)
+        .build();
+    svc.publish(listing(0, 0));
+    svc.publish(listing(1, 0));
+    let reports: Vec<Feedback> = (0..200)
+        .map(|i| feedback(i % 9, i % 2, (i % 7) as f64 / 7.0, i))
+        .collect();
+    for report in &reports[..120] {
+        svc.ingest(report.clone()).unwrap();
+    }
+    let report = svc.checkpoint().unwrap().expect("journal attached");
+    assert_eq!(report.lsn, 122, "2 publishes + 120 reports");
+    assert!(
+        report.segments_removed > 0,
+        "512-byte segments must leave covered segments to reclaim: {report:?}"
+    );
+    for more in &reports[120..] {
+        svc.ingest(more.clone()).unwrap();
+    }
+    svc.flush();
+    let frozen = freeze(&live, "checkpoint-frozen");
+    let pre_crash: Vec<Option<TrustEstimate>> = (0..2)
+        .map(|s| svc.score(ServiceId::new(s).into()))
+        .collect();
+    drop(svc);
+
+    let revived = ReputationService::builder()
+        .shards(4)
+        .recover_from(&frozen)
+        .build();
+    for (s, expected) in pre_crash.iter().enumerate() {
+        let subject: SubjectId = ServiceId::new(s as u64).into();
+        assert_eq!(revived.score(subject), *expected);
+        assert_eq!(revived.score(subject), sequential_score(&reports, subject));
+    }
+    assert_eq!(revived.stats().feedback, 200);
+    fs::remove_dir_all(&live).unwrap();
+    fs::remove_dir_all(&frozen).unwrap();
+}
+
+#[test]
+fn background_compactor_takes_checkpoints_on_its_own() {
+    let live = temp_dir("compactor-live");
+    let svc = ReputationService::builder()
+        .journal(&live)
+        .max_segment_bytes(256)
+        .checkpoint_every(Duration::from_millis(25))
+        .build();
+    for i in 0..400 {
+        svc.ingest(feedback(i % 13, i % 5, 0.6, i)).unwrap();
+    }
+    svc.flush();
+    // Poll until the background thread has written a snapshot.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let snapshot = loop {
+        if let Some(snapshot) = wsrep_journal::latest_snapshot(&live).unwrap() {
+            break snapshot;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "compactor never wrote a snapshot"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(snapshot.lsn > 0);
+    drop(svc);
+    // Whatever instant the compactor snapshotted at, recovery is exact.
+    let revived = ReputationService::builder().recover_from(&live).build();
+    assert_eq!(revived.stats().feedback, 400);
+    fs::remove_dir_all(&live).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Write N reports, truncate the segment at an arbitrary byte, and
+    /// recovery must yield exactly a prefix of the log — scoring equal to
+    /// a sequential replay of that prefix for every subject.
+    #[test]
+    fn truncate_anywhere_recovers_a_score_exact_prefix(
+        raw in proptest::collection::vec((0u64..12, 0u64..6, 0.0f64..1.0, 0u64..50), 1..60),
+        chunk in 1usize..8,
+        cut_back in 0u64..2000,
+    ) {
+        let tag = format!("prop-{}-{}-{}", raw.len(), chunk, cut_back);
+        let live = temp_dir(&tag);
+        let reports: Vec<Feedback> = raw
+            .iter()
+            .map(|&(rater, service, score, at)| feedback(rater, service, score, at))
+            .collect();
+        {
+            let mut journal = Journal::open(&live, JournalConfig::default()).unwrap();
+            for batch in reports.chunks(chunk) {
+                let records: Vec<JournalRecord> =
+                    batch.iter().cloned().map(JournalRecord::Feedback).collect();
+                journal.append_batch(&records).unwrap();
+            }
+        }
+        let (_, segment) = wsrep_journal::segment::list_segments(&live)
+            .unwrap()
+            .pop()
+            .unwrap();
+        let len = fs::metadata(&segment).unwrap().len();
+        // Cut anywhere from "keep everything" down to the bare header.
+        let cut = len.saturating_sub(cut_back).max(13);
+        fs::OpenOptions::new()
+            .write(true)
+            .open(&segment)
+            .unwrap()
+            .set_len(cut)
+            .unwrap();
+
+        let recovered = recover(&live).unwrap();
+        let k = recovered.feedback.len();
+        prop_assert!(k <= reports.len());
+        prop_assert_eq!(&recovered.feedback, &reports[..k], "must be an exact prefix");
+
+        let revived = ReputationService::builder()
+            .shards(3)
+            .recover_from(&live)
+            .build();
+        for service in 0..6u64 {
+            let subject: SubjectId = ServiceId::new(service).into();
+            prop_assert_eq!(
+                revived.score(subject),
+                sequential_score(&reports[..k], subject),
+                "subject {} after cut at byte {}", service, cut
+            );
+        }
+        drop(revived);
+        fs::remove_dir_all(&live).unwrap();
+    }
+}

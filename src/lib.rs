@@ -10,6 +10,7 @@
 //! ```
 
 pub use wsrep_core as core;
+pub use wsrep_journal as journal;
 pub use wsrep_net as net;
 pub use wsrep_qos as qos;
 pub use wsrep_robust as robust;
