@@ -7,8 +7,9 @@
 //! so two runs on the same machine are comparable.
 //!
 //! ```text
-//! loadgen [--journal[=DIR]] [ingest_threads] [query_threads] \
-//!         [reports_per_ingester] [queries_per_querier] [shards] [seed]
+//! loadgen [--journal[=DIR]] [--skew S] [--replay] [ingest_threads] \
+//!         [query_threads] [reports_per_ingester] [queries_per_querier] \
+//!         [shards] [seed]
 //! ```
 //!
 //! Defaults: 4 ingesters, 4 queriers, 50 000 reports and 50 000 queries
@@ -20,6 +21,14 @@
 //! pays one group-commit fsync per applied batch. Comparing a run with
 //! and without the flag is the durability-cost measurement checked in as
 //! BENCH_journal.json.
+//!
+//! `--skew S` draws the subject of every report and score query from a
+//! Zipf(S) distribution over the services instead of uniformly (S = 0 is
+//! uniform). Skew concentrates feedback on a few hot subjects, growing
+//! their logs — exactly the workload where incremental scoring beats
+//! replay-on-miss. `--replay` disables the incremental fold so the
+//! before/after cost is measurable on one binary; the comparison is
+//! checked in as BENCH_incremental.json.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -48,26 +57,41 @@ struct Config {
     shards: usize,
     seed: u64,
     journal: Option<PathBuf>,
+    skew: f64,
+    replay: bool,
 }
 
 fn parse_args() -> Config {
     let mut journal = None;
+    let mut skew = 0.0f64;
+    let mut replay = false;
     let mut numbers = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         if arg == "--journal" {
             journal = Some(
                 std::env::temp_dir().join(format!("wsrep-loadgen-journal-{}", std::process::id())),
             );
         } else if let Some(dir) = arg.strip_prefix("--journal=") {
             journal = Some(PathBuf::from(dir));
+        } else if arg == "--replay" {
+            replay = true;
+        } else if arg == "--skew" {
+            let value = args.next().expect("--skew takes a Zipf exponent");
+            skew = value
+                .parse()
+                .unwrap_or_else(|_| panic!("--skew expects a number, got {value:?}"));
+        } else if let Some(value) = arg.strip_prefix("--skew=") {
+            skew = value
+                .parse()
+                .unwrap_or_else(|_| panic!("--skew expects a number, got {value:?}"));
         } else {
-            numbers.push(
-                arg.parse::<u64>().unwrap_or_else(|_| {
-                    panic!("expected a number or --journal[=DIR], got {arg:?}")
-                }),
-            );
+            numbers.push(arg.parse::<u64>().unwrap_or_else(|_| {
+                panic!("expected a number or --journal[=DIR] / --skew S / --replay, got {arg:?}")
+            }));
         }
     }
+    assert!(skew >= 0.0, "Zipf exponent must be non-negative");
     let get = |i: usize, default: u64| numbers.get(i).copied().unwrap_or(default);
     Config {
         ingest_threads: get(0, 4),
@@ -77,6 +101,34 @@ fn parse_args() -> Config {
         shards: get(4, 8) as usize,
         seed: get(5, 42),
         journal,
+        skew,
+        replay,
+    }
+}
+
+/// Zipf(s) sampler over ranks `0..n` by inverse-CDF binary search;
+/// `s = 0` degenerates to the uniform distribution.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: u64, s: f64) -> Zipf {
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += 1.0 / (rank as f64).powf(s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> u64 {
+        let u: f64 = rng.gen();
+        (self.cdf.partition_point(|&c| c < u) as u64).min(self.cdf.len() as u64 - 1)
     }
 }
 
@@ -99,7 +151,11 @@ fn main() {
     if let Some(dir) = &config.journal {
         builder = builder.journal(dir);
     }
+    if config.replay {
+        builder = builder.replay_scoring();
+    }
     let service = Arc::new(builder.build());
+    let zipf = Arc::new(Zipf::new(SERVICES, config.skew));
     let mut seeder = StdRng::seed_from_u64(config.seed);
     for s in 0..SERVICES {
         service.publish(Listing {
@@ -124,13 +180,14 @@ fn main() {
         let mut ingest_handles = Vec::new();
         for t in 0..config.ingest_threads {
             let service = Arc::clone(&service);
+            let zipf = Arc::clone(&zipf);
             let reports = config.reports_per_ingester;
             let seed = config.seed.wrapping_add(t + 1);
             ingest_handles.push(scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(seed);
                 let begun = Instant::now();
                 for i in 0..reports {
-                    let subject = rng.gen_range(0..SERVICES);
+                    let subject = zipf.sample(&mut rng);
                     let score: f64 = rng.gen();
                     service
                         .ingest(Feedback::scored(
@@ -148,6 +205,7 @@ fn main() {
         let mut query_handles = Vec::new();
         for q in 0..config.query_threads {
             let service = Arc::clone(&service);
+            let zipf = Arc::clone(&zipf);
             let prefs = prefs.clone();
             let queries = config.queries_per_querier;
             let seed = config.seed.wrapping_add(1_000 + q);
@@ -162,7 +220,7 @@ fn main() {
                         let top = service.top_k(category, &prefs, 10);
                         assert!(top.len() <= 10);
                     } else {
-                        let subject: SubjectId = ServiceId::new(rng.gen_range(0..SERVICES)).into();
+                        let subject: SubjectId = ServiceId::new(zipf.sample(&mut rng)).into();
                         if let Some(estimate) = service.score(subject) {
                             assert!((0.0..=1.0).contains(&estimate.value.get()));
                         }
@@ -200,13 +258,19 @@ fn main() {
     let query_rate = total_queries as f64 / query_elapsed;
 
     println!(
-        "loadgen: {}i x {} reports + {}q x {} queries, {} shards, seed {}{}",
+        "loadgen: {}i x {} reports + {}q x {} queries, {} shards, seed {}, skew {}, {} scoring{}",
         config.ingest_threads,
         config.reports_per_ingester,
         config.query_threads,
         config.queries_per_querier,
         config.shards,
         config.seed,
+        config.skew,
+        if stats.incremental {
+            "incremental"
+        } else {
+            "replay"
+        },
         match &config.journal {
             Some(dir) => format!(", journal at {}", dir.display()),
             None => String::new(),
@@ -220,6 +284,10 @@ fn main() {
     println!(
         "cache              {:>12} hits / {} misses",
         stats.cache_hits, stats.cache_misses
+    );
+    println!(
+        "top-k plans        {:>12} hits / {} rebuilds",
+        stats.topk_plan_hits, stats.topk_plan_misses
     );
     let journal_json = match stats.journal {
         Some(health) => {
@@ -244,13 +312,15 @@ fn main() {
         None => "null".to_string(),
     };
     println!(
-        "{{\"ingest_threads\":{},\"query_threads\":{},\"reports_per_ingester\":{},\"queries_per_querier\":{},\"shards\":{},\"seed\":{},\"wall_seconds\":{:.3},\"ingest_ops_per_sec\":{:.0},\"query_ops_per_sec\":{:.0},\"query_p50_ns\":{},\"query_p99_ns\":{},\"cache_hits\":{},\"cache_misses\":{},\"feedback_applied\":{},\"journal\":{}}}",
+        "{{\"ingest_threads\":{},\"query_threads\":{},\"reports_per_ingester\":{},\"queries_per_querier\":{},\"shards\":{},\"seed\":{},\"skew\":{},\"incremental\":{},\"wall_seconds\":{:.3},\"ingest_ops_per_sec\":{:.0},\"query_ops_per_sec\":{:.0},\"query_p50_ns\":{},\"query_p99_ns\":{},\"cache_hits\":{},\"cache_misses\":{},\"topk_plan_hits\":{},\"topk_plan_misses\":{},\"feedback_applied\":{},\"journal\":{}}}",
         config.ingest_threads,
         config.query_threads,
         config.reports_per_ingester,
         config.queries_per_querier,
         config.shards,
         config.seed,
+        config.skew,
+        stats.incremental,
         wall,
         ingest_rate,
         query_rate,
@@ -258,6 +328,8 @@ fn main() {
         p99,
         stats.cache_hits,
         stats.cache_misses,
+        stats.topk_plan_hits,
+        stats.topk_plan_misses,
         stats.feedback,
         journal_json
     );

@@ -30,6 +30,27 @@ pub trait ReputationMechanism: fmt::Debug + Send {
     /// Ingest one feedback report.
     fn submit(&mut self, feedback: &Feedback);
 
+    /// An empty per-subject accumulator implementing this mechanism's
+    /// **incremental fold**, or `None` when the mechanism genuinely needs
+    /// a full-log pass (cross-subject state such as rater reputations
+    /// learned from *other* subjects' logs, graph fixed points, or
+    /// collaborative filtering over the whole rating matrix).
+    ///
+    /// Contract: after absorbing a subject's feedback log in order,
+    /// [`SubjectAccumulator::estimate`] must equal
+    /// [`score_from_log`] run over the same log through a **fresh
+    /// instance configured like `self`** — including the trailing
+    /// `refresh` to the newest absorbed timestamp that `score_from_log`
+    /// performs. Callers that keep accumulators resident (the served
+    /// registry's shards) therefore read in O(1) exactly what a replay
+    /// would have recomputed in O(log length).
+    ///
+    /// The parameters of `self` (forgetting factors, thresholds, …) carry
+    /// into the accumulator; its evidence starts empty.
+    fn accumulator(&self) -> Option<Box<dyn SubjectAccumulator>> {
+        None
+    }
+
     /// The global (public) reputation of a subject, or `None` when the
     /// mechanism has no evidence about it yet.
     ///
@@ -55,6 +76,31 @@ pub trait ReputationMechanism: fmt::Debug + Send {
 
     /// Number of feedback reports ingested (for accounting in experiments).
     fn feedback_count(&self) -> usize;
+}
+
+/// Per-subject sufficient statistics of one mechanism's global estimate.
+///
+/// An accumulator is the resident, incremental form of
+/// [`score_from_log`]: every report about its subject is folded forward
+/// once ([`SubjectAccumulator::absorb`]), and the current estimate is an
+/// O(1) read ([`SubjectAccumulator::estimate`]) no matter how long the
+/// log has grown. Every feedback absorbed by one accumulator carries the
+/// same `subject`; mechanisms that treat self-ratings specially (the
+/// subject appearing as its own rater) may rely on that.
+///
+/// `estimate` is a pure read: time-decayed mechanisms apply the pending
+/// decay (from the last absorbed update to the newest absorbed
+/// timestamp) on the fly without mutating the resident state, mirroring
+/// the `refresh(latest)` that [`score_from_log`] issues after replay.
+pub trait SubjectAccumulator: fmt::Debug + Send + Sync {
+    /// Fold one report about this accumulator's subject into the
+    /// resident statistics.
+    fn absorb(&mut self, feedback: &Feedback);
+
+    /// The current global estimate, equal to what a full-log replay
+    /// through a fresh mechanism would answer. `None` until evidence
+    /// exists or while the mechanism abstains.
+    fn estimate(&self) -> Option<TrustEstimate>;
 }
 
 /// Replay a feedback log through `mechanism` and answer with the global
@@ -168,6 +214,10 @@ mod tests {
         let p = m.personalized(AgentId::new(42), s.into()).unwrap();
         assert_eq!(g, p);
         assert_eq!(m.feedback_count(), 1);
+        assert!(
+            m.accumulator().is_none(),
+            "replay fallback is the default fold"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::feedback::Feedback;
 use crate::id::{AgentId, SubjectId};
-use crate::mechanism::ReputationMechanism;
+use crate::mechanism::{ReputationMechanism, SubjectAccumulator};
 use crate::trust::{evidence_confidence, TrustEstimate, TrustValue};
 use crate::typology::{Centralization, MechanismInfo, Scope, Subject};
 use std::collections::BTreeMap;
@@ -105,6 +105,42 @@ impl ReputationMechanism for AmazonMechanism {
 
     fn feedback_count(&self) -> usize {
         self.submitted
+    }
+
+    fn accumulator(&self) -> Option<Box<dyn SubjectAccumulator>> {
+        Some(Box::new(AmazonAccumulator::default()))
+    }
+}
+
+/// The Amazon fold. Helpfulness votes arrive out of band
+/// ([`AmazonMechanism::vote_helpful`]), never through the feedback log,
+/// so a replay through a fresh mechanism weighs every reviewer at the
+/// neutral 0.5; the fold runs the same weighted sums incrementally (the
+/// identical float operations, so estimates match replay bit-for-bit).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AmazonAccumulator {
+    num: f64,
+    den: f64,
+    n: usize,
+}
+
+impl SubjectAccumulator for AmazonAccumulator {
+    fn absorb(&mut self, feedback: &Feedback) {
+        // `reviewer_weight` of a reviewer with no helpfulness votes.
+        let w = 0.5;
+        self.num += w * feedback.score;
+        self.den += w;
+        self.n += 1;
+    }
+
+    fn estimate(&self) -> Option<TrustEstimate> {
+        if self.n == 0 {
+            return None;
+        }
+        Some(TrustEstimate::new(
+            TrustValue::new(self.num / self.den),
+            evidence_confidence(self.n, 4.0),
+        ))
     }
 }
 

@@ -8,7 +8,7 @@
 
 use crate::feedback::Feedback;
 use crate::id::SubjectId;
-use crate::mechanism::ReputationMechanism;
+use crate::mechanism::{ReputationMechanism, SubjectAccumulator};
 use crate::time::Time;
 use crate::trust::{evidence_confidence, TrustEstimate, TrustValue};
 use crate::typology::{Centralization, MechanismInfo, Scope, Subject};
@@ -92,6 +92,59 @@ impl BetaMechanism {
     }
 }
 
+/// The beta fold: `(r, s)` mass plus the two timestamps the decay
+/// schedule depends on. `absorb` mirrors `submit` (age to the report's
+/// timestamp, then add mass); `estimate` applies the pending decay up to
+/// the newest absorbed timestamp on the fly, exactly like the
+/// `refresh(latest)` a log replay ends with.
+#[derive(Debug, Clone, Copy)]
+pub struct BetaAccumulator {
+    lambda: f64,
+    evidence: BetaEvidence,
+    /// Timestamp the evidence mass is aged to (the last absorbed report's
+    /// time — which moves *backwards* on out-of-order reports, exactly
+    /// like `BetaMechanism::age_evidence` resetting `last_update`).
+    aged_to: Time,
+    /// Newest timestamp seen, the clock `estimate` decays forward to.
+    latest: Time,
+    absorbed: bool,
+}
+
+impl SubjectAccumulator for BetaAccumulator {
+    fn absorb(&mut self, feedback: &Feedback) {
+        if self.absorbed {
+            let age = feedback.at.since(self.aged_to);
+            if age > 0 {
+                let f = self.lambda.powi(age as i32);
+                self.evidence.r *= f;
+                self.evidence.s *= f;
+            }
+        }
+        self.aged_to = feedback.at;
+        self.latest = self.latest.max(feedback.at);
+        self.evidence.r += feedback.score;
+        self.evidence.s += 1.0 - feedback.score;
+        self.absorbed = true;
+    }
+
+    fn estimate(&self) -> Option<TrustEstimate> {
+        if !self.absorbed {
+            return None;
+        }
+        let mut e = self.evidence;
+        let age = self.latest.since(self.aged_to);
+        if age > 0 {
+            let f = self.lambda.powi(age as i32);
+            e.r *= f;
+            e.s *= f;
+        }
+        Some(TrustEstimate::new(
+            TrustValue::new(e.expectation()),
+            evidence_confidence(e.total().round() as usize, 5.0),
+        ))
+    }
+}
+
 impl ReputationMechanism for BetaMechanism {
     fn info(&self) -> MechanismInfo {
         MechanismInfo {
@@ -133,12 +186,23 @@ impl ReputationMechanism for BetaMechanism {
     fn feedback_count(&self) -> usize {
         self.submitted
     }
+
+    fn accumulator(&self) -> Option<Box<dyn SubjectAccumulator>> {
+        Some(Box::new(BetaAccumulator {
+            lambda: self.lambda,
+            evidence: BetaEvidence::default(),
+            aged_to: Time::ZERO,
+            latest: Time::ZERO,
+            absorbed: false,
+        }))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::id::{AgentId, ServiceId};
+    use crate::mechanism::score_from_log;
     use proptest::prelude::*;
 
     fn fb(score: f64, t: u64) -> Feedback {
@@ -203,6 +267,18 @@ mod tests {
     #[should_panic(expected = "lambda must be in [0,1]")]
     fn bad_lambda_panics() {
         BetaMechanism::with_forgetting(1.2);
+    }
+
+    #[test]
+    fn accumulator_matches_replay_with_out_of_order_timestamps() {
+        let log = vec![fb(0.9, 5), fb(0.2, 2), fb(0.7, 9), fb(0.4, 9)];
+        let mut acc = BetaMechanism::new().accumulator().unwrap();
+        for f in &log {
+            acc.absorb(f);
+        }
+        let replayed = score_from_log(&mut BetaMechanism::new(), &log, ServiceId::new(1).into());
+        assert_eq!(acc.estimate(), replayed);
+        assert_eq!(BetaMechanism::new().accumulator().unwrap().estimate(), None);
     }
 
     proptest! {

@@ -17,7 +17,7 @@
 
 use crate::feedback::Feedback;
 use crate::id::SubjectId;
-use crate::mechanism::ReputationMechanism;
+use crate::mechanism::{ReputationMechanism, SubjectAccumulator};
 use crate::trust::{evidence_confidence, TrustEstimate, TrustValue};
 use crate::typology::{Centralization, MechanismInfo, Scope, Subject};
 use std::collections::BTreeMap;
@@ -136,6 +136,54 @@ impl ReputationMechanism for ComplaintsMechanism {
 
     fn feedback_count(&self) -> usize {
         self.submitted
+    }
+
+    fn accumulator(&self) -> Option<Box<dyn SubjectAccumulator>> {
+        Some(Box::new(ComplaintsAccumulator {
+            complaint_threshold: self.complaint_threshold,
+            interactions: 0,
+            received: 0,
+            filed: 0,
+        }))
+    }
+}
+
+/// The complaints fold. A subject's estimate depends on complaints it
+/// *received* (reports about it) and complaints it *filed* — and in a
+/// per-subject log the subject only appears as a filer when it complains
+/// about itself, which the fold tracks via the self-rating check. The
+/// population-median decision baseline ([`ComplaintsMechanism::median_index`])
+/// is inherently cross-subject and stays on the full mechanism.
+#[derive(Debug, Clone, Copy)]
+pub struct ComplaintsAccumulator {
+    complaint_threshold: f64,
+    interactions: u64,
+    received: u64,
+    filed: u64,
+}
+
+impl SubjectAccumulator for ComplaintsAccumulator {
+    fn absorb(&mut self, feedback: &Feedback) {
+        self.interactions += 1;
+        if feedback.is_complaint(self.complaint_threshold) {
+            self.received += 1;
+            if SubjectId::from(feedback.rater) == feedback.subject {
+                self.filed += 1;
+            }
+        }
+    }
+
+    fn estimate(&self) -> Option<TrustEstimate> {
+        if self.interactions == 0 {
+            return None;
+        }
+        let rate = self.received as f64 / self.interactions as f64;
+        let suspicion = 1.0 / (1.0 + self.filed as f64 / 10.0);
+        let base = 1.0 - rate;
+        Some(TrustEstimate::new(
+            TrustValue::new(0.5 + (base - 0.5) * suspicion),
+            evidence_confidence(self.interactions as usize, 4.0),
+        ))
     }
 }
 

@@ -7,7 +7,7 @@
 
 use crate::feedback::Feedback;
 use crate::id::SubjectId;
-use crate::mechanism::ReputationMechanism;
+use crate::mechanism::{ReputationMechanism, SubjectAccumulator};
 use crate::trust::{evidence_confidence, TrustEstimate, TrustValue};
 use crate::typology::{Centralization, MechanismInfo, Scope, Subject};
 use std::collections::BTreeMap;
@@ -99,6 +99,39 @@ impl ReputationMechanism for EbayMechanism {
 
     fn feedback_count(&self) -> usize {
         self.submitted
+    }
+
+    fn accumulator(&self) -> Option<Box<dyn SubjectAccumulator>> {
+        Some(Box::new(EbayAccumulator {
+            profile: EbayProfile::default(),
+        }))
+    }
+}
+
+/// The eBay fold: the profile tallies *are* the sufficient statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EbayAccumulator {
+    profile: EbayProfile,
+}
+
+impl SubjectAccumulator for EbayAccumulator {
+    fn absorb(&mut self, feedback: &Feedback) {
+        match feedback.ebay_sign() {
+            1 => self.profile.positive += 1,
+            -1 => self.profile.negative += 1,
+            _ => self.profile.neutral += 1,
+        }
+    }
+
+    fn estimate(&self) -> Option<TrustEstimate> {
+        let p = &self.profile;
+        if p.total() == 0 {
+            return None;
+        }
+        Some(TrustEstimate::new(
+            TrustValue::new(p.positive_fraction().unwrap_or(0.5)),
+            evidence_confidence((p.positive + p.negative) as usize, 5.0),
+        ))
     }
 }
 

@@ -8,7 +8,7 @@
 
 use crate::feedback::Feedback;
 use crate::id::{AgentId, SubjectId};
-use crate::mechanism::ReputationMechanism;
+use crate::mechanism::{ReputationMechanism, SubjectAccumulator};
 use crate::trust::{evidence_confidence, TrustEstimate, TrustValue};
 use crate::typology::{Centralization, MechanismInfo, Scope, Subject};
 use std::collections::{BTreeMap, BTreeSet};
@@ -105,6 +105,47 @@ impl ReputationMechanism for EpinionsMechanism {
 
     fn feedback_count(&self) -> usize {
         self.submitted
+    }
+
+    fn accumulator(&self) -> Option<Box<dyn SubjectAccumulator>> {
+        Some(Box::new(EpinionsAccumulator {
+            // `influence` of a reviewer with no incoming trust edges.
+            baseline: 0.2,
+            num: 0.0,
+            den: 0.0,
+            n: 0,
+        }))
+    }
+}
+
+/// The Epinions fold. Web-of-trust edges arrive out of band
+/// ([`EpinionsMechanism::trust`] / [`EpinionsMechanism::block`]), never
+/// through the feedback log, so a replay through a fresh mechanism gives
+/// every reviewer the no-trusters baseline influence; the fold runs the
+/// same weighted sums incrementally.
+#[derive(Debug, Clone, Copy)]
+pub struct EpinionsAccumulator {
+    baseline: f64,
+    num: f64,
+    den: f64,
+    n: usize,
+}
+
+impl SubjectAccumulator for EpinionsAccumulator {
+    fn absorb(&mut self, feedback: &Feedback) {
+        self.num += self.baseline * feedback.score;
+        self.den += self.baseline;
+        self.n += 1;
+    }
+
+    fn estimate(&self) -> Option<TrustEstimate> {
+        if self.n == 0 {
+            return None;
+        }
+        Some(TrustEstimate::new(
+            TrustValue::new(self.num / self.den),
+            evidence_confidence(self.n, 4.0),
+        ))
     }
 }
 

@@ -15,7 +15,7 @@
 
 use crate::feedback::Feedback;
 use crate::id::SubjectId;
-use crate::mechanism::ReputationMechanism;
+use crate::mechanism::{ReputationMechanism, SubjectAccumulator};
 use crate::trust::{evidence_confidence, TrustEstimate, TrustValue};
 use crate::typology::{Centralization, MechanismInfo, Scope, Subject};
 use std::collections::BTreeMap;
@@ -120,6 +120,60 @@ impl ReputationMechanism for SporasMechanism {
 
     fn feedback_count(&self) -> usize {
         self.submitted
+    }
+
+    fn accumulator(&self) -> Option<Box<dyn SubjectAccumulator>> {
+        Some(Box::new(SporasAccumulator {
+            max_reputation: self.max_reputation,
+            theta: self.theta,
+            sigma: self.sigma,
+            reputation: 0.0,
+            count: 0,
+        }))
+    }
+}
+
+/// The Sporas fold: the running reputation `R` *is* the sufficient
+/// statistic — each rating updates it in place. In a per-subject log a
+/// rater only ever has resident reputation when it rates itself (the
+/// subject appearing as its own rater); everyone else counts at the
+/// newcomer mid-range, exactly as a replay through a fresh mechanism
+/// would weigh them.
+#[derive(Debug, Clone, Copy)]
+pub struct SporasAccumulator {
+    max_reputation: f64,
+    theta: f64,
+    sigma: f64,
+    reputation: f64,
+    count: usize,
+}
+
+impl SubjectAccumulator for SporasAccumulator {
+    fn absorb(&mut self, feedback: &Feedback) {
+        let w = 0.1 + 0.9 * feedback.score;
+        // A self-rating on the very first report still sees the newcomer
+        // mid-range: `submit` reads the rater's reputation before the
+        // subject's entry is created.
+        let rater_rep = if SubjectId::from(feedback.rater) == feedback.subject && self.count > 0 {
+            self.reputation
+        } else {
+            self.max_reputation / 2.0
+        };
+        let r = &mut self.reputation;
+        let phi = 1.0 - 1.0 / (1.0 + (-(*r - self.max_reputation) / self.sigma).exp());
+        *r += (1.0 / self.theta) * phi * rater_rep * (w - *r / self.max_reputation);
+        *r = r.clamp(0.0, self.max_reputation);
+        self.count += 1;
+    }
+
+    fn estimate(&self) -> Option<TrustEstimate> {
+        if self.count == 0 {
+            return None;
+        }
+        Some(TrustEstimate::new(
+            TrustValue::new(self.reputation / self.max_reputation),
+            evidence_confidence(self.count, 5.0),
+        ))
     }
 }
 

@@ -43,13 +43,20 @@ impl NormalizationMatrix {
     /// `1.0` for all candidates (the metric cannot discriminate, so it
     /// should neither reward nor punish anyone) — this mirrors the
     /// `q_max = q_min` special case in the original paper.
-    pub fn new(candidates: &[QosVector], metrics: &[Metric]) -> Self {
+    ///
+    /// Accepts owned vectors (`&[QosVector]`) or borrowed ones
+    /// (`&[&QosVector]`), so callers ranking a listing table can build
+    /// the matrix without cloning a single vector.
+    pub fn new<V: std::borrow::Borrow<QosVector>>(candidates: &[V], metrics: &[Metric]) -> Self {
         let mut rows = vec![vec![0.0; metrics.len()]; candidates.len()];
         for (j, &metric) in metrics.iter().enumerate() {
-            let observed: Vec<f64> = candidates.iter().filter_map(|c| c.get(metric)).collect();
+            let observed: Vec<f64> = candidates
+                .iter()
+                .filter_map(|c| c.borrow().get(metric))
+                .collect();
             let (min, max) = bounds(&observed);
             for (i, cand) in candidates.iter().enumerate() {
-                rows[i][j] = match cand.get(metric) {
+                rows[i][j] = match cand.borrow().get(metric) {
                     Some(v) => normalize_one(v, min, max, metric.monotonicity()),
                     None => 0.0,
                 };
@@ -239,7 +246,7 @@ mod tests {
 
     #[test]
     fn empty_matrix_has_no_best() {
-        let m = NormalizationMatrix::new(&[], &[Metric::Price]);
+        let m = NormalizationMatrix::new::<QosVector>(&[], &[Metric::Price]);
         assert_eq!(m.best(&Preferences::uniform([Metric::Price])), None);
     }
 

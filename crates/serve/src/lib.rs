@@ -11,6 +11,9 @@
 //!   per-shard batches;
 //! - [`cache`] — epoch-validated score memoization, so a hot subject costs
 //!   a map lookup instead of a log replay;
+//! - [`topk`] — per-category ranking plans (candidates + normalization
+//!   matrix) cached against the listings epoch, so `top_k` only rebuilds
+//!   after a publish or deregister;
 //! - [`service`] — the query API: `publish` / `ingest` / `score` /
 //!   `top_k`, speaking the same [`Listing`](wsrep_sim::registry::Listing)
 //!   and [`Preferences`](wsrep_qos::preference::Preferences) types as the
@@ -26,6 +29,7 @@ pub mod durability;
 pub mod ingest;
 pub mod service;
 pub mod shard;
+pub mod topk;
 
 pub use cache::ScoreCache;
 pub use durability::JournalHealth;
@@ -34,4 +38,5 @@ pub use service::{
     CheckpointReport, MechanismFactory, RankedService, ReputationService, ServiceBuilder,
     ServiceStats,
 };
-pub use shard::ShardedStore;
+pub use shard::{FoldFactory, ShardedStore};
+pub use topk::{CategoryPlan, PlanCache};

@@ -3,10 +3,18 @@
 //! [`ReputationService`] is the paper's Figure 2 central QoS registry
 //! grown into a thread-safe service: providers `publish` listings,
 //! consumers `ingest` feedback (batched, through the bounded pipeline) and
-//! ask for `score`s and `top_k` rankings. Scoring replays the subject's
-//! shard log through a pluggable [`ReputationMechanism`] via
-//! [`score_from_log`] — the same entry point offline analysis uses — and
-//! memoizes the answer in the epoch-validated cache.
+//! ask for `score`s and `top_k` rankings.
+//!
+//! Scoring is **incremental** whenever the configured
+//! [`ReputationMechanism`] offers a fold
+//! ([`ReputationMechanism::accumulator`]): the ingest writer folds each
+//! applied report into shard-resident per-subject state, and a score read
+//! is an O(1) lookup of the resident estimate no matter how long the
+//! subject's log is — the epoch-validated cache then only shields
+//! cross-shard read traffic, not recompute cost. Mechanisms without a
+//! fold fall back to replaying the subject's shard log through
+//! [`score_from_log`] on every cache miss (the pre-incremental behavior,
+//! also selectable explicitly with [`ServiceBuilder::replay_scoring`]).
 //!
 //! Reads are eventually consistent with respect to ingestion: a query
 //! reflects the reports the writer has applied, not the ones still queued.
@@ -15,7 +23,8 @@
 use crate::cache::ScoreCache;
 use crate::durability::{JournalHandle, JournalHealth};
 use crate::ingest::{IngestClosed, IngestConfig, IngestPipeline};
-use crate::shard::ShardedStore;
+use crate::shard::{FoldFactory, ShardedStore};
+use crate::topk::{CategoryPlan, PlanCache};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -36,8 +45,19 @@ use wsrep_qos::preference::Preferences;
 use wsrep_qos::value::QosVector;
 use wsrep_sim::registry::{search_category, Listing, PublishStatus, RegistryError};
 
-/// Builds a fresh mechanism instance for one scoring pass.
-pub type MechanismFactory = Box<dyn Fn() -> Box<dyn ReputationMechanism> + Send + Sync>;
+/// Builds a fresh mechanism instance for one scoring pass. Shared
+/// (`Arc`) so the shard-resident fold can reuse the same recipe.
+pub type MechanismFactory = Arc<dyn Fn() -> Box<dyn ReputationMechanism> + Send + Sync>;
+
+/// The listing table plus its **epoch**: a counter bumped under the
+/// write lock on every publish/deregister. Cached per-category ranking
+/// plans are stamped with the epoch they were built from, so any listing
+/// change invalidates exactly the plans it could affect.
+#[derive(Debug, Default)]
+struct ListingTable {
+    map: BTreeMap<ServiceId, Listing>,
+    epoch: u64,
+}
 
 /// One entry of a [`ReputationService::top_k`] answer.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +89,12 @@ pub struct ServiceStats {
     pub cache_hits: u64,
     /// Score queries that recomputed.
     pub cache_misses: u64,
+    /// `top_k` queries ranking over a prebuilt category plan.
+    pub topk_plan_hits: u64,
+    /// `top_k` queries that (re)built their category plan.
+    pub topk_plan_misses: u64,
+    /// Whether scoring folds incrementally (vs replaying the log).
+    pub incremental: bool,
     /// Journal health, when a write-ahead log is attached.
     pub journal: Option<JournalHealth>,
 }
@@ -98,6 +124,7 @@ pub struct ServiceBuilder {
     recover: bool,
     journal_config: JournalConfig,
     checkpoint_every: Option<Duration>,
+    incremental: bool,
 }
 
 impl Default for ServiceBuilder {
@@ -106,11 +133,12 @@ impl Default for ServiceBuilder {
             shards: 8,
             ingest: IngestConfig::default(),
             reputation_weight: 0.5,
-            factory: Box::new(|| Box::new(BetaMechanism::new())),
+            factory: Arc::new(|| Box::new(BetaMechanism::new())),
             journal_dir: None,
             recover: false,
             journal_config: JournalConfig::default(),
             checkpoint_every: None,
+            incremental: true,
         }
     }
 }
@@ -147,7 +175,23 @@ impl ServiceBuilder {
         F: Fn() -> M + Send + Sync + 'static,
         M: ReputationMechanism + 'static,
     {
-        self.factory = Box::new(move || Box::new(factory()));
+        self.factory = Arc::new(move || Box::new(factory()));
+        self
+    }
+
+    /// Like [`ServiceBuilder::mechanism`], but taking the boxed factory
+    /// form directly — for callers that pick the mechanism at runtime.
+    pub fn mechanism_factory(mut self, factory: MechanismFactory) -> Self {
+        self.factory = factory;
+        self
+    }
+
+    /// Score by replaying the subject's log on every cache miss even when
+    /// the mechanism offers an incremental fold — the pre-incremental
+    /// behavior, kept selectable for measurement and as the reference
+    /// semantics the fold is tested against.
+    pub fn replay_scoring(mut self) -> Self {
+        self.incremental = false;
         self
     }
 
@@ -190,8 +234,21 @@ impl ServiceBuilder {
 
     /// Start the service, surfacing journal open/recovery errors.
     pub fn try_build(self) -> io::Result<ReputationService> {
-        let store = Arc::new(ShardedStore::new(self.shards));
-        let listings = Arc::new(RwLock::new(BTreeMap::new()));
+        // Probe once whether the mechanism folds; availability is a
+        // property of the mechanism type, not of any one instance.
+        let fold: Option<FoldFactory> =
+            if self.incremental && (self.factory)().accumulator().is_some() {
+                let factory = Arc::clone(&self.factory);
+                Some(Arc::new(move || {
+                    (factory)()
+                        .accumulator()
+                        .expect("accumulator availability must not vary per instance")
+                }))
+            } else {
+                None
+            };
+        let store = Arc::new(ShardedStore::with_fold(self.shards, fold));
+        let listings = Arc::new(RwLock::new(ListingTable::default()));
 
         let mut journal = None;
         if let Some(dir) = self.journal_dir {
@@ -203,16 +260,19 @@ impl ServiceBuilder {
                 let recovered = recover(&dir)?;
                 records_recovered = recovered.records_recovered;
                 {
-                    let mut map = listings.write();
+                    let mut table = listings.write();
                     for listing in recovered.listings {
-                        map.insert(listing.service, listing);
+                        table.epoch += 1;
+                        table.map.insert(listing.service, listing);
                     }
                 }
                 // Re-inserting the recovered log restores every
                 // per-subject epoch (an epoch is a count of applied
                 // reports), so the empty score cache can never validate
-                // against a stale epoch.
-                store.insert_batch(recovered.feedback);
+                // against a stale epoch. The parallel path rebuilds the
+                // resident accumulators on all cores — restart cost
+                // scales with cores, not history length.
+                store.insert_batch_parallel(recovered.feedback);
             }
             let inner = Journal::open(&dir, self.journal_config)?;
             journal = Some(Arc::new(JournalHandle::new(inner, records_recovered)));
@@ -232,6 +292,7 @@ impl ServiceBuilder {
         Ok(ReputationService {
             store,
             cache: ScoreCache::new(),
+            plans: PlanCache::new(),
             listings,
             reputation_weight: self.reputation_weight,
             factory: self.factory,
@@ -247,7 +308,8 @@ impl ServiceBuilder {
 pub struct ReputationService {
     store: Arc<ShardedStore>,
     cache: ScoreCache,
-    listings: Arc<RwLock<BTreeMap<ServiceId, Listing>>>,
+    plans: PlanCache,
+    listings: Arc<RwLock<ListingTable>>,
     reputation_weight: f64,
     factory: MechanismFactory,
     journal: Option<Arc<JournalHandle>>,
@@ -262,7 +324,7 @@ impl fmt::Debug for ReputationService {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ReputationService")
             .field("shards", &self.store.num_shards())
-            .field("listings", &self.listings.read().len())
+            .field("listings", &self.listings.read().map.len())
             .field("feedback", &self.store.len())
             .finish_non_exhaustive()
     }
@@ -295,11 +357,10 @@ impl ReputationService {
         }
     }
 
-    fn apply_publish(
-        listings: &RwLock<BTreeMap<ServiceId, Listing>>,
-        listing: Listing,
-    ) -> PublishStatus {
-        match listings.write().insert(listing.service, listing) {
+    fn apply_publish(listings: &RwLock<ListingTable>, listing: Listing) -> PublishStatus {
+        let mut table = listings.write();
+        table.epoch += 1;
+        match table.map.insert(listing.service, listing) {
             Some(_) => PublishStatus::Updated,
             None => PublishStatus::Created,
         }
@@ -313,7 +374,7 @@ impl ReputationService {
                 // concurrent checkpoint never sees the removal without
                 // its journal record.
                 let mut journal = handle.lock();
-                if self.listings.write().remove(&service).is_some() {
+                if Self::apply_deregister(&self.listings, service) {
                     handle.append_locked(&mut journal, &[JournalRecord::Deregister(service)]);
                     Ok(())
                 } else {
@@ -321,7 +382,7 @@ impl ReputationService {
                 }
             }
             None => {
-                if self.listings.write().remove(&service).is_some() {
+                if Self::apply_deregister(&self.listings, service) {
                     Ok(())
                 } else {
                     Err(RegistryError::NotFound)
@@ -330,16 +391,26 @@ impl ReputationService {
         }
     }
 
+    fn apply_deregister(listings: &RwLock<ListingTable>, service: ServiceId) -> bool {
+        let mut table = listings.write();
+        if table.map.remove(&service).is_some() {
+            table.epoch += 1;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Look up one listing.
     pub fn listing(&self, service: ServiceId) -> Option<Listing> {
-        self.listings.read().get(&service).cloned()
+        self.listings.read().map.get(&service).cloned()
     }
 
     /// Every listing in `category`, through the same [`search_category`]
     /// the simulated UDDI registry answers with.
     pub fn search(&self, category: u32) -> Vec<Listing> {
-        let listings = self.listings.read();
-        search_category(listings.values(), category)
+        let table = self.listings.read();
+        search_category(table.map.values(), category)
             .into_iter()
             .cloned()
             .collect()
@@ -379,6 +450,10 @@ impl ReputationService {
 
     /// The subject's reputation, from cache when the store hasn't moved.
     ///
+    /// With an incremental mechanism a miss reads the shard-resident
+    /// accumulator — O(1) in the subject's history. Otherwise it replays
+    /// the subject's shard log through a fresh mechanism instance.
+    ///
     /// `None` means no evidence: either nothing was ever reported, or the
     /// mechanism abstains.
     pub fn score(&self, subject: SubjectId) -> Option<TrustEstimate> {
@@ -387,10 +462,14 @@ impl ReputationService {
             return None;
         }
         self.cache.get_or_compute(subject, epoch, || {
-            self.store.with_subject_shard(subject, |shard| {
-                let mut mechanism = (self.factory)();
-                score_from_log(mechanism.as_mut(), shard.store().about(subject), subject)
-            })
+            self.store
+                .with_subject_shard(subject, |shard| match shard.resident_estimate(subject) {
+                    Some(estimate) => estimate,
+                    None => {
+                        let mut mechanism = (self.factory)();
+                        score_from_log(mechanism.as_mut(), shard.store().about(subject), subject)
+                    }
+                })
         })
     }
 
@@ -401,31 +480,30 @@ impl ReputationService {
     /// its reputation (ignorance counts as the neutral 0.5 prior) by the
     /// configured weight, and ties keep the deterministic listing order.
     pub fn top_k(&self, category: u32, prefs: &Preferences, k: usize) -> Vec<RankedService> {
-        let candidates = self.search(category);
-        if candidates.is_empty() || k == 0 {
+        if k == 0 {
             return Vec::new();
         }
-        let vectors: Vec<QosVector> = candidates.iter().map(|l| l.advertised.clone()).collect();
-        let mut metrics: Vec<Metric> = vectors.iter().flat_map(|v| v.metrics()).collect();
-        metrics.sort();
-        metrics.dedup();
-        let matrix = NormalizationMatrix::new(&vectors, &metrics);
-        let mut qos_scores = vec![0.0; candidates.len()];
-        for s in matrix.scores(prefs) {
+        let plan = self.category_plan(category);
+        if plan.candidates.is_empty() {
+            return Vec::new();
+        }
+        let mut qos_scores = vec![0.0; plan.candidates.len()];
+        for s in plan.matrix.scores(prefs) {
             qos_scores[s.candidate] = s.score;
         }
         let w = self.reputation_weight;
-        let mut ranked: Vec<RankedService> = candidates
-            .into_iter()
+        let mut ranked: Vec<RankedService> = plan
+            .candidates
+            .iter()
             .zip(qos_scores)
-            .map(|(listing, qos_score)| {
-                let reputation = self.score(listing.service.into());
+            .map(|(&(service, provider), qos_score)| {
+                let reputation = self.score(service.into());
                 let rep_value = reputation
                     .map(|e| e.value.get())
                     .unwrap_or_else(|| TrustEstimate::ignorance().value.get());
                 RankedService {
-                    service: listing.service,
-                    provider: listing.provider,
+                    service,
+                    provider,
                     qos_score,
                     reputation,
                     score: (1.0 - w) * qos_score + w * rep_value,
@@ -441,15 +519,45 @@ impl ReputationService {
         ranked
     }
 
+    /// The category's prepared ranking plan, rebuilt only when a publish
+    /// or deregister has moved the listings epoch since it was cached.
+    ///
+    /// The plan is built under the same read lock the epoch is read
+    /// under, so a plan can never pair stale candidates with a fresh
+    /// epoch; the matrix is built over borrowed advertised vectors — no
+    /// listing is cloned on this path.
+    fn category_plan(&self, category: u32) -> Arc<CategoryPlan> {
+        let plan = {
+            let table = self.listings.read();
+            if let Some(plan) = self.plans.get(category, table.epoch) {
+                return plan;
+            }
+            let candidates = search_category(table.map.values(), category);
+            let vectors: Vec<&QosVector> = candidates.iter().map(|l| &l.advertised).collect();
+            let mut metrics: Vec<Metric> = vectors.iter().flat_map(|v| v.metrics()).collect();
+            metrics.sort();
+            metrics.dedup();
+            Arc::new(CategoryPlan {
+                epoch: table.epoch,
+                candidates: candidates.iter().map(|l| (l.service, l.provider)).collect(),
+                matrix: NormalizationMatrix::new(&vectors, &metrics),
+            })
+        };
+        self.plans.insert(category, plan)
+    }
+
     /// Operational counters.
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
             shards: self.store.num_shards(),
-            listings: self.listings.read().len(),
+            listings: self.listings.read().map.len(),
             feedback: self.store.len() as u64,
             submitted: self.ingest.submitted(),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
+            topk_plan_hits: self.plans.hits(),
+            topk_plan_misses: self.plans.misses(),
+            incremental: self.store.is_incremental(),
             journal: self.journal.as_ref().map(|handle| handle.health()),
         }
     }
@@ -471,12 +579,12 @@ impl ReputationService {
 fn checkpoint_now(
     handle: &JournalHandle,
     store: &ShardedStore,
-    listings: &RwLock<BTreeMap<ServiceId, Listing>>,
+    listings: &RwLock<ListingTable>,
 ) -> io::Result<CheckpointReport> {
     let (lsn, dir, listing_vec, feedback) = {
         let journal = handle.lock();
         let lsn = journal.next_lsn();
-        let listing_vec: Vec<Listing> = listings.read().values().cloned().collect();
+        let listing_vec: Vec<Listing> = listings.read().map.values().cloned().collect();
         let feedback = store.dump();
         (lsn, journal.dir().to_path_buf(), listing_vec, feedback)
     };
@@ -504,7 +612,7 @@ impl Compactor {
         every: Duration,
         handle: Arc<JournalHandle>,
         store: Arc<ShardedStore>,
-        listings: Arc<RwLock<BTreeMap<ServiceId, Listing>>>,
+        listings: Arc<RwLock<ListingTable>>,
     ) -> Compactor {
         let stop = Arc::new((StdMutex::new(false), Condvar::new()));
         let thread_stop = Arc::clone(&stop);

@@ -10,21 +10,37 @@
 //! every report about that subject. The score cache stamps entries with
 //! the epoch it computed from; a stale epoch is a cache miss, so readers
 //! can never serve a score that silently ignores applied feedback.
+//!
+//! With a fold factory attached ([`ShardedStore::with_fold`]), each shard
+//! additionally keeps **resident scoring state**: one
+//! [`SubjectAccumulator`] per subject, folded forward as reports are
+//! applied. A score read then costs O(1) regardless of how long the
+//! subject's log has grown — the log itself stays only as replay
+//! material for checkpoints and for mechanisms without a fold.
 
 use parking_lot::RwLock;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 use wsrep_core::feedback::Feedback;
 use wsrep_core::id::SubjectId;
+use wsrep_core::mechanism::SubjectAccumulator;
 use wsrep_core::store::FeedbackStore;
+use wsrep_core::trust::TrustEstimate;
 
-/// One shard: a plain feedback store plus the epoch counters of the
-/// subjects it owns.
+/// Builds one empty per-subject accumulator; shards call it the first
+/// time they see a subject. `None` on the store means the configured
+/// mechanism has no incremental fold and scoring replays the log.
+pub type FoldFactory = Arc<dyn Fn() -> Box<dyn SubjectAccumulator> + Send + Sync>;
+
+/// One shard: a plain feedback store, the epoch counters of the subjects
+/// it owns, and (in incremental mode) their resident accumulators.
 #[derive(Debug, Default)]
 pub struct Shard {
     store: FeedbackStore,
     epochs: BTreeMap<SubjectId, u64>,
+    accumulators: BTreeMap<SubjectId, Box<dyn SubjectAccumulator>>,
 }
 
 impl Shard {
@@ -39,8 +55,21 @@ impl Shard {
         self.epochs.get(&subject).copied().unwrap_or(0)
     }
 
-    fn push(&mut self, feedback: Feedback) {
+    /// The resident estimate for `subject`: `Some(estimate)` when an
+    /// accumulator is folding this subject, `None` when scoring must
+    /// replay the log (no fold factory, or no report applied yet).
+    pub fn resident_estimate(&self, subject: SubjectId) -> Option<Option<TrustEstimate>> {
+        self.accumulators.get(&subject).map(|acc| acc.estimate())
+    }
+
+    fn push(&mut self, feedback: Feedback, fold: Option<&FoldFactory>) {
         *self.epochs.entry(feedback.subject).or_insert(0) += 1;
+        if let Some(factory) = fold {
+            self.accumulators
+                .entry(feedback.subject)
+                .or_insert_with(|| factory())
+                .absorb(&feedback);
+        }
         self.store.push(feedback);
     }
 }
@@ -50,17 +79,39 @@ impl Shard {
 /// All methods take `&self`; interior mutability lives in the per-shard
 /// `RwLock`s, so the store can sit behind an `Arc` and be hit from any
 /// number of ingest and query threads at once.
-#[derive(Debug)]
 pub struct ShardedStore {
     shards: Vec<RwLock<Shard>>,
+    fold: Option<FoldFactory>,
+}
+
+impl std::fmt::Debug for ShardedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedStore")
+            .field("shards", &self.shards.len())
+            .field("incremental", &self.fold.is_some())
+            .finish()
+    }
 }
 
 impl ShardedStore {
-    /// A store with `shards` independent locks (at least one).
+    /// A store with `shards` independent locks (at least one), scoring
+    /// by log replay.
     pub fn new(shards: usize) -> Self {
+        Self::with_fold(shards, None)
+    }
+
+    /// A store whose shards keep resident per-subject accumulators built
+    /// by `fold`, folded forward on every applied report.
+    pub fn with_fold(shards: usize, fold: Option<FoldFactory>) -> Self {
         ShardedStore {
             shards: (0..shards.max(1)).map(|_| RwLock::default()).collect(),
+            fold,
         }
+    }
+
+    /// Whether shards fold reports into resident scoring state.
+    pub fn is_incremental(&self) -> bool {
+        self.fold.is_some()
     }
 
     /// Number of shards.
@@ -78,7 +129,7 @@ impl ShardedStore {
     /// Apply one report.
     pub fn insert(&self, feedback: Feedback) {
         let idx = self.shard_of(feedback.subject);
-        self.shards[idx].write().push(feedback);
+        self.shards[idx].write().push(feedback, self.fold.as_ref());
     }
 
     /// Apply a batch, taking each shard's write lock once.
@@ -87,20 +138,70 @@ impl ShardedStore {
     /// spread over S shards costs at most `min(B, S)` lock acquisitions
     /// instead of B.
     pub fn insert_batch(&self, batch: Vec<Feedback>) {
-        let mut per_shard: Vec<Vec<Feedback>> =
-            (0..self.shards.len()).map(|_| Vec::new()).collect();
-        for feedback in batch {
-            per_shard[self.shard_of(feedback.subject)].push(feedback);
-        }
-        for (idx, group) in per_shard.into_iter().enumerate() {
+        for (idx, group) in self.partition(batch).into_iter().enumerate() {
             if group.is_empty() {
                 continue;
             }
             let mut shard = self.shards[idx].write();
             for feedback in group {
-                shard.push(feedback);
+                shard.push(feedback, self.fold.as_ref());
             }
         }
+    }
+
+    /// Apply a batch with one worker thread per core, each owning a
+    /// disjoint set of shards — the recovery path, where the WAL replay
+    /// hands us the whole history at once and restart cost should scale
+    /// with cores, not log length.
+    ///
+    /// Equivalent to [`ShardedStore::insert_batch`]: partitioning keeps
+    /// per-subject order (a subject lives in exactly one shard group),
+    /// and cross-shard apply order never mattered — shards share no
+    /// state. Epochs, logs, and resident accumulators come out
+    /// identical.
+    pub fn insert_batch_parallel(&self, batch: Vec<Feedback>) {
+        let per_shard = self.partition(batch);
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(self.shards.len());
+        // Round-robin shard ownership: worker w applies shard groups
+        // w, w + workers, w + 2·workers, … No two workers touch the
+        // same shard, so there is no lock contention to speak of.
+        let mut per_worker: Vec<Vec<(usize, Vec<Feedback>)>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (idx, group) in per_shard.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            per_worker[idx % workers].push((idx, group));
+        }
+        std::thread::scope(|scope| {
+            for mine in per_worker {
+                if mine.is_empty() {
+                    continue;
+                }
+                let fold = self.fold.as_ref();
+                let shards = &self.shards;
+                scope.spawn(move || {
+                    for (idx, group) in mine {
+                        let mut shard = shards[idx].write();
+                        for feedback in group {
+                            shard.push(feedback, fold);
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    fn partition(&self, batch: Vec<Feedback>) -> Vec<Vec<Feedback>> {
+        let mut per_shard: Vec<Vec<Feedback>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for feedback in batch {
+            per_shard[self.shard_of(feedback.subject)].push(feedback);
+        }
+        per_shard
     }
 
     /// The subject's current epoch (0 = no evidence yet).
@@ -159,6 +260,8 @@ impl ShardedStore {
 mod tests {
     use super::*;
     use wsrep_core::id::{AgentId, ServiceId};
+    use wsrep_core::mechanism::ReputationMechanism;
+    use wsrep_core::mechanisms::beta::BetaMechanism;
     use wsrep_core::time::Time;
 
     fn fb(rater: u64, service: u64, score: f64) -> Feedback {
@@ -168,6 +271,14 @@ mod tests {
             score,
             Time::ZERO,
         )
+    }
+
+    fn beta_fold() -> Option<FoldFactory> {
+        Some(Arc::new(|| {
+            BetaMechanism::new()
+                .accumulator()
+                .expect("beta has an incremental fold")
+        }))
     }
 
     #[test]
@@ -207,6 +318,61 @@ mod tests {
             let s: SubjectId = ServiceId::new(service).into();
             assert_eq!(batched.epoch(s), sequential.epoch(s));
             assert_eq!(batched.about(s), sequential.about(s));
+        }
+    }
+
+    #[test]
+    fn resident_estimates_track_applied_feedback() {
+        let store = ShardedStore::with_fold(4, beta_fold());
+        assert!(store.is_incremental());
+        let s: SubjectId = ServiceId::new(1).into();
+        assert_eq!(
+            store.with_subject_shard(s, |sh| sh.resident_estimate(s)),
+            None
+        );
+        store.insert(fb(0, 1, 1.0));
+        store.insert(fb(1, 1, 1.0));
+        let resident = store
+            .with_subject_shard(s, |sh| sh.resident_estimate(s))
+            .expect("accumulator exists")
+            .expect("evidence exists");
+        let mut replay = BetaMechanism::new();
+        let replayed =
+            wsrep_core::mechanism::score_from_log(&mut replay, &store.about(s), s).unwrap();
+        assert_eq!(resident, replayed);
+    }
+
+    #[test]
+    fn replay_mode_has_no_resident_state() {
+        let store = ShardedStore::new(4);
+        assert!(!store.is_incremental());
+        let s: SubjectId = ServiceId::new(1).into();
+        store.insert(fb(0, 1, 0.9));
+        assert_eq!(
+            store.with_subject_shard(s, |sh| sh.resident_estimate(s)),
+            None
+        );
+        assert_eq!(store.epoch(s), 1);
+    }
+
+    #[test]
+    fn parallel_batch_equals_sequential_batch() {
+        let batch: Vec<Feedback> = (0..500)
+            .map(|i| fb(i, i % 13, (i % 10) as f64 / 10.0))
+            .collect();
+        let parallel = ShardedStore::with_fold(8, beta_fold());
+        parallel.insert_batch_parallel(batch.clone());
+        let sequential = ShardedStore::with_fold(8, beta_fold());
+        sequential.insert_batch(batch);
+        assert_eq!(parallel.len(), sequential.len());
+        for service in 0..13u64 {
+            let s: SubjectId = ServiceId::new(service).into();
+            assert_eq!(parallel.epoch(s), sequential.epoch(s));
+            assert_eq!(parallel.about(s), sequential.about(s));
+            assert_eq!(
+                parallel.with_subject_shard(s, |sh| sh.resident_estimate(s)),
+                sequential.with_subject_shard(s, |sh| sh.resident_estimate(s)),
+            );
         }
     }
 

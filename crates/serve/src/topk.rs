@@ -1,0 +1,118 @@
+//! Epoch-validated per-category ranking plans for `top_k`.
+//!
+//! Ranking a category normalizes every candidate's advertised QoS vector
+//! Liu–Ngu–Zeng style — metric collection, sort/dedup, and a candidates ×
+//! metrics matrix build. None of that depends on the query's preferences,
+//! only on the listing table, so it is wasted work to repeat per query:
+//! this cache keys the prepared plan by `(category, listings epoch)` and
+//! rebuilds only when a publish or deregister moved the epoch. The
+//! per-query remainder is a weighted row sum over the prebuilt matrix
+//! plus the reputation blend.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use wsrep_core::id::{ProviderId, ServiceId};
+use wsrep_qos::normalize::NormalizationMatrix;
+
+/// The listings-derived, preference-independent part of a `top_k`
+/// answer for one category, valid while the listings epoch stands still.
+#[derive(Debug)]
+pub struct CategoryPlan {
+    /// The listings epoch this plan was built from.
+    pub epoch: u64,
+    /// The category's candidates in deterministic listing order, matching
+    /// the matrix rows.
+    pub candidates: Vec<(ServiceId, ProviderId)>,
+    /// Normalized advertised-QoS matrix over the candidates.
+    pub matrix: NormalizationMatrix,
+}
+
+/// Concurrent category → plan map with hit/miss accounting.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: RwLock<HashMap<u32, Arc<CategoryPlan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cached plan for `category` if it was built at exactly `epoch`.
+    pub fn get(&self, category: u32, epoch: u64) -> Option<Arc<CategoryPlan>> {
+        let hit = self
+            .plans
+            .read()
+            .get(&category)
+            .filter(|p| p.epoch == epoch)
+            .cloned();
+        match &hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// Remember `plan`, never clobbering a fresher one a racing builder
+    /// installed (a higher epoch means it saw more listing changes).
+    pub fn insert(&self, category: u32, plan: Arc<CategoryPlan>) -> Arc<CategoryPlan> {
+        let mut plans = self.plans.write();
+        let slot = plans.entry(category).or_insert_with(|| Arc::clone(&plan));
+        if slot.epoch < plan.epoch {
+            *slot = Arc::clone(&plan);
+        }
+        Arc::clone(slot)
+    }
+
+    /// Queries answered from a prebuilt plan.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Queries that had to (re)build the plan.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsrep_qos::metric::Metric;
+    use wsrep_qos::value::QosVector;
+
+    fn plan(epoch: u64) -> Arc<CategoryPlan> {
+        let vectors = [QosVector::from_pairs([(Metric::Price, 1.0)])];
+        let refs: Vec<&QosVector> = vectors.iter().collect();
+        Arc::new(CategoryPlan {
+            epoch,
+            candidates: vec![(ServiceId::new(1), ProviderId::new(1))],
+            matrix: NormalizationMatrix::new(&refs, &[Metric::Price]),
+        })
+    }
+
+    #[test]
+    fn epoch_mismatch_misses_and_rebuild_hits() {
+        let cache = PlanCache::new();
+        assert!(cache.get(0, 1).is_none());
+        cache.insert(0, plan(1));
+        assert!(cache.get(0, 1).is_some());
+        assert!(cache.get(0, 2).is_none(), "stale epoch must miss");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn stale_insert_does_not_clobber_fresher_plan() {
+        let cache = PlanCache::new();
+        cache.insert(0, plan(5));
+        let kept = cache.insert(0, plan(3));
+        assert_eq!(kept.epoch, 5);
+        assert!(cache.get(0, 5).is_some());
+    }
+}

@@ -1,0 +1,235 @@
+//! Service-level equivalence tests for the incremental scoring engine:
+//! a service folding reports into shard-resident accumulators must be
+//! observably identical to one replaying the log on every miss, across
+//! every mechanism, after recovery, and through `top_k` — incrementality
+//! is an optimization, never a semantic.
+
+use proptest::prelude::*;
+use std::fs;
+use std::path::PathBuf;
+use wsrep_core::feedback::Feedback;
+use wsrep_core::id::{AgentId, ProviderId, ServiceId, SubjectId};
+use wsrep_core::mechanisms::all_figure4_mechanisms;
+use wsrep_core::time::Time;
+use wsrep_qos::metric::Metric;
+use wsrep_qos::preference::Preferences;
+use wsrep_qos::value::QosVector;
+use wsrep_serve::{ReputationService, ServiceBuilder};
+use wsrep_sim::registry::Listing;
+
+const SERVICES: u64 = 8;
+
+fn feedback(rater: u64, service: u64, score: f64, at: u64) -> Feedback {
+    Feedback::scored(
+        AgentId::new(rater),
+        ServiceId::new(service),
+        score,
+        Time::new(at),
+    )
+}
+
+fn listing(service: u64, category: u32) -> Listing {
+    Listing {
+        service: ServiceId::new(service),
+        provider: ProviderId::new(service),
+        category,
+        advertised: QosVector::from_pairs([
+            (Metric::Price, service as f64 + 1.0),
+            (Metric::Accuracy, 1.0 / (service as f64 + 1.0)),
+        ]),
+    }
+}
+
+fn ingest_all(svc: &ReputationService, reports: &[Feedback]) {
+    for report in reports {
+        svc.ingest(report.clone()).unwrap();
+    }
+    svc.flush();
+}
+
+/// Build incremental and replay twins from the same configuration, feed
+/// both the same reports, and demand identical answers everywhere.
+/// `has_fold` says whether the mechanism offers an accumulator at all —
+/// without one, the "incremental" twin quietly replays too.
+fn assert_twins_agree(builder: impl Fn() -> ServiceBuilder, reports: &[Feedback], has_fold: bool) {
+    let incremental = builder().build();
+    let replay = builder().replay_scoring().build();
+    assert_eq!(incremental.stats().incremental, has_fold);
+    assert!(!replay.stats().incremental);
+    for svc in [&incremental, &replay] {
+        for s in 0..SERVICES {
+            svc.publish(listing(s, (s % 2) as u32));
+        }
+        ingest_all(svc, reports);
+    }
+    for s in 0..SERVICES {
+        let subject: SubjectId = ServiceId::new(s).into();
+        assert_eq!(
+            incremental.score(subject),
+            replay.score(subject),
+            "service {s}"
+        );
+    }
+    let prefs = Preferences::uniform([Metric::Price, Metric::Accuracy]);
+    for category in 0..2 {
+        assert_eq!(
+            incremental.top_k(category, &prefs, 5),
+            replay.top_k(category, &prefs, 5),
+            "category {category}"
+        );
+    }
+}
+
+#[test]
+fn every_figure4_mechanism_scores_identically_incremental_and_replay() {
+    let reports: Vec<Feedback> = (0..200)
+        .map(|i| feedback(i % 11, i % SERVICES, (i % 10) as f64 / 10.0, i / 3))
+        .collect();
+    for prototype in all_figure4_mechanisms() {
+        let key = prototype.info().key;
+        let has_fold = prototype.accumulator().is_some();
+        let make = move || {
+            ReputationService::builder()
+                .shards(4)
+                .mechanism_factory(std::sync::Arc::new(move || {
+                    all_figure4_mechanisms()
+                        .into_iter()
+                        .find(|m| m.info().key == key)
+                        .expect("mechanism key is stable")
+                }))
+        };
+        assert_twins_agree(make, &reports, has_fold);
+    }
+}
+
+#[test]
+fn plan_cache_serves_repeat_queries_and_invalidates_on_publish() {
+    let svc = ReputationService::builder().build();
+    for s in 0..4 {
+        svc.publish(listing(s, 0));
+    }
+    let prefs = Preferences::uniform([Metric::Price, Metric::Accuracy]);
+    let first = svc.top_k(0, &prefs, 4);
+    assert_eq!(first.len(), 4);
+    assert_eq!(svc.stats().topk_plan_misses, 1);
+    for _ in 0..10 {
+        assert_eq!(svc.top_k(0, &prefs, 4), first);
+    }
+    assert_eq!(
+        svc.stats().topk_plan_misses,
+        1,
+        "no rebuild between queries"
+    );
+    assert_eq!(svc.stats().topk_plan_hits, 10);
+
+    // A publish moves the listings epoch: the next query rebuilds and
+    // sees the new candidate.
+    svc.publish(listing(9, 0));
+    let widened = svc.top_k(0, &prefs, 10);
+    assert_eq!(widened.len(), 5);
+    assert_eq!(svc.stats().topk_plan_misses, 2);
+
+    // A deregister invalidates too.
+    svc.deregister(ServiceId::new(9)).unwrap();
+    assert_eq!(svc.top_k(0, &prefs, 10).len(), 4);
+    assert_eq!(svc.stats().topk_plan_misses, 3);
+}
+
+#[test]
+fn plan_cache_is_per_category() {
+    let svc = ReputationService::builder().build();
+    svc.publish(listing(1, 0));
+    svc.publish(listing(2, 7));
+    let prefs = Preferences::uniform([Metric::Price]);
+    assert_eq!(svc.top_k(0, &prefs, 1).len(), 1);
+    assert_eq!(svc.top_k(7, &prefs, 1).len(), 1);
+    assert_eq!(svc.top_k(0, &prefs, 1).len(), 1);
+    let stats = svc.stats();
+    assert_eq!(stats.topk_plan_misses, 2, "one build per category");
+    assert_eq!(stats.topk_plan_hits, 1);
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "wsrep-serve-incremental-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The tentpole invariant end to end: arbitrary interleavings of
+    /// reports (out-of-order timestamps included) score identically
+    /// whether folded incrementally or replayed from the log.
+    #[test]
+    fn incremental_twin_equals_replay_twin(
+        raw in proptest::collection::vec(
+            (0u64..9, 0u64..SERVICES, 0.0f64..=1.0, 0u64..40),
+            1..120,
+        ),
+        shards in 1usize..6,
+    ) {
+        let reports: Vec<Feedback> = raw
+            .iter()
+            .map(|&(rater, service, score, at)| feedback(rater, service, score, at))
+            .collect();
+        let incremental = ReputationService::builder().shards(shards).build();
+        let replay = ReputationService::builder().shards(shards).replay_scoring().build();
+        ingest_all(&incremental, &reports);
+        ingest_all(&replay, &reports);
+        for s in 0..SERVICES {
+            let subject: SubjectId = ServiceId::new(s).into();
+            prop_assert_eq!(incremental.score(subject), replay.score(subject));
+        }
+    }
+
+    /// Recovery rebuilds the resident accumulators in parallel across a
+    /// WAL forced into many small segments; the recovered incremental
+    /// service must score exactly like an un-crashed replay twin.
+    #[test]
+    fn parallel_recovery_equals_sequential_replay(
+        raw in proptest::collection::vec(
+            (0u64..9, 0u64..SERVICES, 0.0f64..=1.0, 0u64..40),
+            1..80,
+        ),
+        segment_bytes in 128u64..1024,
+    ) {
+        let tag = format!("recover-{}-{}", raw.len(), segment_bytes);
+        let live = temp_dir(&tag);
+        let reports: Vec<Feedback> = raw
+            .iter()
+            .map(|&(rater, service, score, at)| feedback(rater, service, score, at))
+            .collect();
+        {
+            let svc = ReputationService::builder()
+                .shards(4)
+                .journal(&live)
+                .max_segment_bytes(segment_bytes)
+                .build();
+            ingest_all(&svc, &reports);
+        }
+        let revived = ReputationService::builder()
+            .shards(4)
+            .recover_from(&live)
+            .build();
+        prop_assert!(revived.stats().incremental);
+        let reference = ReputationService::builder()
+            .shards(4)
+            .replay_scoring()
+            .build();
+        ingest_all(&reference, &reports);
+        for s in 0..SERVICES {
+            let subject: SubjectId = ServiceId::new(s).into();
+            prop_assert_eq!(
+                revived.score(subject),
+                reference.score(subject),
+                "service {} after recovery over {} byte segments", s, segment_bytes
+            );
+        }
+        drop(revived);
+        fs::remove_dir_all(&live).unwrap();
+    }
+}
