@@ -29,6 +29,16 @@
 //! replay-on-miss. `--replay` disables the incremental fold so the
 //! before/after cost is measurable on one binary; the comparison is
 //! checked in as BENCH_incremental.json.
+//!
+//! `--read-heavy` switches to the contention-scaling sweep: preload the
+//! registry (`ingest_threads × reports_per_ingester` reports, flushed),
+//! then run the pure query mix at 1, 2, 4, … up to `query_threads`
+//! threads, injecting a burst of fresh feedback between points so
+//! invalidation and re-ranking stay in the measurement. Latency is
+//! sampled (1 in 32 ops) to keep `Instant::now` out of the hot loop.
+//! The JSON line carries the whole sweep plus flat
+//! `query_ops_per_sec_{1,8,max}t` keys for CI gates; the checked-in
+//! curve is BENCH_readpath.json.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -59,12 +69,14 @@ struct Config {
     journal: Option<PathBuf>,
     skew: f64,
     replay: bool,
+    read_heavy: bool,
 }
 
 fn parse_args() -> Config {
     let mut journal = None;
     let mut skew = 0.0f64;
     let mut replay = false;
+    let mut read_heavy = false;
     let mut numbers = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -76,6 +88,8 @@ fn parse_args() -> Config {
             journal = Some(PathBuf::from(dir));
         } else if arg == "--replay" {
             replay = true;
+        } else if arg == "--read-heavy" {
+            read_heavy = true;
         } else if arg == "--skew" {
             let value = args.next().expect("--skew takes a Zipf exponent");
             skew = value
@@ -87,7 +101,9 @@ fn parse_args() -> Config {
                 .unwrap_or_else(|_| panic!("--skew expects a number, got {value:?}"));
         } else {
             numbers.push(arg.parse::<u64>().unwrap_or_else(|_| {
-                panic!("expected a number or --journal[=DIR] / --skew S / --replay, got {arg:?}")
+                panic!(
+                    "expected a number or --journal[=DIR] / --skew S / --replay / --read-heavy, got {arg:?}"
+                )
             }));
         }
     }
@@ -103,6 +119,7 @@ fn parse_args() -> Config {
         journal,
         skew,
         replay,
+        read_heavy,
     }
 }
 
@@ -140,9 +157,228 @@ fn percentile(sorted_nanos: &[u64], p: f64) -> u64 {
     sorted_nanos[rank]
 }
 
+/// One point of the read-heavy thread sweep.
+struct SweepPoint {
+    threads: u64,
+    ops_per_sec: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+}
+
+/// Sample one query latency in this many ops — keeps two `Instant::now`
+/// calls per sample out of the sub-100ns hot loop.
+const LATENCY_SAMPLE_EVERY: u64 = 32;
+
+/// The contention-scaling sweep: preload, then pure query load at
+/// doubling thread counts with an invalidation burst between points.
+fn run_read_heavy(config: Config) {
+    let mut builder = ReputationService::builder()
+        .shards(config.shards)
+        .channel_capacity(4096)
+        .batch_size(128);
+    if let Some(dir) = &config.journal {
+        builder = builder.journal(dir);
+    }
+    if config.replay {
+        builder = builder.replay_scoring();
+    }
+    let service = Arc::new(builder.build());
+    let zipf = Arc::new(Zipf::new(SERVICES, config.skew));
+    let mut seeder = StdRng::seed_from_u64(config.seed);
+    for s in 0..SERVICES {
+        service.publish(Listing {
+            service: ServiceId::new(s),
+            provider: ProviderId::new(s / 4),
+            category: (s % CATEGORIES as u64) as u32,
+            advertised: QosVector::from_pairs([
+                (Metric::Price, seeder.gen_range(1.0..10.0)),
+                (Metric::ResponseTime, seeder.gen_range(20.0..500.0)),
+                (Metric::Accuracy, seeder.gen_range(0.3..1.0)),
+            ]),
+        });
+    }
+    let prefs = Preferences::uniform([Metric::Price, Metric::ResponseTime, Metric::Accuracy]);
+
+    // Preload: the read path should be measured over a warm registry.
+    let preload = config.ingest_threads * config.reports_per_ingester;
+    {
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(7));
+        for i in 0..preload {
+            let subject = zipf.sample(&mut rng);
+            service
+                .ingest(Feedback::scored(
+                    AgentId::new(1 + i % 97),
+                    ServiceId::new(subject),
+                    rng.gen(),
+                    Time::new(i),
+                ))
+                .expect("pipeline open during preload");
+        }
+        service.flush();
+    }
+
+    let started = Instant::now();
+    let mut thread_counts = Vec::new();
+    let mut t = 1;
+    while t < config.query_threads {
+        thread_counts.push(t);
+        t *= 2;
+    }
+    thread_counts.push(config.query_threads);
+
+    let mut sweep: Vec<SweepPoint> = Vec::new();
+    let mut burst_rng = StdRng::seed_from_u64(config.seed.wrapping_add(13));
+    for (point, &threads) in thread_counts.iter().enumerate() {
+        if point > 0 {
+            // Invalidation burst between points: fresh feedback moves
+            // subject and category epochs, so every point re-pays the
+            // first misses and the sweep measures steady re-cached load.
+            for i in 0..1_000u64 {
+                let subject = zipf.sample(&mut burst_rng);
+                service
+                    .ingest(Feedback::scored(
+                        AgentId::new(500 + i % 13),
+                        ServiceId::new(subject),
+                        burst_rng.gen(),
+                        Time::new(preload + i),
+                    ))
+                    .expect("pipeline open between sweep points");
+            }
+            service.flush();
+        }
+        let mut latencies: Vec<u64> = Vec::new();
+        let mut elapsed = 0.0f64;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for q in 0..threads {
+                let service = Arc::clone(&service);
+                let zipf = Arc::clone(&zipf);
+                let prefs = prefs.clone();
+                let queries = config.queries_per_querier;
+                let seed = config.seed.wrapping_add(10_000 + threads * 100 + q);
+                handles.push(scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let mut sampled =
+                        Vec::with_capacity((queries / LATENCY_SAMPLE_EVERY) as usize + 1);
+                    let mut topk_buf = Vec::new();
+                    let begun = Instant::now();
+                    for i in 0..queries {
+                        let sample = i % LATENCY_SAMPLE_EVERY == 0;
+                        let op_started = sample.then(Instant::now);
+                        if i % TOPK_EVERY == 0 {
+                            let category = rng.gen_range(0..CATEGORIES);
+                            service.top_k_into(category, &prefs, 10, &mut topk_buf);
+                            assert!(topk_buf.len() <= 10);
+                        } else {
+                            let subject: SubjectId = ServiceId::new(zipf.sample(&mut rng)).into();
+                            if let Some(estimate) = service.score(subject) {
+                                assert!((0.0..=1.0).contains(&estimate.value.get()));
+                            }
+                        }
+                        if let Some(op_started) = op_started {
+                            sampled.push(op_started.elapsed().as_nanos() as u64);
+                        }
+                    }
+                    (sampled, begun.elapsed().as_secs_f64())
+                }));
+            }
+            for handle in handles {
+                let (sampled, thread_elapsed) = handle.join().expect("querier panicked");
+                latencies.extend(sampled);
+                elapsed = elapsed.max(thread_elapsed);
+            }
+        });
+        latencies.sort_unstable();
+        let total_ops = threads * config.queries_per_querier;
+        sweep.push(SweepPoint {
+            threads,
+            ops_per_sec: total_ops as f64 / elapsed,
+            p50_ns: percentile(&latencies, 0.50),
+            p99_ns: percentile(&latencies, 0.99),
+        });
+    }
+
+    let wall = started.elapsed().as_secs_f64();
+    let stats = service.stats();
+    let peak = sweep.last().expect("at least one sweep point");
+    let single = sweep.first().expect("at least one sweep point");
+
+    println!(
+        "loadgen --read-heavy: {} preloaded reports, {} queries/thread, sweep {:?} threads, {} shards, seed {}, skew {}, {} scoring",
+        preload,
+        config.queries_per_querier,
+        thread_counts,
+        config.shards,
+        config.seed,
+        config.skew,
+        if stats.incremental { "incremental" } else { "replay" },
+    );
+    for point in &sweep {
+        println!(
+            "{:>3} threads  {:>12.0} queries/sec   p50 {:>8.2} µs   p99 {:>8.2} µs",
+            point.threads,
+            point.ops_per_sec,
+            point.p50_ns as f64 / 1_000.0,
+            point.p99_ns as f64 / 1_000.0,
+        );
+    }
+    println!(
+        "pre-ranked         {:>12} hits / {} misses",
+        stats.preranked_hits, stats.preranked_misses
+    );
+    println!(
+        "cache              {:>12} hits / {} misses",
+        stats.cache_hits, stats.cache_misses
+    );
+    println!("snapshot swaps     {:>12}", stats.snapshot_swaps);
+
+    let sweep_json: Vec<String> = sweep
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"threads\":{},\"query_ops_per_sec\":{:.0},\"query_p50_ns\":{},\"query_p99_ns\":{}}}",
+                p.threads, p.ops_per_sec, p.p50_ns, p.p99_ns
+            )
+        })
+        .collect();
+    let at_8 = sweep
+        .iter()
+        .find(|p| p.threads == 8)
+        .map(|p| format!("{:.0}", p.ops_per_sec))
+        .unwrap_or_else(|| "null".to_string());
+    println!(
+        "{{\"mode\":\"read_heavy\",\"preload_reports\":{},\"queries_per_querier\":{},\"max_query_threads\":{},\"shards\":{},\"seed\":{},\"skew\":{},\"incremental\":{},\"wall_seconds\":{:.3},\"sweep\":[{}],\"query_ops_per_sec_1t\":{:.0},\"query_ops_per_sec_8t\":{},\"query_ops_per_sec\":{:.0},\"query_p50_ns\":{},\"query_p99_ns\":{},\"preranked_hits\":{},\"preranked_misses\":{},\"cache_hits\":{},\"cache_misses\":{},\"snapshot_swaps\":{},\"scratch_reuse\":{}}}",
+        preload,
+        config.queries_per_querier,
+        config.query_threads,
+        config.shards,
+        config.seed,
+        config.skew,
+        stats.incremental,
+        wall,
+        sweep_json.join(","),
+        single.ops_per_sec,
+        at_8,
+        peak.ops_per_sec,
+        peak.p50_ns,
+        peak.p99_ns,
+        stats.preranked_hits,
+        stats.preranked_misses,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.snapshot_swaps,
+        stats.scratch_reuse,
+    );
+}
+
 fn main() {
     let config = parse_args();
     assert!(config.ingest_threads >= 1 && config.query_threads >= 1);
+
+    if config.read_heavy {
+        run_read_heavy(config);
+        return;
+    }
 
     let mut builder = ReputationService::builder()
         .shards(config.shards)

@@ -101,30 +101,47 @@ impl NormalizationMatrix {
     /// nothing; weights over metrics absent from the matrix are ignored
     /// (the preference mass is renormalized over present metrics).
     pub fn scores(&self, prefs: &Preferences) -> Vec<OverallScore> {
-        let weights: Vec<f64> = self.metrics.iter().map(|&m| prefs.weight(m)).collect();
-        let total: f64 = weights.iter().sum();
-        let mut out: Vec<OverallScore> = self
-            .rows
-            .iter()
-            .enumerate()
-            .map(|(i, row)| {
-                let score = if total > 0.0 {
-                    row.iter().zip(&weights).map(|(v, w)| v * w).sum::<f64>() / total
-                } else {
-                    0.0
-                };
-                OverallScore {
-                    candidate: i,
-                    score,
-                }
-            })
-            .collect();
+        let mut weights = Vec::new();
+        let mut out = Vec::new();
+        self.scores_unsorted_into(prefs, &mut weights, &mut out);
         out.sort_by(|a, b| {
             b.score
                 .partial_cmp(&a.score)
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
         out
+    }
+
+    /// Like [`NormalizationMatrix::scores`] but allocation-free and
+    /// unsorted: scores land in `out` in candidate order (`out[i]` is
+    /// candidate `i`), using `weights` as scratch. Both buffers are
+    /// cleared and refilled, so a caller ranking in a loop reuses their
+    /// capacity — the served registry's hot path.
+    pub fn scores_unsorted_into(
+        &self,
+        prefs: &Preferences,
+        weights: &mut Vec<f64>,
+        out: &mut Vec<OverallScore>,
+    ) {
+        weights.clear();
+        weights.extend(self.metrics.iter().map(|&m| prefs.weight(m)));
+        let total: f64 = weights.iter().sum();
+        out.clear();
+        out.extend(self.rows.iter().enumerate().map(|(i, row)| {
+            let score = if total > 0.0 {
+                row.iter()
+                    .zip(weights.iter())
+                    .map(|(v, w)| v * w)
+                    .sum::<f64>()
+                    / total
+            } else {
+                0.0
+            };
+            OverallScore {
+                candidate: i,
+                score,
+            }
+        }));
     }
 
     /// Index of the best candidate under `prefs`, or `None` for an empty
@@ -241,6 +258,25 @@ mod tests {
         let scores = m.scores(&prefs);
         for pair in scores.windows(2) {
             assert!(pair[0].score >= pair[1].score);
+        }
+    }
+
+    #[test]
+    fn unsorted_into_matches_scores_and_reuses_buffers() {
+        let cands = candidates();
+        let m = NormalizationMatrix::new(&cands, &[Metric::ResponseTime, Metric::Price]);
+        let prefs = Preferences::from_weights([(Metric::ResponseTime, 0.7), (Metric::Price, 0.3)]);
+        let mut weights = Vec::new();
+        let mut unsorted = Vec::new();
+        for _ in 0..3 {
+            m.scores_unsorted_into(&prefs, &mut weights, &mut unsorted);
+            assert_eq!(unsorted.len(), cands.len());
+            for (i, s) in unsorted.iter().enumerate() {
+                assert_eq!(s.candidate, i, "out[i] must be candidate i");
+            }
+            let mut resorted = unsorted.clone();
+            resorted.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+            assert_eq!(resorted, m.scores(&prefs));
         }
     }
 

@@ -1,19 +1,30 @@
-//! Epoch-validated score cache.
+//! Epoch-validated score cache with a wait-free read path.
 //!
 //! Recomputing a reputation score replays the subject's whole feedback log
 //! through a mechanism — linear work that the registry would otherwise
 //! repeat on every query. The cache memoizes the result stamped with the
-//! store epoch it was computed from; a query first compares epochs, so a
-//! hit is a read-lock and a map lookup, and any applied feedback
-//! invalidates exactly the subjects it touched (their epoch moved).
+//! store epoch it was computed from; a query first compares epochs, so any
+//! applied feedback invalidates exactly the subjects it touched (their
+//! epoch moved).
 //!
-//! Scores are computed *outside* the cache lock: concurrent queries may
-//! race to fill the same entry, in which case both compute the same value
-//! (the epoch pins the input log) and the later write is a no-op.
+//! The cache is split into power-of-two shards, and each shard publishes
+//! an immutable [`Arc`] snapshot of its map through a [`SnapshotCell`]. A
+//! **hit is one pin + one probe** — no lock, no waiting on writers, no
+//! refcount traffic on the shared `Arc`. A miss computes outside any lock,
+//! then copies the shard's map, inserts, and swaps the snapshot in
+//! atomically (copy-on-write). Concurrent queries may race to fill the
+//! same entry, in which case both compute the same value (the epoch pins
+//! the input log) and the stale-epoch write loses.
+//!
+//! Size accounting (`len`/`is_empty`) is served from relaxed atomic
+//! counters maintained on insert — stats collection never touches the
+//! shards.
 
-use parking_lot::RwLock;
-use std::collections::HashMap;
+use crate::fxhash::{self, FxHashMap};
+use crate::snapshot::SnapshotCell;
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use wsrep_core::id::SubjectId;
 use wsrep_core::trust::TrustEstimate;
 
@@ -23,29 +34,64 @@ struct Entry {
     estimate: Option<TrustEstimate>,
 }
 
-/// Concurrent subject → (epoch, score) map with hit/miss accounting.
+/// One cache shard: the published snapshot plus a writer-side mutex
+/// serializing copy-on-write updates. Readers never touch the mutex.
 #[derive(Debug, Default)]
+struct CacheShard {
+    snapshot: SnapshotCell<FxHashMap<SubjectId, Entry>>,
+    write: Mutex<()>,
+}
+
+/// Concurrent subject → (epoch, score) map with hit/miss accounting and
+/// wait-free reads.
+#[derive(Debug)]
 pub struct ScoreCache {
-    entries: RwLock<HashMap<SubjectId, Entry>>,
+    shards: Box<[CacheShard]>,
+    mask: u64,
     hits: AtomicU64,
     misses: AtomicU64,
+    len: AtomicU64,
+}
+
+impl Default for ScoreCache {
+    fn default() -> Self {
+        ScoreCache::with_shards(16)
+    }
 }
 
 impl ScoreCache {
-    /// Empty cache.
+    /// Empty cache with the default shard count.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Empty cache over `shards` snapshot cells (rounded up to a power
+    /// of two, at least one). More shards mean smaller copy-on-write
+    /// clones per miss and less writer-side serialization.
+    pub fn with_shards(shards: usize) -> Self {
+        let count = shards.max(1).next_power_of_two();
+        ScoreCache {
+            shards: (0..count).map(|_| CacheShard::default()).collect(),
+            mask: count as u64 - 1,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            len: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, subject: SubjectId) -> &CacheShard {
+        &self.shards[(fxhash::hash_one(&subject) & self.mask) as usize]
+    }
+
     /// The cached estimate for `subject` if it was computed at exactly
     /// `epoch`; a stale or missing entry answers `None` (and counts as a
-    /// miss only in [`ScoreCache::get_or_compute`]).
+    /// miss only in [`ScoreCache::get_or_compute`]). Wait-free.
     pub fn get(&self, subject: SubjectId, epoch: u64) -> Option<Option<TrustEstimate>> {
-        self.entries
-            .read()
-            .get(&subject)
-            .filter(|e| e.epoch == epoch)
-            .map(|e| e.estimate)
+        self.shard(subject).snapshot.read(|map| {
+            map.get(&subject)
+                .filter(|e| e.epoch == epoch)
+                .map(|e| e.estimate)
+        })
     }
 
     /// The estimate for `subject` at `epoch`, running `compute` on a miss
@@ -62,14 +108,27 @@ impl ScoreCache {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let estimate = compute();
-        let mut entries = self.entries.write();
-        let entry = entries.entry(subject).or_insert(Entry { epoch, estimate });
-        // Never clobber a fresher entry written by a racing query that
-        // observed more applied feedback.
-        if entry.epoch <= epoch {
-            *entry = Entry { epoch, estimate };
-        }
+        self.insert(subject, epoch, estimate);
         estimate
+    }
+
+    /// Remember `estimate` for `subject` at `epoch` by copy-on-write:
+    /// clone the shard map, insert, swap the snapshot. Never clobbers a
+    /// fresher entry written by a racing query that observed more applied
+    /// feedback.
+    fn insert(&self, subject: SubjectId, epoch: u64, estimate: Option<TrustEstimate>) {
+        let shard = self.shard(subject);
+        let _writer = shard.write.lock();
+        let current = shard.snapshot.load();
+        if current.get(&subject).is_some_and(|e| e.epoch > epoch) {
+            return;
+        }
+        let mut next = (*current).clone();
+        let fresh_key = next.insert(subject, Entry { epoch, estimate }).is_none();
+        shard.snapshot.store(Arc::new(next));
+        if fresh_key {
+            self.len.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Queries answered from the cache.
@@ -82,14 +141,20 @@ impl ScoreCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Number of cached subjects.
+    /// Snapshots published across all shards (one per applied insert).
+    pub fn swaps(&self) -> u64 {
+        self.shards.iter().map(|s| s.snapshot.swaps()).sum()
+    }
+
+    /// Number of cached subjects, from a relaxed counter — never touches
+    /// the shards, so stats collection cannot disturb the read path.
     pub fn len(&self) -> usize {
-        self.entries.read().len()
+        self.len.load(Ordering::Relaxed) as usize
     }
 
     /// Whether nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.entries.read().is_empty()
+        self.len() == 0
     }
 }
 
@@ -156,5 +221,53 @@ mod tests {
             assert_eq!(got, None);
         }
         assert_eq!(computed, 1);
+    }
+
+    #[test]
+    fn len_counts_subjects_not_writes() {
+        let cache = ScoreCache::with_shards(4);
+        assert!(cache.is_empty());
+        for raw in 0..10 {
+            cache.get_or_compute(subject(raw), 1, || estimate(0.5));
+        }
+        assert_eq!(cache.len(), 10);
+        // Re-inserting at a fresher epoch replaces, not grows.
+        for raw in 0..10 {
+            cache.get_or_compute(subject(raw), 2, || estimate(0.6));
+        }
+        assert_eq!(cache.len(), 10);
+        assert_eq!(cache.swaps(), 20, "one snapshot swap per applied insert");
+    }
+
+    /// Readers race a writer refreshing entries: every read returns
+    /// either the old or the new value for its epoch, never junk, and
+    /// the reader side never blocks (bounded only by its own loop).
+    #[test]
+    fn concurrent_reads_and_inserts_stay_consistent() {
+        let cache = std::sync::Arc::new(ScoreCache::with_shards(2));
+        std::thread::scope(|scope| {
+            for reader in 0..2 {
+                let cache = std::sync::Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..20_000u64 {
+                        let s = subject((reader * 31 + i) % 8);
+                        for epoch in [1, 2, 3] {
+                            if let Some(Some(e)) = cache.get(s, epoch) {
+                                assert!((0.0..=1.0).contains(&e.value.get()));
+                            }
+                        }
+                    }
+                });
+            }
+            let cache = std::sync::Arc::clone(&cache);
+            scope.spawn(move || {
+                for epoch in 1..=3u64 {
+                    for raw in 0..8 {
+                        cache.get_or_compute(subject(raw), epoch, || estimate(raw as f64 / 8.0));
+                    }
+                }
+            });
+        });
+        assert_eq!(cache.len(), 8);
     }
 }

@@ -20,6 +20,7 @@
 
 use crate::durability::JournalHandle;
 use crate::shard::ShardedStore;
+use crate::topk::ScoreEpochs;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -96,15 +97,17 @@ pub struct IngestPipeline {
 impl IngestPipeline {
     /// Start the writer thread draining into `store`.
     pub fn start(store: Arc<ShardedStore>, config: IngestConfig) -> Self {
-        Self::start_with_journal(store, config, None)
+        Self::start_with_journal(store, config, None, None)
     }
 
     /// Start the writer thread, journaling each batch before applying it
-    /// when a journal handle is attached.
+    /// when a journal handle is attached, and bumping per-category score
+    /// epochs after each apply when a [`ScoreEpochs`] map is attached.
     pub(crate) fn start_with_journal(
         store: Arc<ShardedStore>,
         config: IngestConfig,
         journal: Option<Arc<JournalHandle>>,
+        score_epochs: Option<Arc<ScoreEpochs>>,
     ) -> Self {
         let (sender, receiver) = bounded::<Feedback>(config.channel_capacity);
         let progress = Arc::new(Progress::default());
@@ -117,6 +120,7 @@ impl IngestPipeline {
                 batch_size,
                 &writer_progress,
                 journal.as_deref(),
+                score_epochs.as_deref(),
             );
         });
         IngestPipeline {
@@ -178,6 +182,7 @@ fn drain(
     batch_size: usize,
     progress: &Progress,
     journal: Option<&JournalHandle>,
+    score_epochs: Option<&ScoreEpochs>,
 ) {
     // Blocking recv for the first report of a batch, then opportunistic
     // try_recv to gather whatever else is already queued.
@@ -191,6 +196,10 @@ fn drain(
             }
         }
         let applied = batch.len() as u64;
+        let subjects: Vec<_> = match score_epochs {
+            Some(_) => batch.iter().map(|f| f.subject).collect(),
+            None => Vec::new(),
+        };
         match journal {
             Some(handle) => {
                 // Journal first (one write + one fsync for the whole
@@ -200,6 +209,16 @@ fn drain(
                 handle.commit(&records, || store.insert_batch(batch));
             }
             None => store.insert_batch(batch),
+        }
+        // Bump category score epochs only after the batch is in the
+        // store: an epoch observer that rebuilds is then guaranteed to
+        // see at least the feedback the epoch counts (never-stale rule),
+        // and it happens before `progress` moves so `flush()` callers
+        // always see their own invalidations.
+        if let Some(epochs) = score_epochs {
+            for subject in subjects {
+                epochs.bump(subject);
+            }
         }
         progress.add(applied);
     }

@@ -5,15 +5,20 @@
 //! threaded; this crate is the same registry grown into a production-shaped
 //! subsystem:
 //!
+//! - [`snapshot`] — the RCU-style [`SnapshotCell`](snapshot::SnapshotCell)
+//!   every read-path cache publishes through: readers pin + probe
+//!   (wait-free), writers swap whole immutable snapshots;
+//! - [`fxhash`] — the multiply-xor hasher the hot maps key with;
 //! - [`shard`] — the feedback log split over independently locked shards,
-//!   each tracking per-subject epochs;
+//!   with wait-free per-subject epoch counters;
 //! - [`ingest`] — a bounded channel + writer thread applying feedback in
-//!   per-shard batches;
-//! - [`cache`] — epoch-validated score memoization, so a hot subject costs
-//!   a map lookup instead of a log replay;
-//! - [`topk`] — per-category ranking plans (candidates + normalization
-//!   matrix) cached against the listings epoch, so `top_k` only rebuilds
-//!   after a publish or deregister;
+//!   per-shard batches and bumping category score epochs;
+//! - [`cache`] — epoch-validated score memoization over snapshot-swapped
+//!   shards, so a hot subject costs one atomic probe instead of a log
+//!   replay;
+//! - [`topk`] — per-category ranking plans *and* fully pre-ranked result
+//!   lists, validated against the listings epoch and per-category score
+//!   epochs, so a repeat `top_k` is a probe plus a `k`-element copy;
 //! - [`service`] — the query API: `publish` / `ingest` / `score` /
 //!   `top_k`, speaking the same [`Listing`](wsrep_sim::registry::Listing)
 //!   and [`Preferences`](wsrep_qos::preference::Preferences) types as the
@@ -26,17 +31,20 @@
 
 pub mod cache;
 pub mod durability;
+pub mod fxhash;
 pub mod ingest;
 pub mod service;
 pub mod shard;
+pub mod snapshot;
 pub mod topk;
 
 pub use cache::ScoreCache;
 pub use durability::JournalHealth;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use ingest::{IngestClosed, IngestConfig, IngestPipeline};
 pub use service::{
-    CheckpointReport, MechanismFactory, RankedService, ReputationService, ServiceBuilder,
-    ServiceStats,
+    CheckpointReport, MechanismFactory, ReputationService, ServiceBuilder, ServiceStats,
 };
-pub use shard::{FoldFactory, ShardedStore};
-pub use topk::{CategoryPlan, PlanCache};
+pub use shard::{EpochMap, FoldFactory, ShardedStore};
+pub use snapshot::SnapshotCell;
+pub use topk::{CategoryPlan, PlanCache, RankCache, RankedList, RankedService, ScoreEpochs};

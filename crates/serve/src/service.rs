@@ -10,11 +10,17 @@
 //! ([`ReputationMechanism::accumulator`]): the ingest writer folds each
 //! applied report into shard-resident per-subject state, and a score read
 //! is an O(1) lookup of the resident estimate no matter how long the
-//! subject's log is — the epoch-validated cache then only shields
-//! cross-shard read traffic, not recompute cost. Mechanisms without a
-//! fold fall back to replaying the subject's shard log through
-//! [`score_from_log`] on every cache miss (the pre-incremental behavior,
-//! also selectable explicitly with [`ServiceBuilder::replay_scoring`]).
+//! subject's log is. Mechanisms without a fold fall back to replaying the
+//! subject's shard log through [`score_from_log`] on every cache miss
+//! (also selectable explicitly with [`ServiceBuilder::replay_scoring`]).
+//!
+//! The query path is **read-mostly wait-free**: `score` validates a
+//! wait-free per-subject epoch and probes a snapshot-swapped cache;
+//! `top_k` validates the listings epoch (one atomic load) and the
+//! category's score epoch, then serves a pre-ranked list with a
+//! `k`-element copy. Writers — the ingest thread, publish, deregister —
+//! swap immutable snapshots and bump epochs; they never hold a lock a
+//! reader has to wait on. See `DESIGN.md` § "Read path".
 //!
 //! Reads are eventually consistent with respect to ingestion: a query
 //! reflects the reports the writer has applied, not the ones still queued.
@@ -24,57 +30,100 @@ use crate::cache::ScoreCache;
 use crate::durability::{JournalHandle, JournalHealth};
 use crate::ingest::{IngestClosed, IngestConfig, IngestPipeline};
 use crate::shard::{FoldFactory, ShardedStore};
-use crate::topk::{CategoryPlan, PlanCache};
+use crate::topk::{CategoryPlan, PlanCache, RankCache, RankedList, ScoreEpochs};
 use parking_lot::RwLock;
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread;
 use std::time::Duration;
 use wsrep_core::feedback::Feedback;
-use wsrep_core::id::{ProviderId, ServiceId, SubjectId};
+use wsrep_core::id::{ServiceId, SubjectId};
 use wsrep_core::mechanism::{score_from_log, ReputationMechanism};
 use wsrep_core::mechanisms::beta::BetaMechanism;
 use wsrep_core::trust::TrustEstimate;
 use wsrep_journal::{recover, write_snapshot, Journal, JournalConfig, JournalRecord};
 use wsrep_qos::metric::Metric;
-use wsrep_qos::normalize::NormalizationMatrix;
+use wsrep_qos::normalize::{NormalizationMatrix, OverallScore};
 use wsrep_qos::preference::Preferences;
 use wsrep_qos::value::QosVector;
 use wsrep_sim::registry::{search_category, Listing, PublishStatus, RegistryError};
+
+pub use crate::topk::RankedService;
 
 /// Builds a fresh mechanism instance for one scoring pass. Shared
 /// (`Arc`) so the shard-resident fold can reuse the same recipe.
 pub type MechanismFactory = Arc<dyn Fn() -> Box<dyn ReputationMechanism> + Send + Sync>;
 
-/// The listing table plus its **epoch**: a counter bumped under the
-/// write lock on every publish/deregister. Cached per-category ranking
-/// plans are stamped with the epoch they were built from, so any listing
-/// change invalidates exactly the plans it could affect.
+/// The listing table plus its **epoch** and **count**, both readable
+/// without the lock.
+///
+/// The epoch is bumped under the write lock on every publish/deregister;
+/// cached category plans and rank lists are stamped with the epoch they
+/// were built from, so any listing change invalidates exactly the state
+/// it could affect — and the read path checks it with one atomic load.
+/// The count feeds stats without touching the lock.
 #[derive(Debug, Default)]
-struct ListingTable {
-    map: BTreeMap<ServiceId, Listing>,
-    epoch: u64,
+struct Listings {
+    table: RwLock<BTreeMap<ServiceId, Listing>>,
+    epoch: AtomicU64,
+    count: AtomicU64,
 }
 
-/// One entry of a [`ReputationService::top_k`] answer.
-#[derive(Debug, Clone, PartialEq)]
-pub struct RankedService {
-    /// The ranked service.
-    pub service: ServiceId,
-    /// Its provider.
-    pub provider: ProviderId,
-    /// Advertised-QoS score in `[0, 1]` from the normalization matrix.
-    pub qos_score: f64,
-    /// Reputation evidence, when any feedback exists.
-    pub reputation: Option<TrustEstimate>,
-    /// The blended ranking score.
-    pub score: f64,
+impl Listings {
+    /// Current epoch, without the lock. Readers validating cached plans
+    /// against this may trail a publish mid-apply by one bump — the
+    /// served answer is then the consistent pre-publish one, exactly as
+    /// if the query had run a moment earlier.
+    fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    fn len(&self) -> usize {
+        self.count.load(Ordering::Relaxed) as usize
+    }
+
+    /// Insert/replace under the write lock, then bump the epoch. Plan
+    /// builders hold the read lock while stamping, so a stamped epoch
+    /// always matches the exact table contents it was built from.
+    fn publish(&self, listing: Listing) -> PublishStatus {
+        let mut table = self.table.write();
+        let status = match table.insert(listing.service, listing) {
+            Some(_) => PublishStatus::Updated,
+            None => {
+                self.count.fetch_add(1, Ordering::Relaxed);
+                PublishStatus::Created
+            }
+        };
+        self.epoch.fetch_add(1, Ordering::Release);
+        status
+    }
+
+    fn deregister(&self, service: ServiceId) -> bool {
+        let mut table = self.table.write();
+        if table.remove(&service).is_some() {
+            self.count.fetch_sub(1, Ordering::Relaxed);
+            self.epoch.fetch_add(1, Ordering::Release);
+            true
+        } else {
+            false
+        }
+    }
 }
 
 /// Operational counters for dashboards and benchmarks.
+///
+/// **Consistency contract:** every counter is maintained as a relaxed
+/// atomic (or derived from one) and read without stopping writers. Each
+/// counter is individually monotonic and exact, but one `stats()` call is
+/// *not* a consistent cut across them — e.g. `cache_hits +
+/// cache_misses` may momentarily disagree with the number of `score`
+/// calls that have returned, and `feedback` may trail an in-flight batch.
+/// Collecting stats never takes a lock the read or write path uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServiceStats {
     /// Shards in the feedback store.
@@ -89,10 +138,21 @@ pub struct ServiceStats {
     pub cache_hits: u64,
     /// Score queries that recomputed.
     pub cache_misses: u64,
-    /// `top_k` queries ranking over a prebuilt category plan.
+    /// `top_k` rebuilds ranking over a prebuilt category plan.
     pub topk_plan_hits: u64,
-    /// `top_k` queries that (re)built their category plan.
+    /// `top_k` rebuilds that (re)built their category plan.
     pub topk_plan_misses: u64,
+    /// `top_k` queries served whole from a pre-ranked list (no scoring,
+    /// no sort).
+    pub preranked_hits: u64,
+    /// `top_k` queries that had to score and sort the category.
+    pub preranked_misses: u64,
+    /// Immutable snapshots published across the score, plan, and rank
+    /// caches (one per copy-on-write insert).
+    pub snapshot_swaps: u64,
+    /// `top_k` rebuilds that reused a warm thread-local scratch buffer
+    /// instead of allocating.
+    pub scratch_reuse: u64,
     /// Whether scoring folds incrementally (vs replaying the log).
     pub incremental: bool,
     /// Journal health, when a write-ahead log is attached.
@@ -248,7 +308,8 @@ impl ServiceBuilder {
                 None
             };
         let store = Arc::new(ShardedStore::with_fold(self.shards, fold));
-        let listings = Arc::new(RwLock::new(ListingTable::default()));
+        let listings = Arc::new(Listings::default());
+        let score_epochs = Arc::new(ScoreEpochs::new());
 
         let mut journal = None;
         if let Some(dir) = self.journal_dir {
@@ -259,12 +320,9 @@ impl ServiceBuilder {
                 // the same tail, so both agree on the durable prefix.
                 let recovered = recover(&dir)?;
                 records_recovered = recovered.records_recovered;
-                {
-                    let mut table = listings.write();
-                    for listing in recovered.listings {
-                        table.epoch += 1;
-                        table.map.insert(listing.service, listing);
-                    }
+                for listing in recovered.listings {
+                    score_epochs.ensure(listing.service.into(), listing.category);
+                    listings.publish(listing);
                 }
                 // Re-inserting the recovered log restores every
                 // per-subject epoch (an epoch is a count of applied
@@ -278,8 +336,12 @@ impl ServiceBuilder {
             journal = Some(Arc::new(JournalHandle::new(inner, records_recovered)));
         }
 
-        let ingest =
-            IngestPipeline::start_with_journal(Arc::clone(&store), self.ingest, journal.clone());
+        let ingest = IngestPipeline::start_with_journal(
+            Arc::clone(&store),
+            self.ingest,
+            journal.clone(),
+            Some(Arc::clone(&score_epochs)),
+        );
         let compactor = match (&journal, self.checkpoint_every) {
             (Some(handle), Some(every)) => Some(Compactor::spawn(
                 every,
@@ -293,9 +355,12 @@ impl ServiceBuilder {
             store,
             cache: ScoreCache::new(),
             plans: PlanCache::new(),
+            ranks: RankCache::new(),
+            score_epochs,
             listings,
             reputation_weight: self.reputation_weight,
             factory: self.factory,
+            scratch_reuse: AtomicU64::new(0),
             journal,
             _compactor: compactor,
             ingest,
@@ -303,15 +368,32 @@ impl ServiceBuilder {
     }
 }
 
+thread_local! {
+    /// Per-thread rank-rebuild scratch: weight and score buffers reused
+    /// across `top_k` misses so a rebuild allocates only the cached
+    /// `RankedList` itself.
+    static RANK_SCRATCH: RefCell<RankScratch> = RefCell::new(RankScratch::default());
+}
+
+#[derive(Default)]
+struct RankScratch {
+    weights: Vec<f64>,
+    scores: Vec<OverallScore>,
+    warm: bool,
+}
+
 /// Thread-safe reputation registry: sharded store + batched ingestion +
-/// epoch-validated score cache + preference-aware top-k.
+/// snapshot-swapped score/plan/rank caches + preference-aware top-k.
 pub struct ReputationService {
     store: Arc<ShardedStore>,
     cache: ScoreCache,
     plans: PlanCache,
-    listings: Arc<RwLock<ListingTable>>,
+    ranks: RankCache,
+    score_epochs: Arc<ScoreEpochs>,
+    listings: Arc<Listings>,
     reputation_weight: f64,
     factory: MechanismFactory,
+    scratch_reuse: AtomicU64,
     journal: Option<Arc<JournalHandle>>,
     // Held only for its Drop. Declared before `ingest`: drop stops the
     // checkpointer first, then the pipeline drains (journaling the
@@ -324,7 +406,7 @@ impl fmt::Debug for ReputationService {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ReputationService")
             .field("shards", &self.store.num_shards())
-            .field("listings", &self.listings.read().map.len())
+            .field("listings", &self.listings.len())
             .field("feedback", &self.store.len())
             .finish_non_exhaustive()
     }
@@ -350,20 +432,20 @@ impl ReputationService {
             Some(handle) => {
                 let record = JournalRecord::Publish(listing.clone());
                 handle.commit(std::slice::from_ref(&record), || {
-                    Self::apply_publish(&self.listings, listing)
+                    self.apply_publish(listing)
                 })
             }
-            None => Self::apply_publish(&self.listings, listing),
+            None => self.apply_publish(listing),
         }
     }
 
-    fn apply_publish(listings: &RwLock<ListingTable>, listing: Listing) -> PublishStatus {
-        let mut table = listings.write();
-        table.epoch += 1;
-        match table.map.insert(listing.service, listing) {
-            Some(_) => PublishStatus::Updated,
-            None => PublishStatus::Created,
-        }
+    fn apply_publish(&self, listing: Listing) -> PublishStatus {
+        // Membership first: feedback landing between the two calls bumps
+        // the (possibly brand-new) category counter, which at worst
+        // invalidates a rank list one query earlier than necessary.
+        self.score_epochs
+            .ensure(listing.service.into(), listing.category);
+        self.listings.publish(listing)
     }
 
     /// Remove a listing. Journaled only when it actually removes one.
@@ -374,7 +456,7 @@ impl ReputationService {
                 // concurrent checkpoint never sees the removal without
                 // its journal record.
                 let mut journal = handle.lock();
-                if Self::apply_deregister(&self.listings, service) {
+                if self.apply_deregister(service) {
                     handle.append_locked(&mut journal, &[JournalRecord::Deregister(service)]);
                     Ok(())
                 } else {
@@ -382,7 +464,7 @@ impl ReputationService {
                 }
             }
             None => {
-                if Self::apply_deregister(&self.listings, service) {
+                if self.apply_deregister(service) {
                     Ok(())
                 } else {
                     Err(RegistryError::NotFound)
@@ -391,10 +473,9 @@ impl ReputationService {
         }
     }
 
-    fn apply_deregister(listings: &RwLock<ListingTable>, service: ServiceId) -> bool {
-        let mut table = listings.write();
-        if table.map.remove(&service).is_some() {
-            table.epoch += 1;
+    fn apply_deregister(&self, service: ServiceId) -> bool {
+        if self.listings.deregister(service) {
+            self.score_epochs.forget(service.into());
             true
         } else {
             false
@@ -403,14 +484,14 @@ impl ReputationService {
 
     /// Look up one listing.
     pub fn listing(&self, service: ServiceId) -> Option<Listing> {
-        self.listings.read().map.get(&service).cloned()
+        self.listings.table.read().get(&service).cloned()
     }
 
     /// Every listing in `category`, through the same [`search_category`]
     /// the simulated UDDI registry answers with.
     pub fn search(&self, category: u32) -> Vec<Listing> {
-        let table = self.listings.read();
-        search_category(table.map.values(), category)
+        let table = self.listings.table.read();
+        search_category(table.values(), category)
             .into_iter()
             .cloned()
             .collect()
@@ -450,9 +531,11 @@ impl ReputationService {
 
     /// The subject's reputation, from cache when the store hasn't moved.
     ///
-    /// With an incremental mechanism a miss reads the shard-resident
-    /// accumulator — O(1) in the subject's history. Otherwise it replays
-    /// the subject's shard log through a fresh mechanism instance.
+    /// Wait-free when cached: the epoch read and the cache probe are both
+    /// snapshot reads that never block on the ingest writer. A miss reads
+    /// the shard-resident accumulator (O(1) in the subject's history)
+    /// with an incremental mechanism, or replays the subject's shard log
+    /// through a fresh mechanism instance without one.
     ///
     /// `None` means no evidence: either nothing was ever reported, or the
     /// mechanism abstains.
@@ -479,66 +562,125 @@ impl ReputationService {
     /// category's candidates; each candidate's claim score is blended with
     /// its reputation (ignorance counts as the neutral 0.5 prior) by the
     /// configured weight, and ties keep the deterministic listing order.
+    ///
+    /// Allocates the answer vector; the hot path is
+    /// [`ReputationService::top_k_into`], which reuses a caller buffer.
     pub fn top_k(&self, category: u32, prefs: &Preferences, k: usize) -> Vec<RankedService> {
+        let mut out = Vec::new();
+        self.top_k_into(category, prefs, k, &mut out);
+        out
+    }
+
+    /// [`ReputationService::top_k`] into a caller-provided buffer
+    /// (cleared first) — the allocation-free form for query loops.
+    ///
+    /// The fast path is wait-free: one listings-epoch load, one
+    /// score-epoch load, one rank-cache snapshot probe, and a `k`-element
+    /// copy of the pre-ranked list. Only when a publish/deregister or
+    /// member feedback moved an epoch does the query score and sort the
+    /// category again — and that rebuild is cached for everyone.
+    pub fn top_k_into(
+        &self,
+        category: u32,
+        prefs: &Preferences,
+        k: usize,
+        out: &mut Vec<RankedService>,
+    ) {
+        out.clear();
         if k == 0 {
-            return Vec::new();
+            return;
+        }
+        let listings_epoch = self.listings.epoch();
+        // Read the score epoch BEFORE any scoring: if feedback lands
+        // mid-rebuild the list is stamped older than its content and the
+        // bumped counter forces a harmless rebuild — never the reverse
+        // (fresh-stamped stale scores served forever).
+        let score_epoch = self.score_epochs.get(category);
+        if let Some(list) = self.ranks.get(category, prefs, listings_epoch, score_epoch) {
+            let take = k.min(list.ranked.len());
+            out.extend_from_slice(&list.ranked[..take]);
+            return;
         }
         let plan = self.category_plan(category);
+        let ranked = self.rank_category(&plan, prefs);
+        let list = self.ranks.insert(
+            category,
+            Arc::new(RankedList {
+                // The plan's epoch, not the one loaded above: the plan
+                // build may have observed a racing publish, and the
+                // ranked content corresponds to *its* candidate set.
+                listings_epoch: plan.epoch,
+                score_epoch,
+                prefs: prefs.clone(),
+                ranked,
+            }),
+        );
+        let take = k.min(list.ranked.len());
+        out.extend_from_slice(&list.ranked[..take]);
+    }
+
+    /// Score and sort every candidate of `plan` under `prefs`, reusing
+    /// the thread-local scratch buffers for the weight/score vectors.
+    fn rank_category(&self, plan: &CategoryPlan, prefs: &Preferences) -> Vec<RankedService> {
         if plan.candidates.is_empty() {
             return Vec::new();
         }
-        let mut qos_scores = vec![0.0; plan.candidates.len()];
-        for s in plan.matrix.scores(prefs) {
-            qos_scores[s.candidate] = s.score;
-        }
         let w = self.reputation_weight;
-        let mut ranked: Vec<RankedService> = plan
-            .candidates
-            .iter()
-            .zip(qos_scores)
-            .map(|(&(service, provider), qos_score)| {
+        let mut ranked: Vec<RankedService> = Vec::with_capacity(plan.candidates.len());
+        RANK_SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            if scratch.warm {
+                self.scratch_reuse.fetch_add(1, Ordering::Relaxed);
+            } else {
+                scratch.warm = true;
+            }
+            let RankScratch {
+                weights, scores, ..
+            } = &mut *scratch;
+            plan.matrix.scores_unsorted_into(prefs, weights, scores);
+            for (&(service, provider), qos) in plan.candidates.iter().zip(scores.iter()) {
                 let reputation = self.score(service.into());
                 let rep_value = reputation
                     .map(|e| e.value.get())
                     .unwrap_or_else(|| TrustEstimate::ignorance().value.get());
-                RankedService {
+                ranked.push(RankedService {
                     service,
                     provider,
-                    qos_score,
+                    qos_score: qos.score,
                     reputation,
-                    score: (1.0 - w) * qos_score + w * rep_value,
-                }
-            })
-            .collect();
+                    score: (1.0 - w) * qos.score + w * rep_value,
+                });
+            }
+        });
         ranked.sort_by(|a, b| {
             b.score
                 .partial_cmp(&a.score)
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
-        ranked.truncate(k);
         ranked
     }
 
     /// The category's prepared ranking plan, rebuilt only when a publish
     /// or deregister has moved the listings epoch since it was cached.
     ///
-    /// The plan is built under the same read lock the epoch is read
-    /// under, so a plan can never pair stale candidates with a fresh
-    /// epoch; the matrix is built over borrowed advertised vectors — no
-    /// listing is cloned on this path.
+    /// The plan is built under the listings read lock, so a plan can
+    /// never pair stale candidates with a fresh epoch; the matrix is
+    /// built over borrowed advertised vectors — no listing is cloned on
+    /// this path.
     fn category_plan(&self, category: u32) -> Arc<CategoryPlan> {
         let plan = {
-            let table = self.listings.read();
-            if let Some(plan) = self.plans.get(category, table.epoch) {
+            let table = self.listings.table.read();
+            let epoch = self.listings.epoch();
+            if let Some(plan) = self.plans.get(category, epoch) {
                 return plan;
             }
-            let candidates = search_category(table.map.values(), category);
+            let candidates = search_category(table.values(), category);
             let vectors: Vec<&QosVector> = candidates.iter().map(|l| &l.advertised).collect();
             let mut metrics: Vec<Metric> = vectors.iter().flat_map(|v| v.metrics()).collect();
             metrics.sort();
             metrics.dedup();
             Arc::new(CategoryPlan {
-                epoch: table.epoch,
+                epoch,
                 candidates: candidates.iter().map(|l| (l.service, l.provider)).collect(),
                 matrix: NormalizationMatrix::new(&vectors, &metrics),
             })
@@ -546,17 +688,22 @@ impl ReputationService {
         self.plans.insert(category, plan)
     }
 
-    /// Operational counters.
+    /// Operational counters. See [`ServiceStats`] for the consistency
+    /// contract — collection never blocks the read or write path.
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
             shards: self.store.num_shards(),
-            listings: self.listings.read().map.len(),
+            listings: self.listings.len(),
             feedback: self.store.len() as u64,
             submitted: self.ingest.submitted(),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
             topk_plan_hits: self.plans.hits(),
             topk_plan_misses: self.plans.misses(),
+            preranked_hits: self.ranks.hits(),
+            preranked_misses: self.ranks.misses(),
+            snapshot_swaps: self.cache.swaps() + self.plans.swaps() + self.ranks.swaps(),
+            scratch_reuse: self.scratch_reuse.load(Ordering::Relaxed),
             incremental: self.store.is_incremental(),
             journal: self.journal.as_ref().map(|handle| handle.health()),
         }
@@ -579,12 +726,12 @@ impl ReputationService {
 fn checkpoint_now(
     handle: &JournalHandle,
     store: &ShardedStore,
-    listings: &RwLock<ListingTable>,
+    listings: &Listings,
 ) -> io::Result<CheckpointReport> {
     let (lsn, dir, listing_vec, feedback) = {
         let journal = handle.lock();
         let lsn = journal.next_lsn();
-        let listing_vec: Vec<Listing> = listings.read().map.values().cloned().collect();
+        let listing_vec: Vec<Listing> = listings.table.read().values().cloned().collect();
         let feedback = store.dump();
         (lsn, journal.dir().to_path_buf(), listing_vec, feedback)
     };
@@ -612,7 +759,7 @@ impl Compactor {
         every: Duration,
         handle: Arc<JournalHandle>,
         store: Arc<ShardedStore>,
-        listings: Arc<RwLock<ListingTable>>,
+        listings: Arc<Listings>,
     ) -> Compactor {
         let stop = Arc::new((StdMutex::new(false), Condvar::new()));
         let thread_stop = Arc::clone(&stop);
@@ -652,7 +799,7 @@ impl Drop for Compactor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wsrep_core::id::AgentId;
+    use wsrep_core::id::{AgentId, ProviderId};
     use wsrep_core::time::Time;
 
     fn listing(service: u64, category: u32, price: f64, accuracy: f64) -> Listing {
@@ -758,5 +905,74 @@ mod tests {
         assert_eq!(top.len(), 2);
         assert_eq!(top[0].service, ServiceId::new(1));
         assert!(top.iter().all(|r| r.reputation.is_none()));
+    }
+
+    #[test]
+    fn repeat_top_k_serves_from_the_preranked_list() {
+        let svc = ReputationService::builder().reputation_weight(0.5).build();
+        svc.publish(listing(1, 0, 1.0, 0.9));
+        svc.publish(listing(2, 0, 2.0, 0.8));
+        let prefs = Preferences::uniform([Metric::Price, Metric::Accuracy]);
+        let first = svc.top_k(0, &prefs, 2);
+        let mut out = Vec::new();
+        for _ in 0..10 {
+            svc.top_k_into(0, &prefs, 2, &mut out);
+            assert_eq!(out, first);
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.preranked_hits, 10, "{stats:?}");
+        assert_eq!(stats.preranked_misses, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn member_feedback_invalidates_the_preranked_list() {
+        let svc = ReputationService::builder().reputation_weight(1.0).build();
+        svc.publish(listing(1, 0, 5.0, 0.9));
+        svc.publish(listing(2, 0, 5.0, 0.9));
+        let prefs = Preferences::uniform([Metric::Price, Metric::Accuracy]);
+        let before = svc.top_k(0, &prefs, 2);
+        // Pure-reputation weights and identical claims: the ranking can
+        // only move if the rank list is actually invalidated by feedback.
+        for i in 0..20 {
+            svc.ingest(feedback(i, 2, 0.99, i)).unwrap();
+            svc.ingest(feedback(i, 1, 0.01, i)).unwrap();
+        }
+        svc.flush();
+        let after = svc.top_k(0, &prefs, 2);
+        assert_eq!(before[0].service, ServiceId::new(1), "listing order tie");
+        assert_eq!(after[0].service, ServiceId::new(2), "feedback re-ranked");
+        let stats = svc.stats();
+        assert!(stats.preranked_misses >= 2, "{stats:?}");
+    }
+
+    #[test]
+    fn feedback_about_unlisted_subjects_keeps_rank_lists_valid() {
+        let svc = ReputationService::default();
+        svc.publish(listing(1, 0, 1.0, 0.9));
+        let prefs = Preferences::uniform([Metric::Price]);
+        svc.top_k(0, &prefs, 1);
+        // Feedback about a service nobody listed: no category member
+        // moved, so the pre-ranked list must keep serving.
+        for i in 0..10 {
+            svc.ingest(feedback(i, 999, 0.5, i)).unwrap();
+        }
+        svc.flush();
+        svc.top_k(0, &prefs, 1);
+        let stats = svc.stats();
+        assert_eq!(stats.preranked_hits, 1, "{stats:?}");
+        assert_eq!(stats.preranked_misses, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn stats_report_snapshot_swaps_and_scratch_reuse() {
+        let svc = ReputationService::default();
+        svc.publish(listing(1, 0, 1.0, 0.9));
+        let prefs = Preferences::uniform([Metric::Price]);
+        svc.top_k(0, &prefs, 1);
+        svc.publish(listing(2, 0, 2.0, 0.8));
+        svc.top_k(0, &prefs, 2);
+        let stats = svc.stats();
+        assert!(stats.snapshot_swaps >= 2, "{stats:?}");
+        assert!(stats.scratch_reuse >= 1, "second rebuild reuses: {stats:?}");
     }
 }

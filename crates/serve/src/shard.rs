@@ -9,7 +9,16 @@
 //! Each shard also tracks a per-subject **epoch** — a counter bumped on
 //! every report about that subject. The score cache stamps entries with
 //! the epoch it computed from; a stale epoch is a cache miss, so readers
-//! can never serve a score that silently ignores applied feedback.
+//! can never serve a score that silently ignores applied feedback. Epochs
+//! live *outside* the shard lock, in an [`EpochMap`] of atomic counters
+//! behind a snapshot cell: reading an epoch — the first step of every
+//! `score` — is wait-free and never queues behind the ingest writer.
+//!
+//! Epoch bumps happen **after** the report is applied to the shard (and
+//! folded into the resident accumulator). A reader that observes epoch
+//! `E` and recomputes therefore sees *at least* `E` reports — the score
+//! it caches at `E` is never staler than `E`, only possibly fresher,
+//! and the next bump invalidates it.
 //!
 //! With a fold factory attached ([`ShardedStore::with_fold`]), each shard
 //! additionally keeps **resident scoring state**: one
@@ -18,10 +27,11 @@
 //! subject's log has grown — the log itself stays only as replay
 //! material for checkpoints and for mechanisms without a fold.
 
-use parking_lot::RwLock;
-use std::collections::hash_map::DefaultHasher;
+use crate::fxhash::{self, FxHashMap};
+use crate::snapshot::SnapshotCell;
+use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
-use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use wsrep_core::feedback::Feedback;
 use wsrep_core::id::SubjectId;
@@ -34,12 +44,55 @@ use wsrep_core::trust::TrustEstimate;
 /// mechanism has no incremental fold and scoring replays the log.
 pub type FoldFactory = Arc<dyn Fn() -> Box<dyn SubjectAccumulator> + Send + Sync>;
 
-/// One shard: a plain feedback store, the epoch counters of the subjects
-/// it owns, and (in incremental mode) their resident accumulators.
+/// Wait-free subject → epoch counters for one shard.
+///
+/// The map of `Arc<AtomicU64>` counters is published through a
+/// [`SnapshotCell`]; reading an epoch is a pin + probe + atomic load.
+/// Adding a *new* subject copies the map and swaps the snapshot (rare —
+/// once per subject lifetime); bumping an existing subject is a single
+/// `fetch_add` with no snapshot churn.
+#[derive(Debug, Default)]
+pub struct EpochMap {
+    snapshot: SnapshotCell<FxHashMap<SubjectId, Arc<AtomicU64>>>,
+    write: Mutex<()>,
+}
+
+impl EpochMap {
+    /// The subject's epoch (0 = never seen). Wait-free.
+    pub fn get(&self, subject: SubjectId) -> u64 {
+        self.snapshot.read(|map| {
+            map.get(&subject)
+                .map(|counter| counter.load(Ordering::Acquire))
+                .unwrap_or(0)
+        })
+    }
+
+    /// Count one applied report about `subject`.
+    fn bump(&self, subject: SubjectId) {
+        let existing = self.snapshot.read(|map| map.get(&subject).cloned());
+        if let Some(counter) = existing {
+            counter.fetch_add(1, Ordering::AcqRel);
+            return;
+        }
+        let _writer = self.write.lock();
+        // Re-check under the writer mutex: a racing bump may have
+        // published the counter while we waited.
+        let existing = self.snapshot.read(|map| map.get(&subject).cloned());
+        if let Some(counter) = existing {
+            counter.fetch_add(1, Ordering::AcqRel);
+            return;
+        }
+        let mut next = (*self.snapshot.load()).clone();
+        next.insert(subject, Arc::new(AtomicU64::new(1)));
+        self.snapshot.store(Arc::new(next));
+    }
+}
+
+/// One shard: a plain feedback store and (in incremental mode) the
+/// resident accumulators of the subjects it owns.
 #[derive(Debug, Default)]
 pub struct Shard {
     store: FeedbackStore,
-    epochs: BTreeMap<SubjectId, u64>,
     accumulators: BTreeMap<SubjectId, Box<dyn SubjectAccumulator>>,
 }
 
@@ -47,12 +100,6 @@ impl Shard {
     /// The shard's underlying append-only store.
     pub fn store(&self) -> &FeedbackStore {
         &self.store
-    }
-
-    /// How many reports about `subject` this shard has applied
-    /// (0 = never seen).
-    pub fn epoch(&self, subject: SubjectId) -> u64 {
-        self.epochs.get(&subject).copied().unwrap_or(0)
     }
 
     /// The resident estimate for `subject`: `Some(estimate)` when an
@@ -63,7 +110,6 @@ impl Shard {
     }
 
     fn push(&mut self, feedback: Feedback, fold: Option<&FoldFactory>) {
-        *self.epochs.entry(feedback.subject).or_insert(0) += 1;
         if let Some(factory) = fold {
             self.accumulators
                 .entry(feedback.subject)
@@ -78,9 +124,13 @@ impl Shard {
 ///
 /// All methods take `&self`; interior mutability lives in the per-shard
 /// `RwLock`s, so the store can sit behind an `Arc` and be hit from any
-/// number of ingest and query threads at once.
+/// number of ingest and query threads at once. Epoch reads and the total
+/// report count bypass the locks entirely.
 pub struct ShardedStore {
     shards: Vec<RwLock<Shard>>,
+    epochs: Vec<EpochMap>,
+    /// Reports applied across all shards; relaxed, bumped per batch.
+    total: AtomicU64,
     fold: Option<FoldFactory>,
 }
 
@@ -103,8 +153,11 @@ impl ShardedStore {
     /// A store whose shards keep resident per-subject accumulators built
     /// by `fold`, folded forward on every applied report.
     pub fn with_fold(shards: usize, fold: Option<FoldFactory>) -> Self {
+        let count = shards.max(1);
         ShardedStore {
-            shards: (0..shards.max(1)).map(|_| RwLock::default()).collect(),
+            shards: (0..count).map(|_| RwLock::default()).collect(),
+            epochs: (0..count).map(|_| EpochMap::default()).collect(),
+            total: AtomicU64::new(0),
             fold,
         }
     }
@@ -121,15 +174,22 @@ impl ShardedStore {
 
     /// The shard index owning `subject`.
     pub fn shard_of(&self, subject: SubjectId) -> usize {
-        let mut hasher = DefaultHasher::new();
-        subject.hash(&mut hasher);
-        (hasher.finish() % self.shards.len() as u64) as usize
+        (fxhash::hash_one(&subject) % self.shards.len() as u64) as usize
     }
 
     /// Apply one report.
     pub fn insert(&self, feedback: Feedback) {
         let idx = self.shard_of(feedback.subject);
-        self.shards[idx].write().push(feedback, self.fold.as_ref());
+        let subject = feedback.subject;
+        {
+            let mut shard = self.shards[idx].write();
+            shard.push(feedback, self.fold.as_ref());
+        }
+        // Bump after the report is visible in the shard: a reader that
+        // sees the new epoch and recomputes is guaranteed to see the
+        // report (never-stale rule; see module docs).
+        self.epochs[idx].bump(subject);
+        self.total.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Apply a batch, taking each shard's write lock once.
@@ -142,11 +202,27 @@ impl ShardedStore {
             if group.is_empty() {
                 continue;
             }
+            self.apply_group(idx, group);
+        }
+    }
+
+    /// Apply one shard's pre-partitioned group: push everything under one
+    /// write-lock acquisition, then bump epochs (after-apply, so epoch
+    /// observers can never get ahead of the log).
+    fn apply_group(&self, idx: usize, group: Vec<Feedback>) {
+        let count = group.len() as u64;
+        let mut subjects: Vec<SubjectId> = Vec::with_capacity(group.len());
+        {
             let mut shard = self.shards[idx].write();
             for feedback in group {
+                subjects.push(feedback.subject);
                 shard.push(feedback, self.fold.as_ref());
             }
         }
+        for subject in subjects {
+            self.epochs[idx].bump(subject);
+        }
+        self.total.fetch_add(count, Ordering::Relaxed);
     }
 
     /// Apply a batch with one worker thread per core, each owning a
@@ -181,14 +257,9 @@ impl ShardedStore {
                 if mine.is_empty() {
                     continue;
                 }
-                let fold = self.fold.as_ref();
-                let shards = &self.shards;
                 scope.spawn(move || {
                     for (idx, group) in mine {
-                        let mut shard = shards[idx].write();
-                        for feedback in group {
-                            shard.push(feedback, fold);
-                        }
+                        self.apply_group(idx, group);
                     }
                 });
             }
@@ -204,9 +275,11 @@ impl ShardedStore {
         per_shard
     }
 
-    /// The subject's current epoch (0 = no evidence yet).
+    /// The subject's current epoch (0 = no evidence yet). Wait-free:
+    /// one snapshot pin, one probe, one atomic load — never queues
+    /// behind the ingest writer.
     pub fn epoch(&self, subject: SubjectId) -> u64 {
-        self.shards[self.shard_of(subject)].read().epoch(subject)
+        self.epochs[self.shard_of(subject)].get(subject)
     }
 
     /// Snapshot of every report about `subject`, oldest first.
@@ -245,9 +318,11 @@ impl ShardedStore {
         self.shards[idx].read().store.len()
     }
 
-    /// Total reports across all shards.
+    /// Total reports across all shards, from a relaxed counter bumped as
+    /// batches are applied — reading it takes no locks. Monotonic; may
+    /// trail an in-flight batch by a few reports.
     pub fn len(&self) -> usize {
-        (0..self.shards.len()).map(|i| self.shard_len(i)).sum()
+        self.total.load(Ordering::Relaxed) as usize
     }
 
     /// Whether no report has been applied anywhere.
@@ -382,5 +457,31 @@ mod tests {
         assert_eq!(store.num_shards(), 1);
         store.insert(fb(0, 1, 0.5));
         assert_eq!(store.len(), 1);
+    }
+
+    /// Epoch readers racing the writer observe a monotone counter that
+    /// never gets ahead of the applied log.
+    #[test]
+    fn epoch_reads_race_inserts_without_blocking() {
+        let store = Arc::new(ShardedStore::new(2));
+        let s: SubjectId = ServiceId::new(5).into();
+        std::thread::scope(|scope| {
+            let reader_store = Arc::clone(&store);
+            scope.spawn(move || {
+                let mut last = 0;
+                for _ in 0..50_000 {
+                    let e = reader_store.epoch(s);
+                    assert!(e >= last, "epoch went backwards: {e} < {last}");
+                    last = e;
+                }
+            });
+            let writer_store = Arc::clone(&store);
+            scope.spawn(move || {
+                for i in 0..2_000 {
+                    writer_store.insert(fb(i, 5, 0.5));
+                }
+            });
+        });
+        assert_eq!(store.epoch(s), 2_000);
     }
 }

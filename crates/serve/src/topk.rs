@@ -1,20 +1,61 @@
-//! Epoch-validated per-category ranking plans for `top_k`.
+//! Pre-ranked, epoch-validated `top_k` state: category plans, rank
+//! lists, and the per-category score epochs that invalidate them.
 //!
-//! Ranking a category normalizes every candidate's advertised QoS vector
-//! Liu–Ngu–Zeng style — metric collection, sort/dedup, and a candidates ×
-//! metrics matrix build. None of that depends on the query's preferences,
-//! only on the listing table, so it is wasted work to repeat per query:
-//! this cache keys the prepared plan by `(category, listings epoch)` and
-//! rebuilds only when a publish or deregister moved the epoch. The
-//! per-query remainder is a weighted row sum over the prebuilt matrix
-//! plus the reputation blend.
+//! Ranking a category has three cost tiers, and this module caches the
+//! top two:
+//!
+//! 1. **Plan** ([`CategoryPlan`], cached in [`PlanCache`]): the
+//!    listings-derived part — candidate set and normalized advertised-QoS
+//!    matrix. Depends only on the listing table; invalidated by the
+//!    listings epoch (publish/deregister).
+//! 2. **Rank list** ([`RankedList`], cached in [`RankCache`]): the fully
+//!    scored, fully sorted answer for one `(category, preferences)` pair.
+//!    Depends on the plan *and* on every member's reputation, so it is
+//!    stamped with both the listings epoch and the category's **score
+//!    epoch** — a counter ([`ScoreEpochs`]) the ingest writer bumps when
+//!    feedback lands on a category member. A hit serves `top_k` with one
+//!    snapshot probe and a `k`-element copy: no scoring, no sort, no
+//!    allocation.
+//! 3. The miss path recomputes scores over the plan matrix and re-sorts —
+//!    the pre-PR-5 behavior, now paid only when listings or member
+//!    feedback actually moved.
+//!
+//! Both caches publish immutable snapshots through [`SnapshotCell`], so
+//! the validating reads above are wait-free; writers copy-on-write behind
+//! a small mutex.
+//!
+//! **Never-stale rule.** A rank list's score epoch must be read *before*
+//! its scores are computed. If feedback lands mid-build, the list gets
+//! stamped with the pre-build epoch while holding possibly-fresher
+//! scores; the already-bumped counter then fails validation and forces a
+//! harmless rebuild. Reading the epoch *after* scoring would allow the
+//! opposite — stale scores stamped fresh and served forever.
 
-use parking_lot::RwLock;
-use std::collections::HashMap;
+use crate::fxhash::{FxHashMap, FxHasher};
+use crate::snapshot::SnapshotCell;
+use parking_lot::Mutex;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use wsrep_core::id::{ProviderId, ServiceId};
+use wsrep_core::id::{ProviderId, ServiceId, SubjectId};
+use wsrep_core::trust::TrustEstimate;
 use wsrep_qos::normalize::NormalizationMatrix;
+use wsrep_qos::preference::Preferences;
+
+/// One entry of a `top_k` answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedService {
+    /// The ranked service.
+    pub service: ServiceId,
+    /// Its provider.
+    pub provider: ProviderId,
+    /// Advertised-QoS score in `[0, 1]` from the normalization matrix.
+    pub qos_score: f64,
+    /// Reputation evidence, when any feedback exists.
+    pub reputation: Option<TrustEstimate>,
+    /// The blended ranking score.
+    pub score: f64,
+}
 
 /// The listings-derived, preference-independent part of a `top_k`
 /// answer for one category, valid while the listings epoch stands still.
@@ -29,10 +70,12 @@ pub struct CategoryPlan {
     pub matrix: NormalizationMatrix,
 }
 
-/// Concurrent category → plan map with hit/miss accounting.
+/// Concurrent category → plan map with hit/miss accounting and wait-free
+/// reads (snapshot probe; no lock).
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    plans: RwLock<HashMap<u32, Arc<CategoryPlan>>>,
+    plans: SnapshotCell<FxHashMap<u32, Arc<CategoryPlan>>>,
+    write: Mutex<()>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -47,10 +90,7 @@ impl PlanCache {
     pub fn get(&self, category: u32, epoch: u64) -> Option<Arc<CategoryPlan>> {
         let hit = self
             .plans
-            .read()
-            .get(&category)
-            .filter(|p| p.epoch == epoch)
-            .cloned();
+            .read(|map| map.get(&category).filter(|p| p.epoch == epoch).cloned());
         match &hit {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -58,15 +98,20 @@ impl PlanCache {
         hit
     }
 
-    /// Remember `plan`, never clobbering a fresher one a racing builder
-    /// installed (a higher epoch means it saw more listing changes).
+    /// Remember `plan` by copy-on-write, never clobbering a fresher one a
+    /// racing builder installed (a higher epoch saw more listing changes).
     pub fn insert(&self, category: u32, plan: Arc<CategoryPlan>) -> Arc<CategoryPlan> {
-        let mut plans = self.plans.write();
-        let slot = plans.entry(category).or_insert_with(|| Arc::clone(&plan));
-        if slot.epoch < plan.epoch {
-            *slot = Arc::clone(&plan);
+        let _writer = self.write.lock();
+        let current = self.plans.load();
+        if let Some(existing) = current.get(&category) {
+            if existing.epoch >= plan.epoch {
+                return Arc::clone(existing);
+            }
         }
-        Arc::clone(slot)
+        let mut next = (*current).clone();
+        next.insert(category, Arc::clone(&plan));
+        self.plans.store(Arc::new(next));
+        plan
     }
 
     /// Queries answered from a prebuilt plan.
@@ -77,6 +122,210 @@ impl PlanCache {
     /// Queries that had to (re)build the plan.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots published (one per accepted insert).
+    pub fn swaps(&self) -> u64 {
+        self.plans.swaps()
+    }
+}
+
+/// Per-category score epochs: counters bumped whenever applied feedback
+/// touches a subject listed in the category.
+///
+/// Membership (subject → its category's counter) is maintained by the
+/// publish/deregister path; bumping is done by the ingest writer *after*
+/// a batch is applied, so an epoch observer that recomputes is guaranteed
+/// to see at least the feedback the epoch counts. Reads are wait-free
+/// (snapshot probe + atomic load); only first-seen subjects or categories
+/// pay a copy-on-write swap.
+#[derive(Debug, Default)]
+pub struct ScoreEpochs {
+    /// subject → the shared counter of the category it is listed in.
+    members: SnapshotCell<FxHashMap<SubjectId, Arc<AtomicU64>>>,
+    /// category → its counter (shared with `members` entries).
+    counters: SnapshotCell<FxHashMap<u32, Arc<AtomicU64>>>,
+    write: Mutex<()>,
+}
+
+impl ScoreEpochs {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The category's current score epoch (0 = no member feedback yet).
+    /// Wait-free.
+    pub fn get(&self, category: u32) -> u64 {
+        self.counters.read(|map| {
+            map.get(&category)
+                .map(|c| c.load(Ordering::Acquire))
+                .unwrap_or(0)
+        })
+    }
+
+    /// Record that `subject` is listed in `category` (publish path).
+    /// Re-publishing into a different category repoints the membership.
+    pub fn ensure(&self, subject: SubjectId, category: u32) {
+        let _writer = self.write.lock();
+        let counter = {
+            let existing = self.counters.read(|map| map.get(&category).cloned());
+            match existing {
+                Some(counter) => counter,
+                None => {
+                    let counter = Arc::new(AtomicU64::new(0));
+                    let mut next = (*self.counters.load()).clone();
+                    next.insert(category, Arc::clone(&counter));
+                    self.counters.store(Arc::new(next));
+                    counter
+                }
+            }
+        };
+        let already = self
+            .members
+            .read(|map| map.get(&subject).is_some_and(|c| Arc::ptr_eq(c, &counter)));
+        if already {
+            return;
+        }
+        let mut next = (*self.members.load()).clone();
+        next.insert(subject, counter);
+        self.members.store(Arc::new(next));
+    }
+
+    /// Drop `subject`'s membership (deregister path).
+    pub fn forget(&self, subject: SubjectId) {
+        let _writer = self.write.lock();
+        if self.members.read(|map| !map.contains_key(&subject)) {
+            return;
+        }
+        let mut next = (*self.members.load()).clone();
+        next.remove(&subject);
+        self.members.store(Arc::new(next));
+    }
+
+    /// Count applied feedback about `subject` against its category, if it
+    /// is a listed member. Called by the ingest writer *after* the batch
+    /// lands in the store (never-stale rule; see module docs).
+    pub fn bump(&self, subject: SubjectId) {
+        let counter = self.members.read(|map| map.get(&subject).cloned());
+        if let Some(counter) = counter {
+            counter.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+}
+
+/// A fully scored, fully sorted `top_k` answer for one `(category,
+/// preferences)` pair, valid while both stamped epochs stand still.
+#[derive(Debug)]
+pub struct RankedList {
+    /// Listings epoch of the plan the list was ranked over.
+    pub listings_epoch: u64,
+    /// The category's score epoch, read **before** scoring began.
+    pub score_epoch: u64,
+    /// The exact preferences the list was ranked under — checked on hit,
+    /// so a fingerprint collision degrades to a miss, never a wrong
+    /// answer.
+    pub prefs: Preferences,
+    /// Every candidate, best-first; `top_k(k)` copies the prefix.
+    pub ranked: Vec<RankedService>,
+}
+
+/// Most `(category, prefs)` rank lists held before the cache resets —
+/// a backstop against unbounded preference diversity, not an LRU.
+const RANK_CACHE_CAP: usize = 1024;
+
+/// Concurrent `(category, preferences)` → [`RankedList`] map with
+/// wait-free validating reads.
+#[derive(Debug, Default)]
+pub struct RankCache {
+    lists: SnapshotCell<FxHashMap<u64, Arc<RankedList>>>,
+    write: Mutex<()>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl RankCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cache key: category folded with a fingerprint of the preference
+    /// weights. Collisions are tolerated (stored prefs are re-checked);
+    /// they only cost a rebuild.
+    fn key(category: u32, prefs: &Preferences) -> u64 {
+        let mut hasher = FxHasher::default();
+        category.hash(&mut hasher);
+        for (metric, weight) in prefs.iter() {
+            metric.hash(&mut hasher);
+            hasher.write_u64(weight.to_bits());
+        }
+        hasher.finish()
+    }
+
+    /// The cached rank list for `(category, prefs)` if it is still valid
+    /// at both epochs. Wait-free; counts a hit or miss.
+    pub fn get(
+        &self,
+        category: u32,
+        prefs: &Preferences,
+        listings_epoch: u64,
+        score_epoch: u64,
+    ) -> Option<Arc<RankedList>> {
+        let key = Self::key(category, prefs);
+        let hit = self.lists.read(|map| {
+            map.get(&key)
+                .filter(|list| {
+                    list.listings_epoch == listings_epoch
+                        && list.score_epoch == score_epoch
+                        && list.prefs == *prefs
+                })
+                .cloned()
+        });
+        match &hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// Remember `list` for `(category, list.prefs)` by copy-on-write.
+    /// Never clobbers a strictly fresher entry; sweeps entries whose
+    /// listings epoch regressed behind the inserted one and resets the
+    /// whole map at the capacity backstop.
+    pub fn insert(&self, category: u32, list: Arc<RankedList>) -> Arc<RankedList> {
+        let key = Self::key(category, &list.prefs);
+        let _writer = self.write.lock();
+        let current = self.lists.load();
+        if let Some(existing) = current.get(&key) {
+            let fresher = (existing.listings_epoch, existing.score_epoch)
+                >= (list.listings_epoch, list.score_epoch);
+            if fresher && existing.prefs == list.prefs {
+                return Arc::clone(existing);
+            }
+        }
+        let mut next = (*current).clone();
+        if next.len() >= RANK_CACHE_CAP {
+            next.clear();
+        }
+        next.insert(key, Arc::clone(&list));
+        self.lists.store(Arc::new(next));
+        list
+    }
+
+    /// Queries answered from a pre-ranked list.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Queries that had to score and sort.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots published (one per accepted insert).
+    pub fn swaps(&self) -> u64 {
+        self.lists.swaps()
     }
 }
 
@@ -93,6 +342,21 @@ mod tests {
             epoch,
             candidates: vec![(ServiceId::new(1), ProviderId::new(1))],
             matrix: NormalizationMatrix::new(&refs, &[Metric::Price]),
+        })
+    }
+
+    fn ranked(listings_epoch: u64, score_epoch: u64, prefs: Preferences) -> Arc<RankedList> {
+        Arc::new(RankedList {
+            listings_epoch,
+            score_epoch,
+            prefs,
+            ranked: vec![RankedService {
+                service: ServiceId::new(1),
+                provider: ProviderId::new(1),
+                qos_score: 1.0,
+                reputation: None,
+                score: 0.75,
+            }],
         })
     }
 
@@ -114,5 +378,76 @@ mod tests {
         let kept = cache.insert(0, plan(3));
         assert_eq!(kept.epoch, 5);
         assert!(cache.get(0, 5).is_some());
+    }
+
+    #[test]
+    fn score_epochs_track_membership_and_bumps() {
+        let epochs = ScoreEpochs::new();
+        let s: SubjectId = ServiceId::new(1).into();
+        assert_eq!(epochs.get(7), 0);
+        // Feedback about an unlisted subject counts against nothing.
+        epochs.bump(s);
+        assert_eq!(epochs.get(7), 0);
+        epochs.ensure(s, 7);
+        epochs.bump(s);
+        epochs.bump(s);
+        assert_eq!(epochs.get(7), 2);
+        // Re-publishing into another category repoints the membership.
+        epochs.ensure(s, 9);
+        epochs.bump(s);
+        assert_eq!(epochs.get(7), 2);
+        assert_eq!(epochs.get(9), 1);
+        epochs.forget(s);
+        epochs.bump(s);
+        assert_eq!(epochs.get(9), 1);
+    }
+
+    #[test]
+    fn rank_cache_validates_both_epochs_and_prefs() {
+        let cache = RankCache::new();
+        let prefs = Preferences::uniform([Metric::Price]);
+        assert!(cache.get(0, &prefs, 1, 1).is_none());
+        cache.insert(0, ranked(1, 1, prefs.clone()));
+        assert!(cache.get(0, &prefs, 1, 1).is_some());
+        assert!(cache.get(0, &prefs, 2, 1).is_none(), "listings moved");
+        assert!(
+            cache.get(0, &prefs, 1, 2).is_none(),
+            "member feedback landed"
+        );
+        let other = Preferences::uniform([Metric::Accuracy]);
+        assert!(cache.get(0, &other, 1, 1).is_none(), "different prefs");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 4);
+    }
+
+    #[test]
+    fn rank_cache_is_per_category() {
+        let cache = RankCache::new();
+        let prefs = Preferences::uniform([Metric::Price]);
+        cache.insert(3, ranked(1, 0, prefs.clone()));
+        assert!(cache.get(3, &prefs, 1, 0).is_some());
+        assert!(cache.get(4, &prefs, 1, 0).is_none());
+    }
+
+    #[test]
+    fn stale_rank_insert_does_not_clobber_fresher_list() {
+        let cache = RankCache::new();
+        let prefs = Preferences::uniform([Metric::Price]);
+        cache.insert(0, ranked(5, 9, prefs.clone()));
+        let kept = cache.insert(0, ranked(5, 3, prefs.clone()));
+        assert_eq!(kept.score_epoch, 9);
+        assert!(cache.get(0, &prefs, 5, 9).is_some());
+    }
+
+    #[test]
+    fn rank_cache_capacity_backstop_resets() {
+        let cache = RankCache::new();
+        for category in 0..(RANK_CACHE_CAP as u32 + 10) {
+            let prefs = Preferences::uniform([Metric::Price]);
+            cache.insert(category, ranked(1, 0, prefs));
+        }
+        // Still serving the most recent insert after the reset.
+        let prefs = Preferences::uniform([Metric::Price]);
+        assert!(cache.get(RANK_CACHE_CAP as u32 + 9, &prefs, 1, 0).is_some());
     }
 }

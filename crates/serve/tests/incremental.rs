@@ -103,7 +103,7 @@ fn every_figure4_mechanism_scores_identically_incremental_and_replay() {
 }
 
 #[test]
-fn plan_cache_serves_repeat_queries_and_invalidates_on_publish() {
+fn preranked_list_serves_repeat_queries_and_invalidates_on_publish() {
     let svc = ReputationService::builder().build();
     for s in 0..4 {
         svc.publish(listing(s, 0));
@@ -111,32 +111,42 @@ fn plan_cache_serves_repeat_queries_and_invalidates_on_publish() {
     let prefs = Preferences::uniform([Metric::Price, Metric::Accuracy]);
     let first = svc.top_k(0, &prefs, 4);
     assert_eq!(first.len(), 4);
+    assert_eq!(svc.stats().preranked_misses, 1);
     assert_eq!(svc.stats().topk_plan_misses, 1);
+    // Repeat queries never reach the plan cache: the fully pre-ranked
+    // list answers them with a k-element copy.
     for _ in 0..10 {
         assert_eq!(svc.top_k(0, &prefs, 4), first);
     }
+    assert_eq!(svc.stats().preranked_hits, 10);
+    assert_eq!(
+        svc.stats().preranked_misses,
+        1,
+        "no re-rank between queries"
+    );
     assert_eq!(
         svc.stats().topk_plan_misses,
         1,
         "no rebuild between queries"
     );
-    assert_eq!(svc.stats().topk_plan_hits, 10);
 
-    // A publish moves the listings epoch: the next query rebuilds and
-    // sees the new candidate.
+    // A publish moves the listings epoch: the next query re-ranks (and
+    // rebuilds the plan) and sees the new candidate.
     svc.publish(listing(9, 0));
     let widened = svc.top_k(0, &prefs, 10);
     assert_eq!(widened.len(), 5);
+    assert_eq!(svc.stats().preranked_misses, 2);
     assert_eq!(svc.stats().topk_plan_misses, 2);
 
     // A deregister invalidates too.
     svc.deregister(ServiceId::new(9)).unwrap();
     assert_eq!(svc.top_k(0, &prefs, 10).len(), 4);
+    assert_eq!(svc.stats().preranked_misses, 3);
     assert_eq!(svc.stats().topk_plan_misses, 3);
 }
 
 #[test]
-fn plan_cache_is_per_category() {
+fn preranked_lists_are_per_category_and_per_prefs() {
     let svc = ReputationService::builder().build();
     svc.publish(listing(1, 0));
     svc.publish(listing(2, 7));
@@ -145,8 +155,17 @@ fn plan_cache_is_per_category() {
     assert_eq!(svc.top_k(7, &prefs, 1).len(), 1);
     assert_eq!(svc.top_k(0, &prefs, 1).len(), 1);
     let stats = svc.stats();
-    assert_eq!(stats.topk_plan_misses, 2, "one build per category");
-    assert_eq!(stats.topk_plan_hits, 1);
+    assert_eq!(stats.preranked_misses, 2, "one ranking per category");
+    assert_eq!(stats.preranked_hits, 1);
+    assert_eq!(stats.topk_plan_misses, 2, "one plan build per category");
+    assert_eq!(stats.topk_plan_hits, 0, "rank hits shield the plan cache");
+
+    // Different preferences rank separately over the same cached plan.
+    let other = Preferences::uniform([Metric::Accuracy]);
+    assert_eq!(svc.top_k(0, &other, 1).len(), 1);
+    let stats = svc.stats();
+    assert_eq!(stats.preranked_misses, 3, "new prefs miss the rank cache");
+    assert_eq!(stats.topk_plan_hits, 1, "but reuse the category plan");
 }
 
 fn temp_dir(tag: &str) -> PathBuf {
