@@ -30,6 +30,18 @@
 //! before/after cost is measurable on one binary; the comparison is
 //! checked in as BENCH_incremental.json.
 //!
+//! `--socket ADDR` drives a running `wsrep-server` over TCP instead of an
+//! in-process service: every ingester and querier opens its own
+//! connection and pipelines requests (batched `Ingest` frames on the
+//! write side, a sliding window of `Score`/`TopK` on the read side), so
+//! the reported q/s and p99 include the wire, the framing, and the
+//! server's reactor. The JSON line carries the server-side counters from
+//! a final `Stats` RPC; `--shutdown` additionally sends the `Shutdown`
+//! request when done, so one loadgen invocation can gate a CI smoke run
+//! end to end. All in-process knobs that pick the service build (shards,
+//! `--journal`, `--replay`) are ignored in socket mode — the server
+//! already chose them.
+//!
 //! `--read-heavy` switches to the contention-scaling sweep: preload the
 //! registry (`ingest_threads × reports_per_ingester` reports, flushed),
 //! then run the pure query mix at 1, 2, 4, … up to `query_threads`
@@ -42,6 +54,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
@@ -52,6 +65,7 @@ use wsrep_qos::metric::Metric;
 use wsrep_qos::preference::Preferences;
 use wsrep_qos::value::QosVector;
 use wsrep_serve::ReputationService;
+use wsrep_server::{Client, Request, Response};
 use wsrep_sim::registry::Listing;
 
 const SERVICES: u64 = 64;
@@ -70,6 +84,8 @@ struct Config {
     skew: f64,
     replay: bool,
     read_heavy: bool,
+    socket: Option<String>,
+    shutdown: bool,
 }
 
 fn parse_args() -> Config {
@@ -77,10 +93,18 @@ fn parse_args() -> Config {
     let mut skew = 0.0f64;
     let mut replay = false;
     let mut read_heavy = false;
+    let mut socket = None;
+    let mut shutdown = false;
     let mut numbers = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--journal" {
+        if arg == "--socket" {
+            socket = Some(args.next().expect("--socket takes a server address"));
+        } else if let Some(addr) = arg.strip_prefix("--socket=") {
+            socket = Some(addr.to_string());
+        } else if arg == "--shutdown" {
+            shutdown = true;
+        } else if arg == "--journal" {
             journal = Some(
                 std::env::temp_dir().join(format!("wsrep-loadgen-journal-{}", std::process::id())),
             );
@@ -102,7 +126,7 @@ fn parse_args() -> Config {
         } else {
             numbers.push(arg.parse::<u64>().unwrap_or_else(|_| {
                 panic!(
-                    "expected a number or --journal[=DIR] / --skew S / --replay / --read-heavy, got {arg:?}"
+                    "expected a number or --journal[=DIR] / --skew S / --replay / --read-heavy / --socket ADDR / --shutdown, got {arg:?}"
                 )
             }));
         }
@@ -120,6 +144,8 @@ fn parse_args() -> Config {
         skew,
         replay,
         read_heavy,
+        socket,
+        shutdown,
     }
 }
 
@@ -371,10 +397,243 @@ fn run_read_heavy(config: Config) {
     );
 }
 
+/// Reports per `Ingest` frame in socket mode.
+const SOCKET_INGEST_BATCH: u64 = 128;
+/// In-flight `Ingest` frames per ingester connection.
+const SOCKET_INGEST_WINDOW: usize = 4;
+/// In-flight queries per querier connection (the pipelining window).
+const SOCKET_QUERY_WINDOW: usize = 32;
+
+/// Drive a running `wsrep-server` over TCP: same mixed workload as the
+/// in-process mode, but every operation crosses the wire. Latencies are
+/// measured enqueue-to-response, so the pipeline window's queueing delay
+/// is part of p99 — that is the number a remote caller would see.
+fn run_socket(config: Config, addr: String) {
+    let mut setup = Client::connect(&addr[..]).expect("connect to wsrep-server");
+    let mut seeder = StdRng::seed_from_u64(config.seed);
+    for s in 0..SERVICES {
+        setup
+            .publish(Listing {
+                service: ServiceId::new(s),
+                provider: ProviderId::new(s / 4),
+                category: (s % CATEGORIES as u64) as u32,
+                advertised: QosVector::from_pairs([
+                    (Metric::Price, seeder.gen_range(1.0..10.0)),
+                    (Metric::ResponseTime, seeder.gen_range(20.0..500.0)),
+                    (Metric::Accuracy, seeder.gen_range(0.3..1.0)),
+                ]),
+            })
+            .expect("publish over the wire");
+    }
+    let prefs = Preferences::uniform([Metric::Price, Metric::ResponseTime, Metric::Accuracy]);
+    let zipf = Arc::new(Zipf::new(SERVICES, config.skew));
+
+    let started = Instant::now();
+    let mut query_latencies: Vec<u64> = Vec::new();
+    let mut ingest_elapsed = 0.0f64;
+    let mut query_elapsed = 0.0f64;
+    let mut accepted_total = 0u64;
+
+    std::thread::scope(|scope| {
+        let mut ingest_handles = Vec::new();
+        for t in 0..config.ingest_threads {
+            let addr = addr.clone();
+            let zipf = Arc::clone(&zipf);
+            let reports = config.reports_per_ingester;
+            let seed = config.seed.wrapping_add(t + 1);
+            ingest_handles.push(scope.spawn(move || {
+                let mut client = Client::connect(&addr[..]).expect("ingester connect");
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut accepted = 0u64;
+                let drain = |client: &mut Client, floor: usize| {
+                    let mut sum = 0u64;
+                    while client.in_flight() > floor {
+                        match client.recv().expect("ingest response") {
+                            Response::Ingested(n) => sum += n,
+                            other => panic!("expected Ingested, got {other:?}"),
+                        }
+                    }
+                    sum
+                };
+                let begun = Instant::now();
+                let mut sent = 0u64;
+                while sent < reports {
+                    let n = (reports - sent).min(SOCKET_INGEST_BATCH);
+                    let batch: Vec<Feedback> = (0..n)
+                        .map(|i| {
+                            Feedback::scored(
+                                AgentId::new(t * 1_000 + 1),
+                                ServiceId::new(zipf.sample(&mut rng)),
+                                rng.gen(),
+                                Time::new(sent + i),
+                            )
+                        })
+                        .collect();
+                    client.queue(&Request::Ingest(batch));
+                    client.flush_queued().expect("ingest write");
+                    sent += n;
+                    accepted += drain(&mut client, SOCKET_INGEST_WINDOW - 1);
+                }
+                accepted += drain(&mut client, 0);
+                (accepted, begun.elapsed().as_secs_f64())
+            }));
+        }
+
+        let mut query_handles = Vec::new();
+        for q in 0..config.query_threads {
+            let addr = addr.clone();
+            let zipf = Arc::clone(&zipf);
+            let prefs = prefs.clone();
+            let queries = config.queries_per_querier;
+            let seed = config.seed.wrapping_add(1_000 + q);
+            query_handles.push(scope.spawn(move || {
+                let mut client = Client::connect(&addr[..]).expect("querier connect");
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut latencies = Vec::with_capacity(queries as usize);
+                let mut sent_at: VecDeque<Instant> = VecDeque::new();
+                let drain = |client: &mut Client,
+                             sent_at: &mut VecDeque<Instant>,
+                             latencies: &mut Vec<u64>,
+                             floor: usize| {
+                    while client.in_flight() > floor {
+                        match client.recv().expect("query response") {
+                            Response::Scored(estimate) => {
+                                if let Some(estimate) = estimate {
+                                    assert!((0.0..=1.0).contains(&estimate.value.get()));
+                                }
+                            }
+                            Response::TopKResult(top) => assert!(top.len() <= 10),
+                            other => panic!("expected a query response, got {other:?}"),
+                        }
+                        let begun = sent_at.pop_front().expect("one timestamp per request");
+                        latencies.push(begun.elapsed().as_nanos() as u64);
+                    }
+                };
+                let begun = Instant::now();
+                for i in 0..queries {
+                    sent_at.push_back(Instant::now());
+                    if i % TOPK_EVERY == 0 {
+                        let category = rng.gen_range(0..CATEGORIES);
+                        client.queue(&Request::TopK {
+                            category,
+                            prefs: prefs.clone(),
+                            k: 10,
+                        });
+                    } else {
+                        let subject: SubjectId = ServiceId::new(zipf.sample(&mut rng)).into();
+                        client.queue(&Request::Score(subject));
+                    }
+                    client.flush_queued().expect("query write");
+                    drain(
+                        &mut client,
+                        &mut sent_at,
+                        &mut latencies,
+                        SOCKET_QUERY_WINDOW - 1,
+                    );
+                }
+                drain(&mut client, &mut sent_at, &mut latencies, 0);
+                (latencies, begun.elapsed().as_secs_f64())
+            }));
+        }
+
+        for handle in ingest_handles {
+            let (accepted, elapsed) = handle.join().expect("ingester panicked");
+            accepted_total += accepted;
+            ingest_elapsed = ingest_elapsed.max(elapsed);
+        }
+        for handle in query_handles {
+            let (latencies, elapsed) = handle.join().expect("querier panicked");
+            query_latencies.extend(latencies);
+            query_elapsed = query_elapsed.max(elapsed);
+        }
+    });
+
+    setup.flush().expect("final flush RPC");
+    let wall = started.elapsed().as_secs_f64();
+    let stats = setup.stats().expect("final stats RPC");
+    let total_reports = config.ingest_threads * config.reports_per_ingester;
+    let total_queries = config.query_threads * config.queries_per_querier;
+    assert_eq!(accepted_total, total_reports, "every batch acknowledged");
+    assert!(
+        stats.service.feedback >= total_reports,
+        "flushed reports must be applied server-side"
+    );
+    if config.shutdown {
+        setup.shutdown_server().expect("shutdown RPC");
+    }
+
+    query_latencies.sort_unstable();
+    let p50 = percentile(&query_latencies, 0.50);
+    let p99 = percentile(&query_latencies, 0.99);
+    let ingest_rate = total_reports as f64 / ingest_elapsed;
+    let query_rate = total_queries as f64 / query_elapsed;
+    let server = &stats.server;
+
+    println!(
+        "loadgen --socket {addr}: {}i x {} reports + {}q x {} queries, seed {}, skew {}{}",
+        config.ingest_threads,
+        config.reports_per_ingester,
+        config.query_threads,
+        config.queries_per_querier,
+        config.seed,
+        config.skew,
+        if config.shutdown {
+            ", shutdown requested"
+        } else {
+            ""
+        },
+    );
+    println!("wall time          {wall:>12.3} s");
+    println!("ingest throughput  {ingest_rate:>12.0} reports/sec");
+    println!("query throughput   {query_rate:>12.0} queries/sec");
+    println!("query p50          {:>12.2} µs", p50 as f64 / 1_000.0);
+    println!("query p99          {:>12.2} µs", p99 as f64 / 1_000.0);
+    println!(
+        "server             {:>12} requests, {} connections, {} malformed frames",
+        server.total_requests(),
+        server.connections_opened,
+        server.malformed_frames
+    );
+    println!(
+        "wire               {:>12} bytes in / {} bytes out",
+        server.bytes_in, server.bytes_out
+    );
+    println!(
+        "{{\"mode\":\"socket\",\"socket\":\"{}\",\"ingest_threads\":{},\"query_threads\":{},\"reports_per_ingester\":{},\"queries_per_querier\":{},\"seed\":{},\"skew\":{},\"ingest_batch\":{},\"query_window\":{},\"wall_seconds\":{:.3},\"ingest_ops_per_sec\":{:.0},\"query_ops_per_sec\":{:.0},\"query_p50_ns\":{},\"query_p99_ns\":{},\"feedback_applied\":{},\"server\":{{\"requests\":{},\"connections_opened\":{},\"reports_ingested\":{},\"malformed_frames\":{},\"protocol_errors\":{},\"slow_client_closes\":{},\"bytes_in\":{},\"bytes_out\":{}}}}}",
+        addr,
+        config.ingest_threads,
+        config.query_threads,
+        config.reports_per_ingester,
+        config.queries_per_querier,
+        config.seed,
+        config.skew,
+        SOCKET_INGEST_BATCH,
+        SOCKET_QUERY_WINDOW,
+        wall,
+        ingest_rate,
+        query_rate,
+        p50,
+        p99,
+        stats.service.feedback,
+        server.total_requests(),
+        server.connections_opened,
+        server.reports_ingested,
+        server.malformed_frames,
+        server.protocol_errors,
+        server.slow_client_closes,
+        server.bytes_in,
+        server.bytes_out,
+    );
+}
+
 fn main() {
     let config = parse_args();
     assert!(config.ingest_threads >= 1 && config.query_threads >= 1);
 
+    if let Some(addr) = config.socket.clone() {
+        run_socket(config, addr);
+        return;
+    }
     if config.read_heavy {
         run_read_heavy(config);
         return;

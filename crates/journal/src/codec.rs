@@ -89,6 +89,21 @@ impl<'a> Cursor<'a> {
     pub fn f64(&mut self) -> Result<f64, CodecError> {
         Ok(f64::from_bits(self.u64()?))
     }
+
+    /// Read a `u32`-length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// Read a boolean encoded as a single `0`/`1` byte.
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(CodecError::BadTag { what: "bool", tag }),
+        }
+    }
 }
 
 /// Append a little-endian `u32`.
@@ -104,6 +119,17 @@ pub fn put_u64(out: &mut Vec<u8>, v: u64) {
 /// Append an `f64` as its little-endian bit pattern.
 pub fn put_f64(out: &mut Vec<u8>, v: f64) {
     put_u64(out, v.to_bits());
+}
+
+/// Append a `u32`-length-prefixed byte string.
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
+/// Append a boolean as a single `0`/`1` byte.
+pub fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(v as u8);
 }
 
 // Metric discriminants — format contract, never renumber.
@@ -345,6 +371,33 @@ mod tests {
             let err = get_feedback(&mut Cursor::new(&buf[..cut]));
             assert_eq!(err, Err(CodecError::UnexpectedEof), "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn bytes_and_bools_round_trip() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, b"hello wire");
+        put_bytes(&mut buf, b"");
+        put_bool(&mut buf, true);
+        put_bool(&mut buf, false);
+        let mut cur = Cursor::new(&buf);
+        assert_eq!(cur.bytes().unwrap(), b"hello wire");
+        assert_eq!(cur.bytes().unwrap(), b"");
+        assert!(cur.bool().unwrap());
+        assert!(!cur.bool().unwrap());
+        assert_eq!(cur.remaining(), 0);
+        // A truncated byte string is an EOF, a stray bool byte a bad tag.
+        assert_eq!(
+            Cursor::new(&buf[..5]).bytes(),
+            Err(CodecError::UnexpectedEof)
+        );
+        assert_eq!(
+            Cursor::new(&[7u8]).bool(),
+            Err(CodecError::BadTag {
+                what: "bool",
+                tag: 7
+            })
+        );
     }
 
     #[test]

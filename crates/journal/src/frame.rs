@@ -72,6 +72,53 @@ pub fn write_frame(out: &mut Vec<u8>, payload: &[u8]) {
     out.extend_from_slice(payload);
 }
 
+/// What the front of a byte buffer holds, for incremental stream
+/// parsers.
+///
+/// [`FrameReader`] folds every anomaly into "torn" because a journal
+/// tail is read once, after the fact. A network stream is different: an
+/// incomplete frame means *wait for more bytes*, while a corrupt one
+/// means the peer (or the wire) is broken and the connection must be
+/// torn down — no amount of further reading can resynchronize a
+/// length-prefixed stream after a bad header. [`split_frame`] makes that
+/// distinction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameSplit {
+    /// Not enough bytes yet for a complete frame; read more and retry.
+    Incomplete,
+    /// The header or checksum is invalid — the stream cannot be trusted
+    /// past this point.
+    Corrupt,
+    /// A complete, checksummed frame: the payload spans
+    /// `buf[FRAME_HEADER_LEN..frame_len]` and the next frame (if any)
+    /// starts at `frame_len`.
+    Frame {
+        /// Total length of the frame including its header.
+        frame_len: usize,
+    },
+}
+
+/// Classify the front of `buf`: a complete valid frame, an incomplete
+/// prefix, or corruption (oversized length field or checksum mismatch).
+pub fn split_frame(buf: &[u8]) -> FrameSplit {
+    if buf.len() < FRAME_HEADER_LEN {
+        return FrameSplit::Incomplete;
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+    if len > MAX_PAYLOAD_LEN {
+        return FrameSplit::Corrupt;
+    }
+    let frame_len = FRAME_HEADER_LEN + len as usize;
+    if buf.len() < frame_len {
+        return FrameSplit::Incomplete;
+    }
+    let expected_crc = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+    if crc32(&buf[FRAME_HEADER_LEN..frame_len]) != expected_crc {
+        return FrameSplit::Corrupt;
+    }
+    FrameSplit::Frame { frame_len }
+}
+
 /// Why frame iteration stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FrameEnd {
@@ -212,6 +259,44 @@ mod tests {
         assert_eq!(reader.next(), None);
         assert_eq!(reader.end(), Some(FrameEnd::Torn));
         assert_eq!(reader.valid_len(), first_end);
+    }
+
+    #[test]
+    fn split_frame_distinguishes_incomplete_from_corrupt() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload");
+        // Every strict prefix is incomplete, never corrupt.
+        for cut in 0..buf.len() {
+            assert_eq!(
+                split_frame(&buf[..cut]),
+                FrameSplit::Incomplete,
+                "cut {cut}"
+            );
+        }
+        assert_eq!(
+            split_frame(&buf),
+            FrameSplit::Frame {
+                frame_len: buf.len()
+            }
+        );
+        // A flipped payload byte is corruption.
+        let mut bad = buf.clone();
+        bad[FRAME_HEADER_LEN + 1] ^= 0x10;
+        assert_eq!(split_frame(&bad), FrameSplit::Corrupt);
+        // An absurd length field is corruption even with few bytes.
+        let mut absurd = Vec::new();
+        absurd.extend_from_slice(&u32::MAX.to_le_bytes());
+        absurd.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(split_frame(&absurd), FrameSplit::Corrupt);
+        // Trailing bytes beyond one frame do not affect the split.
+        let mut extra = buf.clone();
+        extra.extend_from_slice(&[1, 2, 3]);
+        assert_eq!(
+            split_frame(&extra),
+            FrameSplit::Frame {
+                frame_len: buf.len()
+            }
+        );
     }
 
     #[test]

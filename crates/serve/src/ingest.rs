@@ -139,6 +139,31 @@ impl IngestPipeline {
         Ok(())
     }
 
+    /// Enqueue a whole batch, blocking while the channel is full.
+    ///
+    /// Semantically identical to calling [`IngestPipeline::submit`] in a
+    /// loop, but the `submitted` counter moves once — a `flush` racing a
+    /// batch waits either for none of it or for everything enqueued so
+    /// far, never for a torn count. Returns the number of reports
+    /// accepted; on a closed pipeline mid-batch, the already-sent prefix
+    /// stays accepted and the error reports how many made it.
+    pub fn submit_batch(
+        &self,
+        batch: impl IntoIterator<Item = Feedback>,
+    ) -> Result<u64, IngestClosed> {
+        let sender = self.sender.as_ref().ok_or(IngestClosed)?;
+        let mut accepted = 0u64;
+        for feedback in batch {
+            if sender.send(feedback).is_err() {
+                self.submitted.fetch_add(accepted, Ordering::SeqCst);
+                return Err(IngestClosed);
+            }
+            accepted += 1;
+        }
+        self.submitted.fetch_add(accepted, Ordering::SeqCst);
+        Ok(accepted)
+    }
+
     /// Reports accepted by [`IngestPipeline::submit`] so far.
     pub fn submitted(&self) -> u64 {
         self.submitted.load(Ordering::SeqCst)
@@ -263,6 +288,19 @@ mod tests {
         assert_eq!(store.len(), 100);
         let subject: SubjectId = ServiceId::new(3).into();
         assert_eq!(store.epoch(subject), 100);
+    }
+
+    #[test]
+    fn submit_batch_counts_and_flushes_like_individual_submits() {
+        let store = Arc::new(ShardedStore::new(4));
+        let pipeline = IngestPipeline::start(Arc::clone(&store), IngestConfig::default());
+        let accepted = pipeline
+            .submit_batch((0..300).map(|i| fb(i, i % 7)))
+            .unwrap();
+        assert_eq!(accepted, 300);
+        assert_eq!(pipeline.submitted(), 300);
+        pipeline.flush();
+        assert_eq!(store.len(), 300);
     }
 
     #[test]

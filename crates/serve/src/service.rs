@@ -502,6 +502,18 @@ impl ReputationService {
         self.ingest.submit(feedback)
     }
 
+    /// Enqueue a whole batch of reports (blocks while the channel is
+    /// full), returning how many were accepted. This is the entry point
+    /// for batched ingest RPCs: one call moves the submitted counter once,
+    /// so a concurrent [`ReputationService::flush`] waits for the entire
+    /// accepted batch or none of it.
+    pub fn ingest_batch(
+        &self,
+        batch: impl IntoIterator<Item = Feedback>,
+    ) -> Result<u64, IngestClosed> {
+        self.ingest.submit_batch(batch)
+    }
+
     /// Block until everything ingested so far is applied and queryable.
     ///
     /// With a journal attached this is also a **durability barrier**: the

@@ -1,0 +1,161 @@
+//! wsrep-server — serve the reputation registry over TCP.
+//!
+//! ```text
+//! wsrep-server [--listen ADDR] [--shards N] [--workers N]
+//!              [--journal=DIR] [--recover=DIR]
+//!              [--channel N] [--batch N] [--pipeline-depth N]
+//! ```
+//!
+//! Defaults: listen on `127.0.0.1:7411`, 8 shards, 4 workers, no
+//! journal. `--listen 127.0.0.1:0` binds an ephemeral port; the actual
+//! address is printed (and flushed) as the first stdout line:
+//!
+//! ```text
+//! wsrep-server listening on 127.0.0.1:40519
+//! ```
+//!
+//! `--journal=DIR` attaches the write-ahead log; `--recover=DIR` attaches
+//! it *and* replays snapshot + WAL tail before serving — restart a killed
+//! server with `--recover` pointing at the same directory and every
+//! report acknowledged by a `Flush` RPC is back.
+//!
+//! The process exits (status 0) after a client sends the `Shutdown`
+//! request: connections drain, the ingest pipeline flushes (a final
+//! group-commit fsync with a journal attached), and a last JSON stats
+//! line is printed.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::exit;
+use std::sync::Arc;
+use std::time::Duration;
+use wsrep_serve::ReputationService;
+use wsrep_server::{Server, ServerConfig};
+
+struct Args {
+    listen: String,
+    shards: usize,
+    workers: usize,
+    journal: Option<PathBuf>,
+    recover: bool,
+    channel_capacity: usize,
+    batch_size: usize,
+    pipeline_depth: usize,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        listen: "127.0.0.1:7411".to_string(),
+        shards: 8,
+        workers: 4,
+        journal: None,
+        recover: false,
+        channel_capacity: 4096,
+        batch_size: 128,
+        pipeline_depth: 128,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut flag_value = |name: &str| -> String {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        if let Some(value) = arg.strip_prefix("--listen=") {
+            parsed.listen = value.to_string();
+        } else if arg == "--listen" {
+            parsed.listen = flag_value("--listen");
+        } else if let Some(value) = arg.strip_prefix("--shards=") {
+            parsed.shards = value.parse().expect("--shards expects a number");
+        } else if arg == "--shards" {
+            parsed.shards = flag_value("--shards").parse().expect("--shards: number");
+        } else if let Some(value) = arg.strip_prefix("--workers=") {
+            parsed.workers = value.parse().expect("--workers expects a number");
+        } else if arg == "--workers" {
+            parsed.workers = flag_value("--workers").parse().expect("--workers: number");
+        } else if let Some(dir) = arg.strip_prefix("--journal=") {
+            parsed.journal = Some(PathBuf::from(dir));
+        } else if let Some(dir) = arg.strip_prefix("--recover=") {
+            parsed.journal = Some(PathBuf::from(dir));
+            parsed.recover = true;
+        } else if let Some(value) = arg.strip_prefix("--channel=") {
+            parsed.channel_capacity = value.parse().expect("--channel expects a number");
+        } else if let Some(value) = arg.strip_prefix("--batch=") {
+            parsed.batch_size = value.parse().expect("--batch expects a number");
+        } else if let Some(value) = arg.strip_prefix("--pipeline-depth=") {
+            parsed.pipeline_depth = value.parse().expect("--pipeline-depth expects a number");
+        } else {
+            eprintln!("unknown argument: {arg}");
+            exit(2);
+        }
+    }
+    parsed
+}
+
+fn main() {
+    let args = parse_args();
+    let mut builder = ReputationService::builder()
+        .shards(args.shards)
+        .channel_capacity(args.channel_capacity)
+        .batch_size(args.batch_size);
+    if let Some(dir) = &args.journal {
+        builder = if args.recover {
+            builder.recover_from(dir)
+        } else {
+            builder.journal(dir)
+        };
+    }
+    let service = Arc::new(match builder.try_build() {
+        Ok(service) => service,
+        Err(err) => {
+            eprintln!("wsrep-server: failed to open journal: {err}");
+            exit(1);
+        }
+    });
+
+    let config = ServerConfig {
+        workers: args.workers.max(1),
+        max_pipeline_depth: args.pipeline_depth.max(1),
+        ..ServerConfig::default()
+    };
+    let server = match Server::start(Arc::clone(&service), &args.listen[..], config) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("wsrep-server: failed to bind {}: {err}", args.listen);
+            exit(1);
+        }
+    };
+
+    // The bound address, flushed immediately: callers binding port 0
+    // (tests, CI) parse it from this line.
+    {
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        let _ = writeln!(out, "wsrep-server listening on {}", server.local_addr());
+        let _ = out.flush();
+    }
+
+    // Serve until a Shutdown request flips the flag, then let the drain
+    // finish. `join` returns only after every worker exited and the
+    // ingest pipeline flushed (the final fsync with a journal).
+    while !server.is_shutting_down() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let wire = server.server_stats();
+    server.join();
+    let stats = service.stats();
+    // Best-effort: the launcher may have closed our stdout already, and a
+    // clean shutdown must not turn into a broken-pipe panic.
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let _ = writeln!(
+        out,
+        "{{\"shutdown\":\"clean\",\"requests\":{},\"reports_ingested\":{},\"connections_opened\":{},\"malformed_frames\":{},\"bytes_in\":{},\"bytes_out\":{},\"feedback_applied\":{}}}",
+        wire.total_requests(),
+        wire.reports_ingested,
+        wire.connections_opened,
+        wire.malformed_frames,
+        wire.bytes_in,
+        wire.bytes_out,
+        stats.feedback,
+    );
+}

@@ -1,0 +1,32 @@
+//! # wsrep-server — the reputation registry's network boundary
+//!
+//! The paper frames trust and reputation as infrastructure for service
+//! selection *at scale*; WeSSQoS makes the point concrete by shipping
+//! quality-aware selection as a **service with a process boundary**, not
+//! a library. This crate is that boundary for `wsrep-serve`: a TCP
+//! server speaking a versioned, length-prefixed, CRC32-framed binary
+//! protocol, and the sync client used by tests, tooling and loadgen.
+//!
+//! - [`proto`] — the wire vocabulary: request/response messages, their
+//!   version-pinned binary layout (reusing the journal codec's layout
+//!   primitives and the WAL's frame discipline), and the pipelining /
+//!   error contract;
+//! - [`server`] — the hand-rolled nonblocking reactor: an acceptor
+//!   thread dealing sockets to worker threads that own their
+//!   connections, with bounded pipeline depth, write-buffer
+//!   backpressure, slow-client eviction, and graceful drain-on-shutdown;
+//! - [`client`] — the blocking connection: call-style one-shot RPCs and
+//!   a queue/flush/recv pipelining API over reusable buffers.
+//!
+//! The binary (`wsrep-server`) wraps [`server::Server`] around a
+//! [`ReputationService`](wsrep_serve::ReputationService) built from CLI
+//! flags — shards, journal directory, recovery — and serves until a
+//! `Shutdown` request drains it.
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use proto::{ErrorCode, Request, Response, ServerStats, WireRanked, WireStats, PROTO_VERSION};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,787 @@
+//! The wire protocol: versioned, length-prefixed, CRC32-framed.
+//!
+//! Every message — request or response — travels in one journal-style
+//! frame (`len: u32 LE | crc32: u32 LE | payload`, see
+//! [`wsrep_journal::frame`]); the payload begins with the protocol
+//! version byte and an opcode, followed by the body in the journal
+//! codec's little-endian layout. Reusing the journal's framing and codec
+//! means the wire inherits the same torn/corrupt detection discipline the
+//! WAL already proves, and domain types (feedback, listings, subjects)
+//! are encoded by the exact routines the durability path pins with golden
+//! files.
+//!
+//! ```text
+//! ┌──────────────┬───────────────┬─────────────────────────────────┐
+//! │ len: u32 LE  │ crc32: u32 LE │ ver: u8 | opcode: u8 | body ... │
+//! └──────────────┴───────────────┴─────────────────────────────────┘
+//! ```
+//!
+//! ## Contract
+//!
+//! - **Pipelining**: a client may send any number of requests before
+//!   reading; the server answers strictly in request order on each
+//!   connection. No request ids are needed — FIFO is the contract.
+//! - **Versioning**: every payload carries [`PROTO_VERSION`]. A server
+//!   receiving a different version answers [`Response::Error`] with
+//!   [`ErrorCode::BadVersion`] and keeps the connection (framing is still
+//!   sound).
+//! - **Errors**: a well-framed but undecodable payload gets
+//!   [`ErrorCode::BadRequest`] and the connection survives; a corrupt
+//!   *frame* (bad CRC, absurd length) is unrecoverable — the stream can
+//!   never resynchronize — so the server sends a final error and closes.
+//!
+//! Opcodes are a format contract like the journal's tags: never
+//! renumber, new messages get new opcodes.
+
+use std::fmt;
+use wsrep_core::feedback::Feedback;
+use wsrep_core::id::{ServiceId, SubjectId};
+use wsrep_core::trust::TrustEstimate;
+use wsrep_journal::codec::{
+    get_feedback, get_listing, get_metric, get_subject, put_bool, put_bytes, put_f64, put_feedback,
+    put_listing, put_metric, put_subject, put_u32, put_u64, CodecError, Cursor,
+};
+use wsrep_journal::frame::write_frame;
+use wsrep_qos::preference::Preferences;
+use wsrep_serve::{JournalHealth, RankedService, ServiceStats};
+use wsrep_sim::registry::{Listing, PublishStatus};
+
+/// Protocol version carried in every payload.
+pub const PROTO_VERSION: u8 = 1;
+
+// Request opcodes — wire contract, never renumber.
+const OP_PING: u8 = 0x01;
+const OP_PUBLISH: u8 = 0x02;
+const OP_DEREGISTER: u8 = 0x03;
+const OP_INGEST: u8 = 0x04;
+const OP_SCORE: u8 = 0x05;
+const OP_TOP_K: u8 = 0x06;
+const OP_STATS: u8 = 0x07;
+const OP_FLUSH: u8 = 0x08;
+const OP_SHUTDOWN: u8 = 0x09;
+
+// Response opcodes.
+const OP_PONG: u8 = 0x81;
+const OP_PUBLISHED: u8 = 0x82;
+const OP_DEREGISTERED: u8 = 0x83;
+const OP_INGESTED: u8 = 0x84;
+const OP_SCORED: u8 = 0x85;
+const OP_TOP_K_RESULT: u8 = 0x86;
+const OP_STATS_RESULT: u8 = 0x87;
+const OP_FLUSHED: u8 = 0x88;
+const OP_SHUTTING_DOWN: u8 = 0x89;
+const OP_ERROR: u8 = 0xEE;
+
+/// Why the server rejected a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The payload's version byte is not [`PROTO_VERSION`].
+    BadVersion,
+    /// The frame was sound but the payload did not decode.
+    BadRequest,
+    /// The server is draining and no longer accepts work.
+    ShuttingDown,
+    /// The ingest pipeline is closed.
+    IngestClosed,
+}
+
+impl ErrorCode {
+    fn to_wire(self) -> u8 {
+        match self {
+            ErrorCode::BadVersion => 1,
+            ErrorCode::BadRequest => 2,
+            ErrorCode::ShuttingDown => 3,
+            ErrorCode::IngestClosed => 4,
+        }
+    }
+
+    fn from_wire(tag: u8) -> Result<Self, CodecError> {
+        match tag {
+            1 => Ok(ErrorCode::BadVersion),
+            2 => Ok(ErrorCode::BadRequest),
+            3 => Ok(ErrorCode::ShuttingDown),
+            4 => Ok(ErrorCode::IngestClosed),
+            tag => Err(CodecError::BadTag {
+                what: "error code",
+                tag,
+            }),
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorCode::BadVersion => write!(f, "unsupported protocol version"),
+            ErrorCode::BadRequest => write!(f, "malformed request payload"),
+            ErrorCode::ShuttingDown => write!(f, "server shutting down"),
+            ErrorCode::IngestClosed => write!(f, "ingest pipeline closed"),
+        }
+    }
+}
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Publish (or update) a listing.
+    Publish(Listing),
+    /// Withdraw a listing.
+    Deregister(ServiceId),
+    /// A batch of feedback reports for the ingest pipeline.
+    Ingest(Vec<Feedback>),
+    /// One subject's reputation.
+    Score(SubjectId),
+    /// The `k` best services in a category under the given preferences.
+    TopK {
+        /// Category to rank.
+        category: u32,
+        /// Preference weights, encoded as `(metric, weight)` pairs.
+        prefs: Preferences,
+        /// How many services to return.
+        k: u32,
+    },
+    /// Service + server counters.
+    Stats,
+    /// Apply-everything barrier (durability barrier with a journal).
+    Flush,
+    /// Graceful shutdown: drain connections, flush ingest, exit.
+    Shutdown,
+}
+
+/// One server response. Responses arrive in request order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::Publish`].
+    Published(PublishStatus),
+    /// Answer to [`Request::Deregister`]: whether a listing was removed.
+    Deregistered(bool),
+    /// Answer to [`Request::Ingest`]: reports accepted into the pipeline.
+    Ingested(u64),
+    /// Answer to [`Request::Score`]; `None` means no evidence.
+    Scored(Option<TrustEstimate>),
+    /// Answer to [`Request::TopK`].
+    TopKResult(Vec<WireRanked>),
+    /// Answer to [`Request::Stats`].
+    StatsResult(Box<WireStats>),
+    /// Answer to [`Request::Flush`].
+    Flushed,
+    /// Answer to [`Request::Shutdown`]; the connection closes after this.
+    ShuttingDown,
+    /// The request could not be served.
+    Error {
+        /// Why.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// A [`RankedService`] as it travels on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRanked {
+    /// The ranked service.
+    pub service: u64,
+    /// Its provider.
+    pub provider: u64,
+    /// Advertised-QoS score in `[0, 1]`.
+    pub qos_score: f64,
+    /// Reputation evidence, when any feedback exists.
+    pub reputation: Option<TrustEstimate>,
+    /// The blended ranking score.
+    pub score: f64,
+}
+
+impl From<&RankedService> for WireRanked {
+    fn from(r: &RankedService) -> Self {
+        WireRanked {
+            service: r.service.raw(),
+            provider: r.provider.raw(),
+            qos_score: r.qos_score,
+            reputation: r.reputation,
+            score: r.score,
+        }
+    }
+}
+
+/// Server-side wire counters, alongside [`ServiceStats`] in a
+/// [`Response::StatsResult`].
+///
+/// Same consistency contract as `ServiceStats`: each counter is a relaxed
+/// atomic, individually monotonic, not a consistent cut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Connections accepted since start.
+    pub connections_opened: u64,
+    /// Connections closed since start.
+    pub connections_closed: u64,
+    /// Requests served, by opcode: ping, publish, deregister, ingest,
+    /// score, top_k, stats, flush, shutdown.
+    pub requests: [u64; 9],
+    /// Feedback reports accepted over the wire (sum of ingest batch
+    /// sizes).
+    pub reports_ingested: u64,
+    /// Frames rejected as corrupt (bad CRC or absurd length) — each one
+    /// also closes its connection.
+    pub malformed_frames: u64,
+    /// Well-framed payloads that failed to decode (connection survives).
+    pub protocol_errors: u64,
+    /// Connections closed for exceeding the write-stall timeout with a
+    /// full output buffer (slow-client protection).
+    pub slow_client_closes: u64,
+    /// Bytes read off sockets.
+    pub bytes_in: u64,
+    /// Bytes written to sockets.
+    pub bytes_out: u64,
+}
+
+impl ServerStats {
+    /// Total requests across all opcodes.
+    pub fn total_requests(&self) -> u64 {
+        self.requests.iter().sum()
+    }
+}
+
+/// Everything a [`Request::Stats`] answers with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireStats {
+    /// The service's own counters.
+    pub service: ServiceStats,
+    /// The network layer's counters.
+    pub server: ServerStats,
+}
+
+fn put_prefs(out: &mut Vec<u8>, prefs: &Preferences) {
+    put_u32(out, prefs.len() as u32);
+    for (metric, weight) in prefs.iter() {
+        put_metric(out, metric);
+        put_f64(out, weight);
+    }
+}
+
+fn get_prefs(cur: &mut Cursor<'_>) -> Result<Preferences, CodecError> {
+    let n = cur.u32()?;
+    let mut weights = Vec::with_capacity(n.min(1024) as usize);
+    for _ in 0..n {
+        let metric = get_metric(cur)?;
+        let weight = cur.f64()?;
+        weights.push((metric, weight));
+    }
+    Ok(Preferences::from_weights(weights))
+}
+
+fn put_estimate(out: &mut Vec<u8>, estimate: &TrustEstimate) {
+    put_f64(out, estimate.value.get());
+    put_f64(out, estimate.confidence);
+}
+
+fn get_estimate(cur: &mut Cursor<'_>) -> Result<TrustEstimate, CodecError> {
+    let value = cur.f64()?;
+    let confidence = cur.f64()?;
+    Ok(TrustEstimate::new(value, confidence))
+}
+
+fn put_opt_estimate(out: &mut Vec<u8>, estimate: &Option<TrustEstimate>) {
+    match estimate {
+        Some(e) => {
+            put_bool(out, true);
+            put_estimate(out, e);
+        }
+        None => put_bool(out, false),
+    }
+}
+
+fn get_opt_estimate(cur: &mut Cursor<'_>) -> Result<Option<TrustEstimate>, CodecError> {
+    if cur.bool()? {
+        Ok(Some(get_estimate(cur)?))
+    } else {
+        Ok(None)
+    }
+}
+
+fn put_service_stats(out: &mut Vec<u8>, stats: &ServiceStats) {
+    put_u64(out, stats.shards as u64);
+    put_u64(out, stats.listings as u64);
+    put_u64(out, stats.feedback);
+    put_u64(out, stats.submitted);
+    put_u64(out, stats.cache_hits);
+    put_u64(out, stats.cache_misses);
+    put_u64(out, stats.topk_plan_hits);
+    put_u64(out, stats.topk_plan_misses);
+    put_u64(out, stats.preranked_hits);
+    put_u64(out, stats.preranked_misses);
+    put_u64(out, stats.snapshot_swaps);
+    put_u64(out, stats.scratch_reuse);
+    put_bool(out, stats.incremental);
+    match &stats.journal {
+        Some(health) => {
+            put_bool(out, true);
+            put_u64(out, health.segments);
+            put_u64(out, health.bytes_appended);
+            put_u64(out, health.last_fsync_nanos);
+            put_u64(out, health.commits);
+            put_u64(out, health.records_recovered);
+            put_bool(out, health.degraded);
+        }
+        None => put_bool(out, false),
+    }
+}
+
+fn get_service_stats(cur: &mut Cursor<'_>) -> Result<ServiceStats, CodecError> {
+    Ok(ServiceStats {
+        shards: cur.u64()? as usize,
+        listings: cur.u64()? as usize,
+        feedback: cur.u64()?,
+        submitted: cur.u64()?,
+        cache_hits: cur.u64()?,
+        cache_misses: cur.u64()?,
+        topk_plan_hits: cur.u64()?,
+        topk_plan_misses: cur.u64()?,
+        preranked_hits: cur.u64()?,
+        preranked_misses: cur.u64()?,
+        snapshot_swaps: cur.u64()?,
+        scratch_reuse: cur.u64()?,
+        incremental: cur.bool()?,
+        journal: if cur.bool()? {
+            Some(JournalHealth {
+                segments: cur.u64()?,
+                bytes_appended: cur.u64()?,
+                last_fsync_nanos: cur.u64()?,
+                commits: cur.u64()?,
+                records_recovered: cur.u64()?,
+                degraded: cur.bool()?,
+            })
+        } else {
+            None
+        },
+    })
+}
+
+fn put_server_stats(out: &mut Vec<u8>, stats: &ServerStats) {
+    put_u64(out, stats.connections_opened);
+    put_u64(out, stats.connections_closed);
+    for &count in &stats.requests {
+        put_u64(out, count);
+    }
+    put_u64(out, stats.reports_ingested);
+    put_u64(out, stats.malformed_frames);
+    put_u64(out, stats.protocol_errors);
+    put_u64(out, stats.slow_client_closes);
+    put_u64(out, stats.bytes_in);
+    put_u64(out, stats.bytes_out);
+}
+
+fn get_server_stats(cur: &mut Cursor<'_>) -> Result<ServerStats, CodecError> {
+    let connections_opened = cur.u64()?;
+    let connections_closed = cur.u64()?;
+    let mut requests = [0u64; 9];
+    for slot in &mut requests {
+        *slot = cur.u64()?;
+    }
+    Ok(ServerStats {
+        connections_opened,
+        connections_closed,
+        requests,
+        reports_ingested: cur.u64()?,
+        malformed_frames: cur.u64()?,
+        protocol_errors: cur.u64()?,
+        slow_client_closes: cur.u64()?,
+        bytes_in: cur.u64()?,
+        bytes_out: cur.u64()?,
+    })
+}
+
+impl Request {
+    /// Index into [`ServerStats::requests`] for this request kind.
+    pub fn stat_slot(&self) -> usize {
+        match self {
+            Request::Ping => 0,
+            Request::Publish(_) => 1,
+            Request::Deregister(_) => 2,
+            Request::Ingest(_) => 3,
+            Request::Score(_) => 4,
+            Request::TopK { .. } => 5,
+            Request::Stats => 6,
+            Request::Flush => 7,
+            Request::Shutdown => 8,
+        }
+    }
+
+    /// Encode as one complete frame appended to `out`.
+    pub fn encode_frame(&self, out: &mut Vec<u8>) {
+        let mut payload = Vec::new();
+        payload.push(PROTO_VERSION);
+        match self {
+            Request::Ping => payload.push(OP_PING),
+            Request::Publish(listing) => {
+                payload.push(OP_PUBLISH);
+                put_listing(&mut payload, listing);
+            }
+            Request::Deregister(service) => {
+                payload.push(OP_DEREGISTER);
+                put_u64(&mut payload, service.raw());
+            }
+            Request::Ingest(batch) => {
+                payload.push(OP_INGEST);
+                put_u32(&mut payload, batch.len() as u32);
+                for feedback in batch {
+                    put_feedback(&mut payload, feedback);
+                }
+            }
+            Request::Score(subject) => {
+                payload.push(OP_SCORE);
+                put_subject(&mut payload, *subject);
+            }
+            Request::TopK { category, prefs, k } => {
+                payload.push(OP_TOP_K);
+                put_u32(&mut payload, *category);
+                put_u32(&mut payload, *k);
+                put_prefs(&mut payload, prefs);
+            }
+            Request::Stats => payload.push(OP_STATS),
+            Request::Flush => payload.push(OP_FLUSH),
+            Request::Shutdown => payload.push(OP_SHUTDOWN),
+        }
+        write_frame(out, &payload);
+    }
+
+    /// Decode one request from a frame payload (version byte included).
+    pub fn decode(payload: &[u8]) -> Result<Self, DecodeError> {
+        let mut cur = Cursor::new(payload);
+        let version = cur.u8().map_err(DecodeError::Codec)?;
+        if version != PROTO_VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        let opcode = cur.u8().map_err(DecodeError::Codec)?;
+        let request = match opcode {
+            OP_PING => Request::Ping,
+            OP_PUBLISH => Request::Publish(get_listing(&mut cur).map_err(DecodeError::Codec)?),
+            OP_DEREGISTER => {
+                Request::Deregister(ServiceId::new(cur.u64().map_err(DecodeError::Codec)?))
+            }
+            OP_INGEST => {
+                let n = cur.u32().map_err(DecodeError::Codec)?;
+                let mut batch = Vec::with_capacity(n.min(65_536) as usize);
+                for _ in 0..n {
+                    batch.push(get_feedback(&mut cur).map_err(DecodeError::Codec)?);
+                }
+                Request::Ingest(batch)
+            }
+            OP_SCORE => Request::Score(get_subject(&mut cur).map_err(DecodeError::Codec)?),
+            OP_TOP_K => {
+                let category = cur.u32().map_err(DecodeError::Codec)?;
+                let k = cur.u32().map_err(DecodeError::Codec)?;
+                let prefs = get_prefs(&mut cur).map_err(DecodeError::Codec)?;
+                Request::TopK { category, prefs, k }
+            }
+            OP_STATS => Request::Stats,
+            OP_FLUSH => Request::Flush,
+            OP_SHUTDOWN => Request::Shutdown,
+            tag => {
+                return Err(DecodeError::Codec(CodecError::BadTag {
+                    what: "request opcode",
+                    tag,
+                }))
+            }
+        };
+        if cur.remaining() != 0 {
+            return Err(DecodeError::TrailingBytes);
+        }
+        Ok(request)
+    }
+}
+
+impl Response {
+    /// Encode as one complete frame appended to `out`.
+    pub fn encode_frame(&self, out: &mut Vec<u8>) {
+        let mut payload = Vec::new();
+        self.encode_payload(&mut payload);
+        write_frame(out, &payload);
+    }
+
+    fn encode_payload(&self, payload: &mut Vec<u8>) {
+        payload.push(PROTO_VERSION);
+        match self {
+            Response::Pong => payload.push(OP_PONG),
+            Response::Published(status) => {
+                payload.push(OP_PUBLISHED);
+                payload.push(match status {
+                    PublishStatus::Created => 0,
+                    PublishStatus::Updated => 1,
+                });
+            }
+            Response::Deregistered(found) => {
+                payload.push(OP_DEREGISTERED);
+                put_bool(payload, *found);
+            }
+            Response::Ingested(count) => {
+                payload.push(OP_INGESTED);
+                put_u64(payload, *count);
+            }
+            Response::Scored(estimate) => {
+                payload.push(OP_SCORED);
+                put_opt_estimate(payload, estimate);
+            }
+            Response::TopKResult(ranked) => {
+                payload.push(OP_TOP_K_RESULT);
+                put_u32(payload, ranked.len() as u32);
+                for r in ranked {
+                    put_u64(payload, r.service);
+                    put_u64(payload, r.provider);
+                    put_f64(payload, r.qos_score);
+                    put_opt_estimate(payload, &r.reputation);
+                    put_f64(payload, r.score);
+                }
+            }
+            Response::StatsResult(stats) => {
+                payload.push(OP_STATS_RESULT);
+                put_service_stats(payload, &stats.service);
+                put_server_stats(payload, &stats.server);
+            }
+            Response::Flushed => payload.push(OP_FLUSHED),
+            Response::ShuttingDown => payload.push(OP_SHUTTING_DOWN),
+            Response::Error { code, message } => {
+                payload.push(OP_ERROR);
+                payload.push(code.to_wire());
+                put_bytes(payload, message.as_bytes());
+            }
+        }
+    }
+
+    /// Decode one response from a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, DecodeError> {
+        let mut cur = Cursor::new(payload);
+        let version = cur.u8().map_err(DecodeError::Codec)?;
+        if version != PROTO_VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        let opcode = cur.u8().map_err(DecodeError::Codec)?;
+        let response = match opcode {
+            OP_PONG => Response::Pong,
+            OP_PUBLISHED => match cur.u8().map_err(DecodeError::Codec)? {
+                0 => Response::Published(PublishStatus::Created),
+                1 => Response::Published(PublishStatus::Updated),
+                tag => {
+                    return Err(DecodeError::Codec(CodecError::BadTag {
+                        what: "publish status",
+                        tag,
+                    }))
+                }
+            },
+            OP_DEREGISTERED => Response::Deregistered(cur.bool().map_err(DecodeError::Codec)?),
+            OP_INGESTED => Response::Ingested(cur.u64().map_err(DecodeError::Codec)?),
+            OP_SCORED => Response::Scored(get_opt_estimate(&mut cur).map_err(DecodeError::Codec)?),
+            OP_TOP_K_RESULT => {
+                let n = cur.u32().map_err(DecodeError::Codec)?;
+                let mut ranked = Vec::with_capacity(n.min(65_536) as usize);
+                for _ in 0..n {
+                    ranked.push(WireRanked {
+                        service: cur.u64().map_err(DecodeError::Codec)?,
+                        provider: cur.u64().map_err(DecodeError::Codec)?,
+                        qos_score: cur.f64().map_err(DecodeError::Codec)?,
+                        reputation: get_opt_estimate(&mut cur).map_err(DecodeError::Codec)?,
+                        score: cur.f64().map_err(DecodeError::Codec)?,
+                    });
+                }
+                Response::TopKResult(ranked)
+            }
+            OP_STATS_RESULT => {
+                let service = get_service_stats(&mut cur).map_err(DecodeError::Codec)?;
+                let server = get_server_stats(&mut cur).map_err(DecodeError::Codec)?;
+                Response::StatsResult(Box::new(WireStats { service, server }))
+            }
+            OP_FLUSHED => Response::Flushed,
+            OP_SHUTTING_DOWN => Response::ShuttingDown,
+            OP_ERROR => {
+                let code = ErrorCode::from_wire(cur.u8().map_err(DecodeError::Codec)?)
+                    .map_err(DecodeError::Codec)?;
+                let bytes = cur.bytes().map_err(DecodeError::Codec)?;
+                Response::Error {
+                    code,
+                    message: String::from_utf8_lossy(bytes).into_owned(),
+                }
+            }
+            tag => {
+                return Err(DecodeError::Codec(CodecError::BadTag {
+                    what: "response opcode",
+                    tag,
+                }))
+            }
+        };
+        if cur.remaining() != 0 {
+            return Err(DecodeError::TrailingBytes);
+        }
+        Ok(response)
+    }
+}
+
+/// Decoding a well-framed payload failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The version byte is not [`PROTO_VERSION`].
+    BadVersion(u8),
+    /// The body did not decode.
+    Codec(CodecError),
+    /// Bytes were left over after a complete message — frames delimit
+    /// messages, so trailing bytes mean corruption.
+    TrailingBytes,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadVersion(v) => {
+                write!(f, "protocol version {v} (this peer speaks {PROTO_VERSION})")
+            }
+            DecodeError::Codec(err) => write!(f, "{err}"),
+            DecodeError::TrailingBytes => write!(f, "trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsrep_core::id::{AgentId, ProviderId};
+    use wsrep_core::time::Time;
+    use wsrep_journal::frame::{split_frame, FrameSplit, FRAME_HEADER_LEN};
+    use wsrep_qos::metric::Metric;
+    use wsrep_qos::value::QosVector;
+
+    fn roundtrip_request(request: &Request) -> Request {
+        let mut buf = Vec::new();
+        request.encode_frame(&mut buf);
+        let FrameSplit::Frame { frame_len } = split_frame(&buf) else {
+            panic!("encoded frame must split");
+        };
+        assert_eq!(frame_len, buf.len());
+        Request::decode(&buf[FRAME_HEADER_LEN..frame_len]).expect("request decodes")
+    }
+
+    fn roundtrip_response(response: &Response) -> Response {
+        let mut buf = Vec::new();
+        response.encode_frame(&mut buf);
+        let FrameSplit::Frame { frame_len } = split_frame(&buf) else {
+            panic!("encoded frame must split");
+        };
+        Response::decode(&buf[FRAME_HEADER_LEN..frame_len]).expect("response decodes")
+    }
+
+    #[test]
+    fn every_request_variant_round_trips() {
+        let requests = [
+            Request::Ping,
+            Request::Publish(Listing {
+                service: ServiceId::new(4),
+                provider: ProviderId::new(5),
+                category: 6,
+                advertised: QosVector::from_pairs([(Metric::Accuracy, 0.9)]),
+            }),
+            Request::Deregister(ServiceId::new(7)),
+            Request::Ingest(vec![
+                Feedback::scored(AgentId::new(1), ServiceId::new(2), 0.75, Time::new(3)),
+                Feedback::scored(AgentId::new(4), ProviderId::new(5), 0.25, Time::new(6)),
+            ]),
+            Request::Score(ServiceId::new(9).into()),
+            Request::TopK {
+                category: 3,
+                prefs: Preferences::uniform([Metric::Price, Metric::Accuracy]),
+                k: 10,
+            },
+            Request::Stats,
+            Request::Flush,
+            Request::Shutdown,
+        ];
+        for request in requests {
+            assert_eq!(roundtrip_request(&request), request);
+        }
+    }
+
+    #[test]
+    fn every_response_variant_round_trips() {
+        let responses = [
+            Response::Pong,
+            Response::Published(PublishStatus::Created),
+            Response::Published(PublishStatus::Updated),
+            Response::Deregistered(true),
+            Response::Ingested(128),
+            Response::Scored(None),
+            Response::Scored(Some(TrustEstimate::new(0.75, 0.5))),
+            Response::TopKResult(vec![WireRanked {
+                service: 1,
+                provider: 2,
+                qos_score: 0.5,
+                reputation: Some(TrustEstimate::new(0.9, 0.8)),
+                score: 0.7,
+            }]),
+            Response::StatsResult(Box::new(WireStats {
+                service: ServiceStats {
+                    shards: 8,
+                    listings: 64,
+                    feedback: 1000,
+                    submitted: 1000,
+                    cache_hits: 1,
+                    cache_misses: 2,
+                    topk_plan_hits: 3,
+                    topk_plan_misses: 4,
+                    preranked_hits: 5,
+                    preranked_misses: 6,
+                    snapshot_swaps: 7,
+                    scratch_reuse: 8,
+                    incremental: true,
+                    journal: Some(JournalHealth {
+                        segments: 1,
+                        bytes_appended: 2,
+                        last_fsync_nanos: 3,
+                        commits: 4,
+                        records_recovered: 5,
+                        degraded: false,
+                    }),
+                },
+                server: ServerStats {
+                    connections_opened: 3,
+                    connections_closed: 1,
+                    requests: [1, 2, 3, 4, 5, 6, 7, 8, 9],
+                    reports_ingested: 100,
+                    malformed_frames: 1,
+                    protocol_errors: 2,
+                    slow_client_closes: 3,
+                    bytes_in: 4,
+                    bytes_out: 5,
+                },
+            })),
+            Response::Flushed,
+            Response::ShuttingDown,
+            Response::Error {
+                code: ErrorCode::BadRequest,
+                message: "nope".to_string(),
+            },
+        ];
+        for response in responses {
+            assert_eq!(roundtrip_response(&response), response);
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_rejected_with_the_offending_byte() {
+        let mut buf = Vec::new();
+        Request::Ping.encode_frame(&mut buf);
+        let mut payload = buf[FRAME_HEADER_LEN..].to_vec();
+        payload[0] = 99;
+        assert_eq!(Request::decode(&payload), Err(DecodeError::BadVersion(99)));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut buf = Vec::new();
+        Request::Ping.encode_frame(&mut buf);
+        let mut payload = buf[FRAME_HEADER_LEN..].to_vec();
+        payload.push(0);
+        assert_eq!(Request::decode(&payload), Err(DecodeError::TrailingBytes));
+    }
+}

@@ -1,0 +1,544 @@
+//! The serving loop: a hand-rolled nonblocking reactor.
+//!
+//! One **acceptor** thread owns the listener and deals accepted sockets
+//! round-robin to N **worker** threads. Each worker owns its connections
+//! outright (no cross-thread connection state, no locks on the data
+//! path) and runs a readiness-style loop over them: nonblocking writes
+//! first, then nonblocking reads, then frame parsing and request
+//! dispatch, sleeping briefly only when a full pass over every
+//! connection made no progress. This is the thread-per-core accept +
+//! worker model — the same "vendored stub over a fancy dependency"
+//! trade the workspace makes everywhere else, here standing in for an
+//! epoll reactor while keeping the architecture (readiness loop, owned
+//! connections, bounded buffers) that an epoll backend would slot into.
+//!
+//! ## Pipelining and backpressure
+//!
+//! Requests are served strictly in arrival order per connection; a
+//! client may pipeline as deep as it likes, but the server bounds the
+//! damage a connection can do:
+//!
+//! - **Bounded in-flight depth**: a worker parses at most
+//!   [`ServerConfig::max_pipeline_depth`] requests per connection per
+//!   pass, and stops *reading* from a socket whose output buffer already
+//!   holds more than [`ServerConfig::write_buffer_limit`] unsent bytes.
+//!   An unread response backlog therefore freezes that connection's
+//!   intake (TCP pushes the backpressure to the client) without ever
+//!   growing server memory unboundedly.
+//! - **Slow-client timeout**: a connection that stays write-blocked with
+//!   a full buffer for longer than [`ServerConfig::write_stall_timeout`]
+//!   is closed. One stuck socket costs one buffer, never the reactor.
+//!
+//! ## Lifecycle
+//!
+//! [`Server::shutdown`] (or a [`Request::Shutdown`] frame) flips a flag;
+//! the acceptor stops accepting, workers stop reading, finish writing
+//! every queued response, close their connections, and exit; `join`
+//! then flushes the ingest pipeline — with a journal attached that is a
+//! final group-commit fsync, so everything acknowledged over the wire
+//! is durable before the process exits.
+
+use crate::proto::{ErrorCode, Request, Response, ServerStats, WireRanked, WireStats};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+use wsrep_journal::frame::{split_frame, FrameSplit};
+use wsrep_serve::ReputationService;
+
+/// Reactor tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads (each owns a share of the connections).
+    pub workers: usize,
+    /// Most requests parsed and served per connection per reactor pass.
+    pub max_pipeline_depth: usize,
+    /// Stop reading from a connection whose unsent output exceeds this.
+    pub write_buffer_limit: usize,
+    /// Close a connection write-blocked over the limit for this long.
+    pub write_stall_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            max_pipeline_depth: 128,
+            write_buffer_limit: 1 << 20,
+            write_stall_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Wire counters as relaxed atomics; snapshots into
+/// [`ServerStats`].
+#[derive(Debug, Default)]
+struct Counters {
+    connections_opened: AtomicU64,
+    connections_closed: AtomicU64,
+    requests: [AtomicU64; 9],
+    reports_ingested: AtomicU64,
+    malformed_frames: AtomicU64,
+    protocol_errors: AtomicU64,
+    slow_client_closes: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> ServerStats {
+        let mut requests = [0u64; 9];
+        for (slot, counter) in requests.iter_mut().zip(&self.requests) {
+            *slot = counter.load(Ordering::Relaxed);
+        }
+        ServerStats {
+            connections_opened: self.connections_opened.load(Ordering::Relaxed),
+            connections_closed: self.connections_closed.load(Ordering::Relaxed),
+            requests,
+            reports_ingested: self.reports_ingested.load(Ordering::Relaxed),
+            malformed_frames: self.malformed_frames.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            slow_client_closes: self.slow_client_closes.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// State every thread shares.
+struct Shared {
+    service: Arc<ReputationService>,
+    counters: Counters,
+    shutdown: AtomicBool,
+    config: ServerConfig,
+}
+
+/// A running reputation server bound to a TCP address.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` and start serving `service`. Use port 0 to let the
+    /// OS pick; [`Server::local_addr`] reports the bound address.
+    pub fn start(
+        service: Arc<ReputationService>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            service,
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+        let workers_n = config.workers.max(1);
+        let mut senders: Vec<Sender<TcpStream>> = Vec::with_capacity(workers_n);
+        let mut workers = Vec::with_capacity(workers_n);
+        for w in 0..workers_n {
+            let (tx, rx) = channel::<TcpStream>();
+            senders.push(tx);
+            let shared = Arc::clone(&shared);
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("wsrep-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, rx))
+                    .expect("spawn worker thread"),
+            );
+        }
+        let acceptor_shared = Arc::clone(&shared);
+        let acceptor = thread::Builder::new()
+            .name("wsrep-acceptor".to_string())
+            .spawn(move || accept_loop(&acceptor_shared, listener, senders))
+            .expect("spawn acceptor thread");
+        Ok(Server {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The address the listener actually bound.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Current wire counters.
+    pub fn server_stats(&self) -> ServerStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// Whether shutdown has been requested (locally or over the wire).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Request a graceful shutdown: stop accepting, drain every
+    /// connection's queued responses, flush ingest. Returns immediately;
+    /// [`Server::join`] waits for the drain.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Wait until every connection drained and every thread exited, then
+    /// flush the ingest pipeline — the final durability barrier. Blocks
+    /// until someone requests shutdown.
+    pub fn join(mut self) {
+        self.join_inner();
+    }
+
+    fn join_inner(&mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Everything acknowledged over the wire is queued in the ingest
+        // pipeline at most; this barrier applies and (with a journal)
+        // fsyncs it.
+        self.shared.service.flush();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+        self.join_inner();
+    }
+}
+
+/// How long an idle pass sleeps before polling again.
+const IDLE_SLEEP: Duration = Duration::from_micros(200);
+/// Read chunk size per pass per connection.
+const READ_CHUNK: usize = 64 * 1024;
+
+fn accept_loop(shared: &Shared, listener: TcpListener, senders: Vec<Sender<TcpStream>>) {
+    let mut next = 0usize;
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nodelay(true);
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                shared
+                    .counters
+                    .connections_opened
+                    .fetch_add(1, Ordering::Relaxed);
+                // Round-robin deal; a worker that exited drops its
+                // receiver and the send fails, closing the socket.
+                let _ = senders[next % senders.len()].send(stream);
+                next = next.wrapping_add(1);
+            }
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_micros(500));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, incoming: Receiver<TcpStream>) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut accepting = true;
+    loop {
+        let draining = shared.shutdown.load(Ordering::Acquire);
+        // Adopt newly dealt connections; ones that arrive mid-shutdown
+        // are drained and closed by the same path as the rest.
+        while accepting {
+            match incoming.try_recv() {
+                Ok(stream) => conns.push(Conn::new(stream)),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    accepting = false;
+                }
+            }
+        }
+        let mut progress = false;
+        conns.retain_mut(|conn| {
+            let outcome = conn.pump(shared, draining);
+            progress |= outcome.progress;
+            if outcome.closed {
+                shared
+                    .counters
+                    .connections_closed
+                    .fetch_add(1, Ordering::Relaxed);
+                false
+            } else {
+                true
+            }
+        });
+        if draining && conns.is_empty() {
+            return;
+        }
+        if !progress {
+            thread::sleep(IDLE_SLEEP);
+        }
+    }
+}
+
+struct PumpOutcome {
+    progress: bool,
+    closed: bool,
+}
+
+/// One connection, owned by exactly one worker.
+struct Conn {
+    stream: TcpStream,
+    /// Received bytes not yet parsed; `rpos` marks the parsed prefix.
+    rbuf: Vec<u8>,
+    rpos: usize,
+    /// Encoded responses not yet written; `wpos` marks the sent prefix.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Stop reading and close once `wbuf` drains (fatal protocol error,
+    /// shutdown handshake, or peer EOF).
+    close_after_flush: bool,
+    /// Last instant a write made progress (or the buffer was empty).
+    last_write_progress: Instant,
+    /// Reusable read scratch — connections allocate their buffers once,
+    /// not per request.
+    read_chunk: Box<[u8; READ_CHUNK]>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            rpos: 0,
+            wbuf: Vec::new(),
+            wpos: 0,
+            close_after_flush: false,
+            last_write_progress: Instant::now(),
+            read_chunk: Box::new([0u8; READ_CHUNK]),
+        }
+    }
+
+    fn pump(&mut self, shared: &Shared, draining: bool) -> PumpOutcome {
+        let mut progress = false;
+
+        // 1. Drain pending writes (nonblocking).
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => return self.closed(),
+                Ok(n) => {
+                    self.wpos += n;
+                    shared
+                        .counters
+                        .bytes_out
+                        .fetch_add(n as u64, Ordering::Relaxed);
+                    self.last_write_progress = Instant::now();
+                    progress = true;
+                }
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => break,
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return self.closed(),
+            }
+        }
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+            self.last_write_progress = Instant::now();
+            if self.close_after_flush {
+                let _ = self.stream.shutdown(SockShutdown::Both);
+                return self.closed();
+            }
+        }
+
+        let backlog = self.wbuf.len() - self.wpos;
+        if backlog > shared.config.write_buffer_limit {
+            // Slow client: its responses aren't draining. Stop reading
+            // (TCP backpressure) and give up on it entirely after the
+            // stall timeout.
+            if self.last_write_progress.elapsed() > shared.config.write_stall_timeout {
+                shared
+                    .counters
+                    .slow_client_closes
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = self.stream.shutdown(SockShutdown::Both);
+                return self.closed();
+            }
+            return PumpOutcome {
+                progress,
+                closed: false,
+            };
+        }
+
+        // 2. Read whatever the socket has (nonblocking), unless closing
+        //    or draining for shutdown.
+        let mut peer_eof = false;
+        if !self.close_after_flush && !draining {
+            loop {
+                match self.stream.read(&mut self.read_chunk[..]) {
+                    Ok(0) => {
+                        peer_eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        self.rbuf.extend_from_slice(&self.read_chunk[..n]);
+                        shared
+                            .counters
+                            .bytes_in
+                            .fetch_add(n as u64, Ordering::Relaxed);
+                        progress = true;
+                        if n < self.read_chunk.len() {
+                            break;
+                        }
+                    }
+                    Err(err) if err.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => return self.closed(),
+                }
+            }
+        }
+
+        // 3. Parse and serve complete frames, bounded per pass.
+        let mut served = 0usize;
+        while served < shared.config.max_pipeline_depth
+            && self.wbuf.len() - self.wpos <= shared.config.write_buffer_limit
+            && !self.close_after_flush
+        {
+            match split_frame(&self.rbuf[self.rpos..]) {
+                FrameSplit::Incomplete => break,
+                FrameSplit::Corrupt => {
+                    // The stream can't be resynchronized: answer with a
+                    // final error and close once it's flushed.
+                    shared
+                        .counters
+                        .malformed_frames
+                        .fetch_add(1, Ordering::Relaxed);
+                    Response::Error {
+                        code: ErrorCode::BadRequest,
+                        message: "corrupt frame (bad length or checksum)".to_string(),
+                    }
+                    .encode_frame(&mut self.wbuf);
+                    self.close_after_flush = true;
+                }
+                FrameSplit::Frame { frame_len } => {
+                    let start = self.rpos + wsrep_journal::frame::FRAME_HEADER_LEN;
+                    let end = self.rpos + frame_len;
+                    let response = serve_payload(shared, &self.rbuf[start..end], draining);
+                    self.rpos = end;
+                    let shutting_down = matches!(response, Response::ShuttingDown);
+                    response.encode_frame(&mut self.wbuf);
+                    if shutting_down {
+                        self.close_after_flush = true;
+                    }
+                    served += 1;
+                    progress = true;
+                }
+            }
+        }
+        // Reclaim the parsed prefix once it dominates the buffer.
+        if self.rpos > 0 && (self.rpos == self.rbuf.len() || self.rpos >= READ_CHUNK) {
+            self.rbuf.drain(..self.rpos);
+            self.rpos = 0;
+        }
+
+        if (peer_eof || draining) && !self.close_after_flush {
+            // Serve what was already buffered, then close.
+            if split_frame(&self.rbuf[self.rpos..]) == FrameSplit::Incomplete || draining {
+                self.close_after_flush = true;
+                if self.wbuf.len() == self.wpos {
+                    let _ = self.stream.shutdown(SockShutdown::Both);
+                    return self.closed();
+                }
+            }
+        }
+
+        PumpOutcome {
+            progress,
+            closed: false,
+        }
+    }
+
+    fn closed(&mut self) -> PumpOutcome {
+        PumpOutcome {
+            progress: true,
+            closed: true,
+        }
+    }
+}
+
+/// Decode one frame payload and serve it against the service.
+fn serve_payload(shared: &Shared, payload: &[u8], draining: bool) -> Response {
+    let request = match Request::decode(payload) {
+        Ok(request) => request,
+        Err(err) => {
+            shared
+                .counters
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            let code = match err {
+                crate::proto::DecodeError::BadVersion(_) => ErrorCode::BadVersion,
+                _ => ErrorCode::BadRequest,
+            };
+            return Response::Error {
+                code,
+                message: err.to_string(),
+            };
+        }
+    };
+    shared.counters.requests[request.stat_slot()].fetch_add(1, Ordering::Relaxed);
+    if draining && !matches!(request, Request::Shutdown | Request::Stats | Request::Ping) {
+        return Response::Error {
+            code: ErrorCode::ShuttingDown,
+            message: "server is draining".to_string(),
+        };
+    }
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Publish(listing) => Response::Published(shared.service.publish(listing)),
+        Request::Deregister(service) => {
+            Response::Deregistered(shared.service.deregister(service).is_ok())
+        }
+        Request::Ingest(batch) => {
+            let size = batch.len() as u64;
+            match shared.service.ingest_batch(batch) {
+                Ok(accepted) => {
+                    shared
+                        .counters
+                        .reports_ingested
+                        .fetch_add(accepted, Ordering::Relaxed);
+                    debug_assert_eq!(accepted, size);
+                    Response::Ingested(accepted)
+                }
+                Err(_) => Response::Error {
+                    code: ErrorCode::IngestClosed,
+                    message: "ingest pipeline closed".to_string(),
+                },
+            }
+        }
+        Request::Score(subject) => Response::Scored(shared.service.score(subject)),
+        Request::TopK { category, prefs, k } => {
+            let ranked = shared.service.top_k(category, &prefs, k as usize);
+            Response::TopKResult(ranked.iter().map(WireRanked::from).collect())
+        }
+        Request::Stats => Response::StatsResult(Box::new(WireStats {
+            service: shared.service.stats(),
+            server: shared.counters.snapshot(),
+        })),
+        Request::Flush => {
+            // Blocks this worker until the pipeline catches up — the
+            // caller asked for a barrier; other workers keep serving.
+            shared.service.flush();
+            Response::Flushed
+        }
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::Release);
+            Response::ShuttingDown
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Protocol property tests: every request/response variant survives an
+//! encode→frame→split→decode round trip, and arbitrary byte garbage
+//! never panics a decoder — it errors.
+
+use proptest::prelude::*;
+use wsrep_core::feedback::Feedback;
+use wsrep_core::id::{AgentId, ProviderId, ServiceId, SubjectId};
+use wsrep_core::time::Time;
+use wsrep_core::trust::TrustEstimate;
+use wsrep_journal::frame::{split_frame, FrameSplit, FRAME_HEADER_LEN};
+use wsrep_qos::metric::Metric;
+use wsrep_qos::preference::Preferences;
+use wsrep_qos::value::QosVector;
+use wsrep_server::{ErrorCode, Request, Response, WireRanked};
+use wsrep_sim::registry::{Listing, PublishStatus};
+
+/// Deterministically build a metric from an index (covers every standard
+/// metric plus app-specific ones).
+fn metric(index: u8) -> Metric {
+    let standard = Metric::ALL_STANDARD;
+    if (index as usize) < standard.len() {
+        standard[index as usize]
+    } else {
+        Metric::AppSpecific(index)
+    }
+}
+
+fn subject(kind: u8, raw: u64) -> SubjectId {
+    match kind % 3 {
+        0 => AgentId::new(raw).into(),
+        1 => ServiceId::new(raw).into(),
+        _ => ProviderId::new(raw).into(),
+    }
+}
+
+fn qos_vector(pairs: &[(u8, f64)]) -> QosVector {
+    QosVector::from_pairs(pairs.iter().map(|&(m, v)| (metric(m), v)))
+}
+
+fn feedback(seed: (u64, u8, u64, f64, u64), pairs: &[(u8, f64)]) -> Feedback {
+    let (rater, kind, raw, score, at) = seed;
+    let mut fb = Feedback::scored(
+        AgentId::new(rater),
+        subject(kind, raw),
+        score,
+        Time::new(at),
+    )
+    .with_observed(qos_vector(pairs));
+    for &(m, v) in pairs {
+        fb = fb.with_facet(metric(m), v);
+    }
+    fb
+}
+
+fn listing(seed: (u64, u64, u32), pairs: &[(u8, f64)]) -> Listing {
+    Listing {
+        service: ServiceId::new(seed.0),
+        provider: ProviderId::new(seed.1),
+        category: seed.2,
+        advertised: qos_vector(pairs),
+    }
+}
+
+fn roundtrip_request(request: &Request) -> Request {
+    let mut buf = Vec::new();
+    request.encode_frame(&mut buf);
+    let FrameSplit::Frame { frame_len } = split_frame(&buf) else {
+        panic!("encoded request frame must split cleanly");
+    };
+    assert_eq!(frame_len, buf.len(), "one request, one frame");
+    Request::decode(&buf[FRAME_HEADER_LEN..frame_len]).expect("round trip decodes")
+}
+
+fn roundtrip_response(response: &Response) -> Response {
+    let mut buf = Vec::new();
+    response.encode_frame(&mut buf);
+    let FrameSplit::Frame { frame_len } = split_frame(&buf) else {
+        panic!("encoded response frame must split cleanly");
+    };
+    Response::decode(&buf[FRAME_HEADER_LEN..frame_len]).expect("round trip decodes")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_ingest_batch_round_trips(
+        seeds in proptest::collection::vec(
+            (0u64..1_000, 0u8..3, 0u64..1_000, 0.0f64..1.0, 0u64..10_000),
+            0..20,
+        ),
+        pairs in proptest::collection::vec((0u8..30, 0.0f64..100.0), 0..6),
+    ) {
+        let batch: Vec<Feedback> = seeds.iter().map(|&s| feedback(s, &pairs)).collect();
+        let request = Request::Ingest(batch);
+        prop_assert_eq!(roundtrip_request(&request), request);
+    }
+
+    #[test]
+    fn publish_deregister_score_round_trip(
+        listing_seed in (0u64..1_000, 0u64..100, 0u32..16),
+        pairs in proptest::collection::vec((0u8..30, 0.0f64..100.0), 0..6),
+        kind in 0u8..3,
+        raw in 0u64..1_000_000,
+    ) {
+        let publish = Request::Publish(listing(listing_seed, &pairs));
+        prop_assert_eq!(roundtrip_request(&publish), publish);
+        let deregister = Request::Deregister(ServiceId::new(raw));
+        prop_assert_eq!(roundtrip_request(&deregister), deregister);
+        let score = Request::Score(subject(kind, raw));
+        prop_assert_eq!(roundtrip_request(&score), score);
+    }
+
+    #[test]
+    fn top_k_round_trips_with_arbitrary_preferences(
+        category in 0u32..64,
+        k in 0u32..1_000,
+        weights in proptest::collection::vec((0u8..30, 0.01f64..10.0), 0..8),
+    ) {
+        // Dedupe metrics first: `from_weights` keeps the last duplicate but
+        // sums all of them into the normalizer, so duplicate inputs yield
+        // weights that don't sum to 1 — the wire codec faithfully carries
+        // the normalized form either way.
+        let deduped: std::collections::BTreeMap<Metric, f64> =
+            weights.iter().map(|&(m, w)| (metric(m), w)).collect();
+        let prefs = Preferences::from_weights(deduped);
+        let request = Request::TopK { category, prefs: prefs.clone(), k };
+        let Request::TopK { category: c2, prefs: p2, k: k2 } = roundtrip_request(&request)
+        else {
+            return Err(TestCaseError::fail("variant changed".to_string()));
+        };
+        prop_assert_eq!(c2, category);
+        prop_assert_eq!(k2, k);
+        // from_weights renormalizes; compare weights numerically.
+        let metrics: Vec<Metric> = prefs.metrics().collect();
+        let metrics2: Vec<Metric> = p2.metrics().collect();
+        prop_assert_eq!(metrics.clone(), metrics2);
+        for m in metrics {
+            prop_assert!((prefs.weight(m) - p2.weight(m)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scored_and_ranked_responses_round_trip(
+        value in 0.0f64..1.0,
+        confidence in 0.0f64..1.0,
+        ranked_seeds in proptest::collection::vec(
+            (0u64..1_000, 0u64..100, 0.0f64..1.0, 0.0f64..1.0, 0u8..2),
+            0..12,
+        ),
+    ) {
+        let scored = Response::Scored(Some(TrustEstimate::new(value, confidence)));
+        prop_assert_eq!(roundtrip_response(&scored), scored);
+        prop_assert_eq!(
+            roundtrip_response(&Response::Scored(None)),
+            Response::Scored(None)
+        );
+        let ranked: Vec<WireRanked> = ranked_seeds
+            .iter()
+            .map(|&(service, provider, qos_score, score, with_rep)| WireRanked {
+                service,
+                provider,
+                qos_score,
+                reputation: (with_rep == 1)
+                    .then(|| TrustEstimate::new(score, qos_score)),
+                score,
+            })
+            .collect();
+        let response = Response::TopKResult(ranked);
+        prop_assert_eq!(roundtrip_response(&response), response);
+    }
+
+    #[test]
+    fn scalar_messages_round_trip(count in 0u64..1_000_000, found in 0u8..2) {
+        for request in [Request::Ping, Request::Stats, Request::Flush, Request::Shutdown] {
+            prop_assert_eq!(roundtrip_request(&request), request);
+        }
+        for response in [
+            Response::Pong,
+            Response::Flushed,
+            Response::ShuttingDown,
+            Response::Published(PublishStatus::Created),
+            Response::Published(PublishStatus::Updated),
+            Response::Deregistered(found == 1),
+            Response::Ingested(count),
+            Response::Error {
+                code: ErrorCode::BadRequest,
+                message: format!("fuzz {count}"),
+            },
+        ] {
+            prop_assert_eq!(roundtrip_response(&response), response);
+        }
+    }
+
+    #[test]
+    fn garbage_bytes_never_panic_the_decoders(
+        bytes in proptest::collection::vec(0u8..=255, 0..200),
+    ) {
+        // Any byte soup: decoding may fail, must never panic.
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+        let _ = split_frame(&bytes);
+    }
+
+    #[test]
+    fn truncated_valid_frames_never_decode_as_complete(
+        seeds in proptest::collection::vec(
+            (0u64..1_000, 0u8..3, 0u64..1_000, 0.0f64..1.0, 0u64..10_000),
+            1..5,
+        ),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let batch: Vec<Feedback> = seeds.iter().map(|&s| feedback(s, &[])).collect();
+        let mut buf = Vec::new();
+        Request::Ingest(batch).encode_frame(&mut buf);
+        let cut = ((buf.len() - 1) as f64 * cut_fraction) as usize;
+        // A strict prefix either waits for more bytes or (if the cut
+        // mangles nothing yet) still refuses to produce a frame.
+        prop_assert_eq!(split_frame(&buf[..cut]), FrameSplit::Incomplete);
+    }
+}
