@@ -42,6 +42,16 @@
 //! `--journal`, `--replay`) are ignored in socket mode — the server
 //! already chose them.
 //!
+//! `--replica ADDR` (repeatable, socket mode only) fans the query side
+//! out across read replicas: querier `q` connects to replica `q mod N`
+//! while setup and ingest stay on the primary (`--socket`), which is the
+//! read-scaling deployment `wsrep-cluster` exists for. After the ingest
+//! side finishes and flushes, loadgen polls every replica's `Stats`
+//! until its replication watermark reaches the primary's durable LSN;
+//! the JSON line gains a `replication` object with each replica's final
+//! lag and whether everyone caught up (the staleness-bound measurement
+//! checked in as BENCH_cluster.json).
+//!
 //! `--read-heavy` switches to the contention-scaling sweep: preload the
 //! registry (`ingest_threads × reports_per_ingester` reports, flushed),
 //! then run the pure query mix at 1, 2, 4, … up to `query_threads`
@@ -57,7 +67,7 @@ use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use wsrep_core::feedback::Feedback;
 use wsrep_core::id::{AgentId, ProviderId, ServiceId, SubjectId};
 use wsrep_core::time::Time;
@@ -85,6 +95,7 @@ struct Config {
     replay: bool,
     read_heavy: bool,
     socket: Option<String>,
+    replicas: Vec<String>,
     shutdown: bool,
 }
 
@@ -94,6 +105,7 @@ fn parse_args() -> Config {
     let mut replay = false;
     let mut read_heavy = false;
     let mut socket = None;
+    let mut replicas = Vec::new();
     let mut shutdown = false;
     let mut numbers = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -102,6 +114,10 @@ fn parse_args() -> Config {
             socket = Some(args.next().expect("--socket takes a server address"));
         } else if let Some(addr) = arg.strip_prefix("--socket=") {
             socket = Some(addr.to_string());
+        } else if arg == "--replica" {
+            replicas.push(args.next().expect("--replica takes a replica address"));
+        } else if let Some(addr) = arg.strip_prefix("--replica=") {
+            replicas.push(addr.to_string());
         } else if arg == "--shutdown" {
             shutdown = true;
         } else if arg == "--journal" {
@@ -126,12 +142,16 @@ fn parse_args() -> Config {
         } else {
             numbers.push(arg.parse::<u64>().unwrap_or_else(|_| {
                 panic!(
-                    "expected a number or --journal[=DIR] / --skew S / --replay / --read-heavy / --socket ADDR / --shutdown, got {arg:?}"
+                    "expected a number or --journal[=DIR] / --skew S / --replay / --read-heavy / --socket ADDR / --replica ADDR / --shutdown, got {arg:?}"
                 )
             }));
         }
     }
     assert!(skew >= 0.0, "Zipf exponent must be non-negative");
+    assert!(
+        replicas.is_empty() || socket.is_some(),
+        "--replica requires --socket (the primary the replicas trail)"
+    );
     let get = |i: usize, default: u64| numbers.get(i).copied().unwrap_or(default);
     Config {
         ingest_threads: get(0, 4),
@@ -145,6 +165,7 @@ fn parse_args() -> Config {
         replay,
         read_heavy,
         socket,
+        replicas,
         shutdown,
     }
 }
@@ -481,7 +502,13 @@ fn run_socket(config: Config, addr: String) {
 
         let mut query_handles = Vec::new();
         for q in 0..config.query_threads {
-            let addr = addr.clone();
+            // With --replica, reads fan out round-robin across the
+            // replicas while writes stay on the primary.
+            let addr = if config.replicas.is_empty() {
+                addr.clone()
+            } else {
+                config.replicas[q as usize % config.replicas.len()].clone()
+            };
             let zipf = Arc::clone(&zipf);
             let prefs = prefs.clone();
             let queries = config.queries_per_querier;
@@ -558,6 +585,62 @@ fn run_socket(config: Config, addr: String) {
         stats.service.feedback >= total_reports,
         "flushed reports must be applied server-side"
     );
+
+    // Staleness measurement: with replicas attached, wait for each one's
+    // watermark to reach the primary's durable LSN (everything flushed is
+    // on the log) and record how far behind each was when first polled.
+    let mut replication_json = "null".to_string();
+    if !config.replicas.is_empty() {
+        let primary_durable = stats
+            .service
+            .journal
+            .map(|health| health.durable_lsn)
+            .unwrap_or(0);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let mut entries = Vec::new();
+        let mut first_lags = Vec::new();
+        let mut caught_up = true;
+        for replica_addr in &config.replicas {
+            let mut replica = Client::connect(&replica_addr[..]).expect("connect replica");
+            let mut first_lag = None;
+            let final_repl = loop {
+                let repl = replica
+                    .stats()
+                    .expect("replica stats")
+                    .replication
+                    .expect("a replica advertises replication in Stats");
+                first_lag.get_or_insert(primary_durable.saturating_sub(repl.local_durable_lsn));
+                if repl.local_durable_lsn >= primary_durable {
+                    break repl;
+                }
+                if Instant::now() >= deadline {
+                    caught_up = false;
+                    break repl;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            };
+            let first_lag = first_lag.unwrap_or(0);
+            first_lags.push(first_lag);
+            entries.push(format!(
+                "{{\"addr\":\"{replica_addr}\",\"durable_lsn\":{},\"lag_at_first_poll\":{first_lag},\"final_lag\":{},\"connected\":{}}}",
+                final_repl.local_durable_lsn,
+                primary_durable.saturating_sub(final_repl.local_durable_lsn),
+                final_repl.connected,
+            ));
+        }
+        let max_first_lag = first_lags.iter().copied().max().unwrap_or(0);
+        println!(
+            "replication        {:>12} replicas, max lag at first poll {} LSNs, caught_up={}",
+            config.replicas.len(),
+            max_first_lag,
+            caught_up
+        );
+        replication_json = format!(
+            "{{\"replicas\":[{}],\"primary_durable_lsn\":{primary_durable},\"max_lag_at_first_poll\":{max_first_lag},\"caught_up\":{caught_up}}}",
+            entries.join(",")
+        );
+    }
+
     if config.shutdown {
         setup.shutdown_server().expect("shutdown RPC");
     }
@@ -599,7 +682,7 @@ fn run_socket(config: Config, addr: String) {
         server.bytes_in, server.bytes_out
     );
     println!(
-        "{{\"mode\":\"socket\",\"socket\":\"{}\",\"ingest_threads\":{},\"query_threads\":{},\"reports_per_ingester\":{},\"queries_per_querier\":{},\"seed\":{},\"skew\":{},\"ingest_batch\":{},\"query_window\":{},\"wall_seconds\":{:.3},\"ingest_ops_per_sec\":{:.0},\"query_ops_per_sec\":{:.0},\"query_p50_ns\":{},\"query_p99_ns\":{},\"feedback_applied\":{},\"server\":{{\"requests\":{},\"connections_opened\":{},\"reports_ingested\":{},\"malformed_frames\":{},\"protocol_errors\":{},\"slow_client_closes\":{},\"bytes_in\":{},\"bytes_out\":{}}}}}",
+        "{{\"mode\":\"socket\",\"socket\":\"{}\",\"ingest_threads\":{},\"query_threads\":{},\"reports_per_ingester\":{},\"queries_per_querier\":{},\"seed\":{},\"skew\":{},\"ingest_batch\":{},\"query_window\":{},\"wall_seconds\":{:.3},\"ingest_ops_per_sec\":{:.0},\"query_ops_per_sec\":{:.0},\"query_p50_ns\":{},\"query_p99_ns\":{},\"feedback_applied\":{},\"replication\":{replication_json},\"server\":{{\"requests\":{},\"connections_opened\":{},\"reports_ingested\":{},\"malformed_frames\":{},\"protocol_errors\":{},\"slow_client_closes\":{},\"bytes_in\":{},\"bytes_out\":{}}}}}",
         addr,
         config.ingest_threads,
         config.query_threads,

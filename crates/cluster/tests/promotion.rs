@@ -1,0 +1,79 @@
+//! A promoted node trails nobody: after promotion, new writes advance
+//! the local watermark and the reported replication lag must stay 0
+//! (the gauge must not keep measuring against the dead primary's
+//! frozen LSN).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+use wsrep_cluster::{Primary, PrimaryConfig, Replica, ReplicaConfig};
+use wsrep_core::feedback::Feedback;
+use wsrep_core::id::{AgentId, ServiceId};
+use wsrep_core::time::Time;
+use wsrep_serve::ReputationService;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wsrep-scratch-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn promoted_lag_is_zero_after_new_writes() {
+    let pdir = temp_dir("p");
+    let rdir = temp_dir("r");
+    let service = Arc::new(
+        ReputationService::builder()
+            .shards(2)
+            .journal(&pdir)
+            .try_build()
+            .unwrap(),
+    );
+    service
+        .ingest(Feedback::scored(
+            AgentId::new(1),
+            ServiceId::new(1),
+            0.5,
+            Time::new(1),
+        ))
+        .unwrap();
+    service.flush();
+    let primary = Primary::start(service, "127.0.0.1:0", PrimaryConfig::default()).unwrap();
+    let mut replica = Replica::start(
+        &primary.local_addr().to_string()[..],
+        "127.0.0.1:0",
+        &rdir,
+        ReplicaConfig {
+            poll_interval: Duration::from_millis(2),
+            ..ReplicaConfig::default()
+        },
+    )
+    .unwrap();
+    while replica.replication_stats().local_durable_lsn < 1 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    primary.shutdown();
+    primary.join();
+    while replica.replication_stats().connected {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    replica.promote();
+    // New writes after promotion advance local; lag must stay 0.
+    replica
+        .service()
+        .ingest(Feedback::scored(
+            AgentId::new(2),
+            ServiceId::new(1),
+            0.7,
+            Time::new(2),
+        ))
+        .unwrap();
+    replica.service().flush();
+    let stats = replica.replication_stats();
+    eprintln!("stats = {stats:?}");
+    assert_eq!(stats.lag, 0, "promoted node trails nobody: {stats:?}");
+    replica.join();
+    let _ = std::fs::remove_dir_all(&pdir);
+    let _ = std::fs::remove_dir_all(&rdir);
+}

@@ -18,7 +18,9 @@
 //! - [`snapshot`] — atomic point-in-time state captures;
 //! - [`recovery`] — snapshot + tail replay, tolerant of a torn final
 //!   record;
-//! - [`compact`] — deletion of segments fully covered by a snapshot.
+//! - [`compact`] — deletion of segments fully covered by a snapshot;
+//! - [`ship`] — incremental reads of a live log, for replication
+//!   followers.
 //!
 //! ## Durability contract
 //!
@@ -36,10 +38,12 @@ pub mod journal;
 pub mod record;
 pub mod recovery;
 pub mod segment;
+pub mod ship;
 pub mod snapshot;
 
 pub use compact::{compact_dir, CompactReport};
 pub use journal::{AppendReceipt, Journal, JournalConfig, JournalStats};
 pub use record::JournalRecord;
 pub use recovery::{recover, Recovered};
+pub use ship::{ShipCursor, ShippedBatch};
 pub use snapshot::{latest_snapshot, write_snapshot, Snapshot};

@@ -1,0 +1,404 @@
+//! Log shipping: an incremental reader over a *live* journal directory.
+//!
+//! A [`ShipCursor`] walks the segment files of a journal that another
+//! writer (in the same process or another one) is still appending to,
+//! handing out decoded records in dense LSN order. It remembers the byte
+//! offset it has consumed inside the current segment, so each
+//! [`ShipCursor::next_batch`] call reads only the bytes appended since
+//! the last call — the read side of primary → replica replication.
+//!
+//! Three conditions end or interrupt a walk:
+//!
+//! - **Live tail.** The current segment ends mid-frame or exactly on a
+//!   frame boundary with no successor segment: the cursor has caught up
+//!   with the writer. `next_batch` returns what it has; call again later.
+//! - **Rotation.** The current segment ends cleanly and a segment whose
+//!   start LSN equals the cursor position exists: the cursor follows the
+//!   rotation and keeps reading.
+//! - **Compaction.** The requested LSN lies below the oldest surviving
+//!   segment: the history was compacted away and this cursor can never
+//!   serve it. [`ShipCursor::open`] fails with [`io::ErrorKind::NotFound`];
+//!   the follower must bootstrap from a snapshot instead.
+//!
+//! The cursor reads bytes the writer has `write(2)`-ed but possibly not
+//! yet fsynced. Shipping such records is safe for replication: a record
+//! that reaches a follower before the primary's fsync was never
+//! acknowledged to any client, so a follower that applied it is merely
+//! *ahead* of the acknowledged prefix, never divergent from it.
+
+use crate::frame::{split_frame, FrameSplit, FRAME_HEADER_LEN};
+use crate::record::JournalRecord;
+use crate::segment::{
+    list_segments, segment_file_name, FORMAT_VERSION, SEGMENT_HEADER_LEN, SEGMENT_MAGIC,
+};
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+/// One `next_batch` result: records `first_lsn .. first_lsn + records.len()`.
+#[derive(Debug)]
+pub struct ShippedBatch {
+    /// LSN of `records[0]` (meaningful only when records is non-empty).
+    pub first_lsn: u64,
+    /// Decoded records in dense LSN order. Empty means "caught up".
+    pub records: Vec<JournalRecord>,
+}
+
+/// A stateful reader positioned at an LSN inside a live journal.
+#[derive(Debug)]
+pub struct ShipCursor {
+    dir: PathBuf,
+    /// LSN of the next record this cursor will return.
+    next_lsn: u64,
+    /// Start LSN of the segment the cursor is currently reading, when
+    /// one has been located.
+    segment_start: Option<u64>,
+    /// Bytes consumed in the current segment, header included.
+    offset: u64,
+}
+
+fn corrupt(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+/// Validate a segment header against the start LSN its file name claims.
+fn check_header(buf: &[u8], expect_start: u64, path: &Path) -> io::Result<()> {
+    if buf.len() < SEGMENT_HEADER_LEN {
+        return Err(corrupt(format!(
+            "segment {} truncated header",
+            path.display()
+        )));
+    }
+    if buf[..4] != SEGMENT_MAGIC || buf[4] != FORMAT_VERSION {
+        return Err(corrupt(format!(
+            "segment {} bad magic/version",
+            path.display()
+        )));
+    }
+    let start = u64::from_le_bytes(buf[5..SEGMENT_HEADER_LEN].try_into().unwrap());
+    if start != expect_start {
+        return Err(corrupt(format!(
+            "segment {} header start {start} != file name start {expect_start}",
+            path.display()
+        )));
+    }
+    Ok(())
+}
+
+impl ShipCursor {
+    /// Position a cursor so its next record is `from_lsn`.
+    ///
+    /// Errors with [`io::ErrorKind::NotFound`] when `from_lsn` precedes
+    /// the oldest surviving segment (compacted away), and with
+    /// [`io::ErrorKind::InvalidData`] when `from_lsn` lies beyond the
+    /// log's tail — a follower asking for history this log never wrote
+    /// has diverged.
+    pub fn open(dir: impl Into<PathBuf>, from_lsn: u64) -> io::Result<ShipCursor> {
+        let mut cursor = ShipCursor {
+            dir: dir.into(),
+            next_lsn: from_lsn,
+            segment_start: None,
+            offset: 0,
+        };
+        cursor.locate()?;
+        Ok(cursor)
+    }
+
+    /// LSN of the next record `next_batch` will return.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// Find the segment containing `next_lsn` and scan to its byte
+    /// offset. Leaves the cursor unlocated when the directory holds no
+    /// segments yet and the cursor wants LSN 0 (a journal about to be
+    /// created).
+    fn locate(&mut self) -> io::Result<()> {
+        let segments = list_segments(&self.dir)?;
+        let Some((start, path)) = segments
+            .iter()
+            .rev()
+            .find(|(start, _)| *start <= self.next_lsn)
+        else {
+            if segments.is_empty() && self.next_lsn == 0 {
+                return Ok(());
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!(
+                    "lsn {} precedes the oldest segment{}; history was compacted",
+                    self.next_lsn,
+                    segments
+                        .first()
+                        .map(|(s, _)| format!(" (starts at {s})"))
+                        .unwrap_or_default(),
+                ),
+            ));
+        };
+        let bytes = std::fs::read(path)?;
+        check_header(&bytes, *start, path)?;
+        // Walk frames without decoding until the target LSN's offset.
+        let mut lsn = *start;
+        let mut offset = SEGMENT_HEADER_LEN;
+        while lsn < self.next_lsn {
+            match split_frame(&bytes[offset..]) {
+                FrameSplit::Frame { frame_len } => {
+                    offset += frame_len;
+                    lsn += 1;
+                }
+                // Dense LSNs guarantee the target lives in this segment
+                // if it lives anywhere; running out of frames means the
+                // follower is ahead of this log.
+                FrameSplit::Incomplete | FrameSplit::Corrupt => {
+                    return Err(corrupt(format!(
+                        "lsn {} is beyond the tail of segment {} (reached {lsn})",
+                        self.next_lsn,
+                        path.display()
+                    )));
+                }
+            }
+        }
+        self.segment_start = Some(*start);
+        self.offset = offset as u64;
+        Ok(())
+    }
+
+    /// Read up to `max_records` records appended at or after the cursor
+    /// position, following segment rotations. An empty batch means the
+    /// cursor is caught up with the writer's durable tail.
+    pub fn next_batch(&mut self, max_records: usize) -> io::Result<ShippedBatch> {
+        let first_lsn = self.next_lsn;
+        let mut records = Vec::new();
+        if max_records == 0 {
+            return Ok(ShippedBatch { first_lsn, records });
+        }
+        if self.segment_start.is_none() {
+            self.locate()?;
+            if self.segment_start.is_none() {
+                return Ok(ShippedBatch { first_lsn, records });
+            }
+        }
+        loop {
+            let segment_start = self.segment_start.expect("located above");
+            let path = self.dir.join(segment_file_name(segment_start));
+            let mut file = File::open(&path)?;
+            file.seek(SeekFrom::Start(self.offset))?;
+            let mut buf = Vec::new();
+            file.read_to_end(&mut buf)?;
+
+            let mut pos = 0;
+            let leftover = loop {
+                if records.len() >= max_records {
+                    break buf.len() - pos;
+                }
+                match split_frame(&buf[pos..]) {
+                    FrameSplit::Frame { frame_len } => {
+                        let payload = &buf[pos + FRAME_HEADER_LEN..pos + frame_len];
+                        let record = JournalRecord::decode(payload).map_err(|err| {
+                            corrupt(format!(
+                                "undecodable record at lsn {} in {}: {err}",
+                                self.next_lsn,
+                                path.display()
+                            ))
+                        })?;
+                        records.push(record);
+                        pos += frame_len;
+                        self.next_lsn += 1;
+                    }
+                    FrameSplit::Incomplete => break buf.len() - pos,
+                    FrameSplit::Corrupt => {
+                        return Err(corrupt(format!(
+                            "corrupt frame at lsn {} in {}",
+                            self.next_lsn,
+                            path.display()
+                        )));
+                    }
+                }
+            };
+            self.offset += pos as u64;
+            if records.len() >= max_records {
+                break;
+            }
+
+            // End of what this segment holds right now. A successor
+            // starting exactly at our position means the writer rotated;
+            // follow it. Otherwise we are at the live tail.
+            let successor = list_segments(&self.dir)?
+                .into_iter()
+                .find(|(start, _)| *start == self.next_lsn && *start > segment_start);
+            match successor {
+                Some((start, _)) => {
+                    if leftover > 0 {
+                        // Rotation seals segments on frame boundaries;
+                        // trailing garbage before a successor is damage.
+                        return Err(corrupt(format!(
+                            "{leftover} trailing bytes in sealed segment {}",
+                            path.display()
+                        )));
+                    }
+                    // Verify the successor's header before trusting it; a
+                    // header still in flight (crash mid-rotation) means
+                    // stay on the sealed segment and retry next call.
+                    let successor_path = self.dir.join(segment_file_name(start));
+                    let mut header = [0u8; SEGMENT_HEADER_LEN];
+                    let mut file = File::open(&successor_path)?;
+                    match file.read_exact(&mut header) {
+                        Ok(()) => {
+                            check_header(&header, start, &successor_path)?;
+                            self.segment_start = Some(start);
+                            self.offset = SEGMENT_HEADER_LEN as u64;
+                        }
+                        Err(_) => break,
+                    }
+                }
+                None => break,
+            }
+        }
+        Ok(ShippedBatch { first_lsn, records })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{Journal, JournalConfig};
+    use crate::snapshot::write_snapshot;
+    use std::fs;
+    use wsrep_core::feedback::Feedback;
+    use wsrep_core::id::{AgentId, ServiceId};
+    use wsrep_core::time::Time;
+
+    fn record(i: u64) -> JournalRecord {
+        JournalRecord::Feedback(Feedback::scored(
+            AgentId::new(i),
+            ServiceId::new(i % 5),
+            0.5,
+            Time::new(i),
+        ))
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("wsrep-journal-ship-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn cursor_follows_live_appends() {
+        let dir = temp_dir("live");
+        let mut journal = Journal::open(&dir, JournalConfig::default()).unwrap();
+        let mut cursor = ShipCursor::open(&dir, 0).unwrap();
+        assert!(cursor.next_batch(100).unwrap().records.is_empty());
+
+        journal
+            .append_batch(&(0..7).map(record).collect::<Vec<_>>())
+            .unwrap();
+        let batch = cursor.next_batch(100).unwrap();
+        assert_eq!(batch.first_lsn, 0);
+        assert_eq!(batch.records.len(), 7);
+        assert_eq!(batch.records[3], record(3));
+        assert_eq!(cursor.next_lsn(), 7);
+
+        // Caught up: empty batch, position unchanged.
+        assert!(cursor.next_batch(100).unwrap().records.is_empty());
+        assert_eq!(cursor.next_lsn(), 7);
+
+        journal.append_batch(&[record(7)]).unwrap();
+        let batch = cursor.next_batch(100).unwrap();
+        assert_eq!(batch.first_lsn, 7);
+        assert_eq!(batch.records, vec![record(7)]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cursor_follows_rotation_and_respects_max_records() {
+        let dir = temp_dir("rotate");
+        let config = JournalConfig {
+            max_segment_bytes: 200,
+        };
+        let mut journal = Journal::open(&dir, config).unwrap();
+        for i in 0..40 {
+            journal.append_batch(&[record(i)]).unwrap();
+        }
+        assert!(journal.stats().segments > 2, "rotation must have happened");
+
+        let mut cursor = ShipCursor::open(&dir, 0).unwrap();
+        let mut got = Vec::new();
+        loop {
+            let batch = cursor.next_batch(6).unwrap();
+            if batch.records.is_empty() {
+                break;
+            }
+            assert!(batch.records.len() <= 6);
+            assert_eq!(batch.first_lsn, got.len() as u64);
+            got.extend(batch.records);
+        }
+        assert_eq!(got.len(), 40);
+        for (i, r) in got.iter().enumerate() {
+            assert_eq!(*r, record(i as u64), "lsn {i}");
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cursor_opens_mid_log_and_mid_segment() {
+        let dir = temp_dir("mid");
+        let config = JournalConfig {
+            max_segment_bytes: 300,
+        };
+        let mut journal = Journal::open(&dir, config).unwrap();
+        for i in 0..30 {
+            journal.append_batch(&[record(i)]).unwrap();
+        }
+        for from in [0u64, 1, 13, 29, 30] {
+            let mut cursor = ShipCursor::open(&dir, from).unwrap();
+            let batch = cursor.next_batch(1000).unwrap();
+            assert_eq!(batch.records.len() as u64, 30 - from, "from {from}");
+            if from < 30 {
+                assert_eq!(batch.first_lsn, from);
+                assert_eq!(batch.records[0], record(from));
+            }
+        }
+        // Beyond the tail: divergence.
+        let err = ShipCursor::open(&dir, 31).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compacted_history_refuses_to_open() {
+        let dir = temp_dir("compacted");
+        let config = JournalConfig {
+            max_segment_bytes: 200,
+        };
+        let mut journal = Journal::open(&dir, config).unwrap();
+        for i in 0..30 {
+            journal.append_batch(&[record(i)]).unwrap();
+        }
+        write_snapshot(&dir, 20, &[], &[]).unwrap();
+        let report = journal.compact(20).unwrap();
+        assert!(report.segments_removed >= 1);
+        let err = ShipCursor::open(&dir, 0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        // Everything at or after the oldest surviving segment still ships.
+        let oldest = crate::segment::list_segments(&dir).unwrap()[0].0;
+        let mut cursor = ShipCursor::open(&dir, oldest).unwrap();
+        let batch = cursor.next_batch(1000).unwrap();
+        assert_eq!(batch.first_lsn, oldest);
+        assert_eq!(batch.records.len() as u64, 30 - oldest);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_directory_at_lsn_zero_waits_for_the_journal() {
+        let dir = temp_dir("empty");
+        fs::create_dir_all(&dir).unwrap();
+        let mut cursor = ShipCursor::open(&dir, 0).unwrap();
+        assert!(cursor.next_batch(10).unwrap().records.is_empty());
+        let mut journal = Journal::open(&dir, JournalConfig::default()).unwrap();
+        journal.append_batch(&[record(0)]).unwrap();
+        assert_eq!(cursor.next_batch(10).unwrap().records, vec![record(0)]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

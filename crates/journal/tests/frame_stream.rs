@@ -1,0 +1,202 @@
+//! `split_frame` as a *streaming* decoder: property tests proving that
+//! how bytes arrive — one at a time, in random chunks, or all at once —
+//! never changes what a stream parser concludes.
+//!
+//! The wire client and the replication pull loop both sit in a loop of
+//! "`split_frame`, and on `Incomplete` read more bytes". That loop is
+//! only sound if classification is **monotone across chunk boundaries**:
+//! `Incomplete` may progress to `Frame` or `Corrupt` as bytes arrive
+//! (that is the protocol working), but a decision, once reached, must
+//! never flip — a prefix judged `Corrupt` must stay corrupt under any
+//! extension, a complete `Frame` must keep the same length, and two
+//! decoders fed the same bytes under different chunkings must extract
+//! identical frame sequences and identical terminal states.
+
+use proptest::prelude::*;
+use wsrep_journal::frame::{split_frame, write_frame, FrameSplit, FRAME_HEADER_LEN};
+
+/// What a streaming decode of a whole byte sequence concluded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct StreamOutcome {
+    /// Every complete frame payload, in order.
+    payloads: Vec<Vec<u8>>,
+    /// True if the decoder hit `Corrupt` (it stops there); false means
+    /// it ended waiting for more bytes (`Incomplete`, possibly empty).
+    corrupt: bool,
+    /// Bytes consumed by complete frames when the decode ended.
+    consumed: usize,
+}
+
+/// Run the client/replica receive loop over `stream`, fed in `chunks`
+/// pieces (chunk lengths are clamped to the bytes remaining; leftover
+/// bytes after the last chunk arrive as one final chunk).
+fn drive(stream: &[u8], chunks: &[usize]) -> StreamOutcome {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut pos = 0usize;
+    let mut fed = 0usize;
+    let mut payloads = Vec::new();
+    let feed_plan = chunks
+        .iter()
+        .copied()
+        .chain(std::iter::once(stream.len()))
+        .collect::<Vec<_>>();
+    for take in feed_plan {
+        let take = take.min(stream.len() - fed);
+        buf.extend_from_slice(&stream[fed..fed + take]);
+        fed += take;
+        loop {
+            match split_frame(&buf[pos..]) {
+                FrameSplit::Frame { frame_len } => {
+                    payloads.push(buf[pos + FRAME_HEADER_LEN..pos + frame_len].to_vec());
+                    pos += frame_len;
+                }
+                FrameSplit::Incomplete => break,
+                FrameSplit::Corrupt => {
+                    return StreamOutcome {
+                        payloads,
+                        corrupt: true,
+                        consumed: pos,
+                    }
+                }
+            }
+        }
+    }
+    StreamOutcome {
+        payloads,
+        corrupt: false,
+        consumed: pos,
+    }
+}
+
+/// Encode `payloads` into one contiguous frame stream.
+fn encode(payloads: &[Vec<u8>]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for p in payloads {
+        write_frame(&mut buf, p);
+    }
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Byte-at-a-time delivery recovers exactly the frames that were
+    /// written, with no corruption verdict, wherever a trailing
+    /// truncation cuts.
+    #[test]
+    fn byte_at_a_time_equals_all_at_once(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(0u8..=255, 0..40),
+            0..8,
+        ),
+        cut_back in 0usize..24,
+    ) {
+        let stream = encode(&payloads);
+        let keep = stream.len().saturating_sub(cut_back);
+        let stream = &stream[..keep];
+
+        let trickled = drive(stream, &vec![1; stream.len()]);
+        let whole = drive(stream, &[]);
+        prop_assert_eq!(&trickled, &whole, "chunking changed the outcome");
+        prop_assert!(!trickled.corrupt, "truncation is Incomplete, never Corrupt");
+        // Every recovered frame matches what was written, in order.
+        for (got, want) in trickled.payloads.iter().zip(payloads.iter()) {
+            prop_assert_eq!(got, want);
+        }
+        // The cut only ever costs the trailing partial frame.
+        prop_assert!(stream.len() - trickled.consumed <= FRAME_HEADER_LEN + 40);
+    }
+
+    /// Any random chunking of the same bytes yields the same frames and
+    /// the same terminal classification — including streams damaged by a
+    /// byte flip, where every chunking must converge on `Corrupt` at the
+    /// same consumed offset.
+    #[test]
+    fn random_chunking_never_flips_the_classification(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(0u8..=255, 0..40),
+            1..8,
+        ),
+        chunks_a in proptest::collection::vec(1usize..13, 0..64),
+        chunks_b in proptest::collection::vec(1usize..13, 0..64),
+        // mask 0 = undamaged stream (XOR by zero changes nothing).
+        flip in (0usize..256, 0u8..=255),
+    ) {
+        let mut stream = encode(&payloads);
+        let (at, mask) = flip;
+        if !stream.is_empty() {
+            let at = at % stream.len();
+            stream[at] ^= mask;
+        }
+        let a = drive(&stream, &chunks_a);
+        let b = drive(&stream, &chunks_b);
+        prop_assert_eq!(&a, &b, "two chunkings disagreed on the same bytes");
+
+        // A decoder that saw corruption consumed only whole valid
+        // frames before stopping, and those frames are a prefix of the
+        // originals (damage never rewrites an already-valid frame).
+        for (got, want) in a.payloads.iter().zip(payloads.iter()) {
+            prop_assert_eq!(got, want);
+        }
+        if !a.corrupt {
+            // No corruption seen: the flip either missed (mask cancels
+            // nothing — it cannot, XOR with nonzero always changes the
+            // byte) or landed in the torn tail / produced a still-
+            // incomplete longer length. All bytes short of a frame
+            // remain pending.
+            prop_assert!(a.consumed <= stream.len());
+        }
+    }
+
+    /// Monotonicity of `split_frame` itself: a verdict on a prefix never
+    /// flips when more bytes arrive. `Corrupt` stays `Corrupt`; a
+    /// complete `Frame` keeps its exact length; `Incomplete` only ever
+    /// progresses.
+    #[test]
+    fn verdicts_are_monotone_under_extension(
+        payload in proptest::collection::vec(0u8..=255, 0..64),
+        garbage in proptest::collection::vec(0u8..=255, 0..32),
+        // mask 0 = undamaged frame (XOR by zero changes nothing).
+        flip in (0usize..96, 0u8..=255),
+    ) {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &payload);
+        let (at, mask) = flip;
+        let at = at % stream.len();
+        stream[at] ^= mask;
+        stream.extend_from_slice(&garbage);
+
+        let mut verdict_at_full: Option<FrameSplit> = None;
+        for cut in 0..=stream.len() {
+            let verdict = split_frame(&stream[..cut]);
+            match verdict {
+                FrameSplit::Corrupt => {
+                    // Once corrupt, every extension stays corrupt.
+                    for later in cut..=stream.len() {
+                        prop_assert_eq!(split_frame(&stream[..later]), FrameSplit::Corrupt);
+                    }
+                    verdict_at_full = Some(FrameSplit::Corrupt);
+                    break;
+                }
+                FrameSplit::Frame { frame_len } => {
+                    // A complete frame keeps its length under extension.
+                    for later in cut..=stream.len() {
+                        prop_assert_eq!(
+                            split_frame(&stream[..later]),
+                            FrameSplit::Frame { frame_len }
+                        );
+                    }
+                    verdict_at_full = Some(FrameSplit::Frame { frame_len });
+                    break;
+                }
+                FrameSplit::Incomplete => {}
+            }
+        }
+        // The loop's conclusion matches judging the whole buffer at once.
+        let full = split_frame(&stream);
+        match verdict_at_full {
+            Some(v) => prop_assert_eq!(full, v),
+            None => prop_assert_eq!(full, FrameSplit::Incomplete),
+        }
+    }
+}

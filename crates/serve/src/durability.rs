@@ -30,6 +30,9 @@ pub struct JournalHealth {
     pub last_fsync_nanos: u64,
     /// Group commits (fsyncs) issued since the service started.
     pub commits: u64,
+    /// One past the LSN of the last record in the log — the durable
+    /// watermark replication watermarks and staleness are measured in.
+    pub durable_lsn: u64,
     /// Entries replayed at startup (snapshot entries + WAL records).
     pub records_recovered: u64,
     /// True once any journal append has failed; the service keeps
@@ -82,12 +85,16 @@ impl JournalHandle {
     }
 
     pub(crate) fn health(&self) -> JournalHealth {
-        let stats = self.lock().stats();
+        let journal = self.lock();
+        let stats = journal.stats();
+        let durable_lsn = journal.next_lsn();
+        drop(journal);
         JournalHealth {
             segments: stats.segments,
             bytes_appended: stats.bytes_appended,
             last_fsync_nanos: stats.last_fsync_nanos,
             commits: stats.commits,
+            durable_lsn,
             records_recovered: self.records_recovered,
             degraded: self.degraded.load(Ordering::SeqCst),
         }

@@ -526,6 +526,73 @@ impl ReputationService {
         self.ingest.flush();
     }
 
+    /// Apply a run of replicated journal records in shipped order — the
+    /// entry point a replication follower feeds records pulled from its
+    /// primary through.
+    ///
+    /// Contiguous feedback records ride the batched ingest pipeline;
+    /// listing operations (publish/deregister) apply inline. Before each
+    /// listing operation — and once at the end — the pipeline is flushed,
+    /// so with a journal attached the replica's *own* log records the
+    /// stream in exactly the shipped LSN order: local LSNs equal primary
+    /// LSNs, which is what lets a promoted replica's log stand in for the
+    /// primary's. A deregister of an unknown service is tolerated (the
+    /// primary only journals removals that happened, so this indicates
+    /// nothing worse than a duplicate delivery).
+    ///
+    /// Returns how many records were applied; when it returns, every one
+    /// of them is queryable (and durable, with a journal attached).
+    pub fn apply_replicated(
+        &self,
+        records: impl IntoIterator<Item = JournalRecord>,
+    ) -> Result<u64, IngestClosed> {
+        let mut applied = 0u64;
+        let mut batch: Vec<Feedback> = Vec::new();
+        for record in records {
+            match record {
+                JournalRecord::Feedback(report) => batch.push(report),
+                JournalRecord::Publish(listing) => {
+                    applied += self.drain_replicated(&mut batch)?;
+                    self.publish(listing);
+                    applied += 1;
+                }
+                JournalRecord::Deregister(service) => {
+                    applied += self.drain_replicated(&mut batch)?;
+                    let _ = self.deregister(service);
+                    applied += 1;
+                }
+            }
+        }
+        applied += self.drain_replicated(&mut batch)?;
+        Ok(applied)
+    }
+
+    /// Submit buffered replicated feedback and wait until it is applied
+    /// (and journaled, when a journal is attached).
+    fn drain_replicated(&self, batch: &mut Vec<Feedback>) -> Result<u64, IngestClosed> {
+        if batch.is_empty() {
+            return Ok(0);
+        }
+        let accepted = self.ingest_batch(batch.drain(..))?;
+        self.flush();
+        Ok(accepted)
+    }
+
+    /// One past the LSN of the last record in the attached journal — the
+    /// durable watermark replication lag is measured against. `None`
+    /// without a journal.
+    pub fn durable_lsn(&self) -> Option<u64> {
+        self.journal.as_ref().map(|handle| handle.lock().next_lsn())
+    }
+
+    /// The attached journal's directory, when one is attached — where a
+    /// [`wsrep_journal::ShipCursor`] reads records to replicate.
+    pub fn journal_dir(&self) -> Option<PathBuf> {
+        self.journal
+            .as_ref()
+            .map(|handle| handle.lock().dir().to_path_buf())
+    }
+
     /// Snapshot the full registry state at a consistent LSN, then drop
     /// every WAL segment (and superseded snapshot) the new snapshot
     /// covers. Returns `None` when no journal is attached.

@@ -13,9 +13,10 @@
 //!   are needed; keeping a sliding window of queued requests amortizes
 //!   the round trip across the window.
 
-use crate::proto::{ErrorCode, Request, Response, WireRanked, WireStats};
+use crate::proto::{ErrorCode, ReplBatch, ReplWatermark, Request, Response, WireRanked, WireStats};
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 use wsrep_core::feedback::Feedback;
 use wsrep_core::id::{ServiceId, SubjectId};
 use wsrep_core::trust::TrustEstimate;
@@ -28,6 +29,14 @@ use wsrep_sim::registry::{Listing, PublishStatus};
 pub enum ClientError {
     /// The socket failed.
     Io(io::Error),
+    /// The server went away: connection reset, broken pipe, or the
+    /// stream ended mid-response. Retryable by reconnecting.
+    Disconnected(String),
+    /// A configured read timeout elapsed with the response still owed
+    /// (see [`Client::set_read_timeout`]). The connection is left in an
+    /// indeterminate mid-frame state — reconnect rather than retry on
+    /// the same stream.
+    TimedOut,
     /// The server answered with a protocol error.
     Server {
         /// The error code the server sent.
@@ -42,10 +51,34 @@ pub enum ClientError {
     Unexpected(Response),
 }
 
+impl ClientError {
+    /// Classify a socket error: timeouts and peer-gone conditions get
+    /// their own variants so callers can branch without matching on
+    /// [`io::ErrorKind`].
+    fn from_io(err: io::Error) -> Self {
+        match err.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ClientError::TimedOut,
+            io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::UnexpectedEof => ClientError::Disconnected(err.to_string()),
+            _ => ClientError::Io(err),
+        }
+    }
+
+    /// True when the failure means the server is gone (as opposed to a
+    /// protocol-level refusal or a slow response).
+    pub fn is_disconnected(&self) -> bool {
+        matches!(self, ClientError::Disconnected(_))
+    }
+}
+
 impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(err) => write!(f, "socket error: {err}"),
+            ClientError::Disconnected(what) => write!(f, "server disconnected: {what}"),
+            ClientError::TimedOut => write!(f, "read timed out with a response still owed"),
             ClientError::Server { code, message } => {
                 write!(f, "server error ({code}): {message}")
             }
@@ -61,7 +94,7 @@ impl std::error::Error for ClientError {}
 
 impl From<io::Error> for ClientError {
     fn from(err: io::Error) -> Self {
-        ClientError::Io(err)
+        ClientError::from_io(err)
     }
 }
 
@@ -96,6 +129,14 @@ impl Client {
     /// received responses).
     pub fn in_flight(&self) -> usize {
         self.in_flight
+    }
+
+    /// Bound how long [`Client::recv`] blocks on the socket. `None`
+    /// restores the default (block forever). When the bound elapses,
+    /// calls fail with [`ClientError::TimedOut`] instead of hanging on a
+    /// stalled or half-dead server.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
     }
 
     /// Encode `request` into the send buffer without writing the socket.
@@ -143,12 +184,11 @@ impl Client {
                 }
                 FrameSplit::Incomplete => {
                     let mut chunk = [0u8; 16 * 1024];
-                    let n = self.stream.read(&mut chunk).map_err(ClientError::Io)?;
+                    let n = self.stream.read(&mut chunk).map_err(ClientError::from_io)?;
                     if n == 0 {
-                        return Err(ClientError::Io(io::Error::new(
-                            io::ErrorKind::UnexpectedEof,
-                            "server closed the connection mid-response",
-                        )));
+                        return Err(ClientError::Disconnected(
+                            "server closed the connection mid-response".to_string(),
+                        ));
                     }
                     self.rbuf.extend_from_slice(&chunk[..n]);
                 }
@@ -248,6 +288,36 @@ impl Client {
     pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
         match self.call(&Request::Shutdown)? {
             Response::ShuttingDown => Ok(()),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Pull journal records from a primary, starting at `from_lsn`.
+    /// Replication-loop plumbing; plain readers never need this.
+    pub fn repl_pull(&mut self, from_lsn: u64, max_records: u32) -> Result<ReplBatch, ClientError> {
+        let request = Request::ReplPull {
+            from_lsn,
+            max_records,
+        };
+        match self.call(&request)? {
+            Response::ReplBatch(batch) => Ok(batch),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Report this replica's applied watermark; returns the primary's
+    /// view of the topology.
+    pub fn repl_heartbeat(
+        &mut self,
+        replica: u64,
+        durable_lsn: u64,
+    ) -> Result<ReplWatermark, ClientError> {
+        let request = Request::ReplHeartbeat {
+            replica,
+            durable_lsn,
+        };
+        match self.call(&request)? {
+            Response::ReplWatermark(watermark) => Ok(watermark),
             other => Err(ClientError::Unexpected(other)),
         }
     }

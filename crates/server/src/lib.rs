@@ -16,7 +16,10 @@
 //!   connections, with bounded pipeline depth, write-buffer
 //!   backpressure, slow-client eviction, and graceful drain-on-shutdown;
 //! - [`client`] — the blocking connection: call-style one-shot RPCs and
-//!   a queue/flush/recv pipelining API over reusable buffers.
+//!   a queue/flush/recv pipelining API over reusable buffers;
+//! - [`repl`] — the replication seam: the [`Replicator`] hook a cluster
+//!   primary plugs into the reactor to ship its log, and the
+//!   [`ReplicationGauge`] that surfaces watermarks and lag in `Stats`.
 //!
 //! The binary (`wsrep-server`) wraps [`server::Server`] around a
 //! [`ReputationService`](wsrep_serve::ReputationService) built from CLI
@@ -25,8 +28,13 @@
 
 pub mod client;
 pub mod proto;
+pub mod repl;
 pub mod server;
 
 pub use client::{Client, ClientError};
-pub use proto::{ErrorCode, Request, Response, ServerStats, WireRanked, WireStats, PROTO_VERSION};
-pub use server::{Server, ServerConfig};
+pub use proto::{
+    ErrorCode, ReplBatch, ReplRole, ReplWatermark, ReplicationStats, Request, Response,
+    ServerStats, WireRanked, WireStats, PROTO_VERSION,
+};
+pub use repl::{ReplError, ReplicationGauge, Replicator};
+pub use server::{ReplicationHooks, Server, ServerConfig};

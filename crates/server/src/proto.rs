@@ -42,6 +42,7 @@ use wsrep_journal::codec::{
     put_listing, put_metric, put_subject, put_u32, put_u64, CodecError, Cursor,
 };
 use wsrep_journal::frame::write_frame;
+use wsrep_journal::JournalRecord;
 use wsrep_qos::preference::Preferences;
 use wsrep_serve::{JournalHealth, RankedService, ServiceStats};
 use wsrep_sim::registry::{Listing, PublishStatus};
@@ -59,6 +60,11 @@ const OP_TOP_K: u8 = 0x06;
 const OP_STATS: u8 = 0x07;
 const OP_FLUSH: u8 = 0x08;
 const OP_SHUTDOWN: u8 = 0x09;
+// Replication opcode family: a follower pulls records and reports its
+// applied watermark. Pull-based shipping keeps the FIFO contract — a
+// replica is just another pipelined client.
+const OP_REPL_PULL: u8 = 0x10;
+const OP_REPL_HEARTBEAT: u8 = 0x11;
 
 // Response opcodes.
 const OP_PONG: u8 = 0x81;
@@ -70,6 +76,8 @@ const OP_TOP_K_RESULT: u8 = 0x86;
 const OP_STATS_RESULT: u8 = 0x87;
 const OP_FLUSHED: u8 = 0x88;
 const OP_SHUTTING_DOWN: u8 = 0x89;
+const OP_REPL_BATCH: u8 = 0x90;
+const OP_REPL_WATERMARK: u8 = 0x91;
 const OP_ERROR: u8 = 0xEE;
 
 /// Why the server rejected a message.
@@ -83,6 +91,11 @@ pub enum ErrorCode {
     ShuttingDown,
     /// The ingest pipeline is closed.
     IngestClosed,
+    /// This node cannot serve the replication request (not a primary, or
+    /// the requested history was compacted away).
+    ReplUnavailable,
+    /// This node is a read-only replica: writes must go to the primary.
+    ReadOnly,
 }
 
 impl ErrorCode {
@@ -92,6 +105,8 @@ impl ErrorCode {
             ErrorCode::BadRequest => 2,
             ErrorCode::ShuttingDown => 3,
             ErrorCode::IngestClosed => 4,
+            ErrorCode::ReplUnavailable => 5,
+            ErrorCode::ReadOnly => 6,
         }
     }
 
@@ -101,6 +116,8 @@ impl ErrorCode {
             2 => Ok(ErrorCode::BadRequest),
             3 => Ok(ErrorCode::ShuttingDown),
             4 => Ok(ErrorCode::IngestClosed),
+            5 => Ok(ErrorCode::ReplUnavailable),
+            6 => Ok(ErrorCode::ReadOnly),
             tag => Err(CodecError::BadTag {
                 what: "error code",
                 tag,
@@ -116,6 +133,8 @@ impl fmt::Display for ErrorCode {
             ErrorCode::BadRequest => write!(f, "malformed request payload"),
             ErrorCode::ShuttingDown => write!(f, "server shutting down"),
             ErrorCode::IngestClosed => write!(f, "ingest pipeline closed"),
+            ErrorCode::ReplUnavailable => write!(f, "replication unavailable here"),
+            ErrorCode::ReadOnly => write!(f, "read-only replica"),
         }
     }
 }
@@ -148,6 +167,20 @@ pub enum Request {
     Flush,
     /// Graceful shutdown: drain connections, flush ingest, exit.
     Shutdown,
+    /// Replication follower: pull journal records starting at `from_lsn`.
+    ReplPull {
+        /// LSN of the first record the follower wants.
+        from_lsn: u64,
+        /// Most records the primary should return in one batch.
+        max_records: u32,
+    },
+    /// Replication follower: report the watermark it has durably applied.
+    ReplHeartbeat {
+        /// Follower identity (stable across reconnects).
+        replica: u64,
+        /// One past the last LSN the follower has applied durably.
+        durable_lsn: u64,
+    },
 }
 
 /// One server response. Responses arrive in request order.
@@ -171,6 +204,12 @@ pub enum Response {
     Flushed,
     /// Answer to [`Request::Shutdown`]; the connection closes after this.
     ShuttingDown,
+    /// Answer to [`Request::ReplPull`]: shipped records plus the
+    /// primary's durable watermark.
+    ReplBatch(ReplBatch),
+    /// Answer to [`Request::ReplHeartbeat`]: the primary's view of the
+    /// replication topology.
+    ReplWatermark(ReplWatermark),
     /// The request could not be served.
     Error {
         /// Why.
@@ -207,6 +246,63 @@ impl From<&RankedService> for WireRanked {
     }
 }
 
+/// A run of journal records shipped from a primary's log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplBatch {
+    /// LSN of `records[0]` (meaningful only when records is non-empty).
+    pub first_lsn: u64,
+    /// Records in dense LSN order; empty means the follower is caught up.
+    pub records: Vec<JournalRecord>,
+    /// One past the last LSN the primary's journal holds.
+    pub durable_lsn: u64,
+}
+
+/// The primary's view of the replication topology, answered to a
+/// heartbeat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplWatermark {
+    /// One past the last LSN the primary's journal holds.
+    pub durable_lsn: u64,
+    /// Followers that heartbeated recently.
+    pub replicas: u32,
+    /// The slowest recent follower's applied watermark (equal to
+    /// `durable_lsn` when there are none).
+    pub min_replica_lsn: u64,
+}
+
+/// Which side of replication a node is on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplRole {
+    /// Accepts writes and ships its log.
+    Primary,
+    /// Applies a shipped log and serves bounded-staleness reads.
+    Replica,
+}
+
+/// Replication state surfaced in [`WireStats`] — the bounded-staleness
+/// watermark contract made observable: `lag` is how many records this
+/// node's reads may trail the other side's durable log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicationStats {
+    /// This node's role.
+    pub role: ReplRole,
+    /// One past the last LSN durable *here*.
+    pub local_durable_lsn: u64,
+    /// The other side's durable watermark: on a replica, the primary's
+    /// durable LSN as last seen; on a primary, the slowest tracked
+    /// replica's acked LSN.
+    pub remote_durable_lsn: u64,
+    /// Staleness in records: on a replica, how far its reads trail the
+    /// primary; on a primary, how far its slowest replica trails it.
+    pub lag: u64,
+    /// Followers tracked by recent heartbeats (primary side; 0 on
+    /// replicas).
+    pub replicas: u32,
+    /// Whether the replication link is currently up (always true on a
+    /// primary).
+    pub connected: bool,
+}
+
 /// Server-side wire counters, alongside [`ServiceStats`] in a
 /// [`Response::StatsResult`].
 ///
@@ -219,8 +315,8 @@ pub struct ServerStats {
     /// Connections closed since start.
     pub connections_closed: u64,
     /// Requests served, by opcode: ping, publish, deregister, ingest,
-    /// score, top_k, stats, flush, shutdown.
-    pub requests: [u64; 9],
+    /// score, top_k, stats, flush, shutdown, repl_pull, repl_heartbeat.
+    pub requests: [u64; 11],
     /// Feedback reports accepted over the wire (sum of ingest batch
     /// sizes).
     pub reports_ingested: u64,
@@ -252,6 +348,8 @@ pub struct WireStats {
     pub service: ServiceStats,
     /// The network layer's counters.
     pub server: ServerStats,
+    /// Replication watermarks, when this node is part of a cluster.
+    pub replication: Option<ReplicationStats>,
 }
 
 fn put_prefs(out: &mut Vec<u8>, prefs: &Preferences) {
@@ -323,6 +421,7 @@ fn put_service_stats(out: &mut Vec<u8>, stats: &ServiceStats) {
             put_u64(out, health.bytes_appended);
             put_u64(out, health.last_fsync_nanos);
             put_u64(out, health.commits);
+            put_u64(out, health.durable_lsn);
             put_u64(out, health.records_recovered);
             put_bool(out, health.degraded);
         }
@@ -351,6 +450,7 @@ fn get_service_stats(cur: &mut Cursor<'_>) -> Result<ServiceStats, CodecError> {
                 bytes_appended: cur.u64()?,
                 last_fsync_nanos: cur.u64()?,
                 commits: cur.u64()?,
+                durable_lsn: cur.u64()?,
                 records_recovered: cur.u64()?,
                 degraded: cur.bool()?,
             })
@@ -358,6 +458,48 @@ fn get_service_stats(cur: &mut Cursor<'_>) -> Result<ServiceStats, CodecError> {
             None
         },
     })
+}
+
+fn put_replication_stats(out: &mut Vec<u8>, stats: &Option<ReplicationStats>) {
+    match stats {
+        Some(r) => {
+            put_bool(out, true);
+            out.push(match r.role {
+                ReplRole::Primary => 0,
+                ReplRole::Replica => 1,
+            });
+            put_u64(out, r.local_durable_lsn);
+            put_u64(out, r.remote_durable_lsn);
+            put_u64(out, r.lag);
+            put_u32(out, r.replicas);
+            put_bool(out, r.connected);
+        }
+        None => put_bool(out, false),
+    }
+}
+
+fn get_replication_stats(cur: &mut Cursor<'_>) -> Result<Option<ReplicationStats>, CodecError> {
+    if !cur.bool()? {
+        return Ok(None);
+    }
+    let role = match cur.u8()? {
+        0 => ReplRole::Primary,
+        1 => ReplRole::Replica,
+        tag => {
+            return Err(CodecError::BadTag {
+                what: "replication role",
+                tag,
+            })
+        }
+    };
+    Ok(Some(ReplicationStats {
+        role,
+        local_durable_lsn: cur.u64()?,
+        remote_durable_lsn: cur.u64()?,
+        lag: cur.u64()?,
+        replicas: cur.u32()?,
+        connected: cur.bool()?,
+    }))
 }
 
 fn put_server_stats(out: &mut Vec<u8>, stats: &ServerStats) {
@@ -377,7 +519,7 @@ fn put_server_stats(out: &mut Vec<u8>, stats: &ServerStats) {
 fn get_server_stats(cur: &mut Cursor<'_>) -> Result<ServerStats, CodecError> {
     let connections_opened = cur.u64()?;
     let connections_closed = cur.u64()?;
-    let mut requests = [0u64; 9];
+    let mut requests = [0u64; 11];
     for slot in &mut requests {
         *slot = cur.u64()?;
     }
@@ -407,6 +549,8 @@ impl Request {
             Request::Stats => 6,
             Request::Flush => 7,
             Request::Shutdown => 8,
+            Request::ReplPull { .. } => 9,
+            Request::ReplHeartbeat { .. } => 10,
         }
     }
 
@@ -444,6 +588,22 @@ impl Request {
             Request::Stats => payload.push(OP_STATS),
             Request::Flush => payload.push(OP_FLUSH),
             Request::Shutdown => payload.push(OP_SHUTDOWN),
+            Request::ReplPull {
+                from_lsn,
+                max_records,
+            } => {
+                payload.push(OP_REPL_PULL);
+                put_u64(&mut payload, *from_lsn);
+                put_u32(&mut payload, *max_records);
+            }
+            Request::ReplHeartbeat {
+                replica,
+                durable_lsn,
+            } => {
+                payload.push(OP_REPL_HEARTBEAT);
+                put_u64(&mut payload, *replica);
+                put_u64(&mut payload, *durable_lsn);
+            }
         }
         write_frame(out, &payload);
     }
@@ -480,6 +640,14 @@ impl Request {
             OP_STATS => Request::Stats,
             OP_FLUSH => Request::Flush,
             OP_SHUTDOWN => Request::Shutdown,
+            OP_REPL_PULL => Request::ReplPull {
+                from_lsn: cur.u64().map_err(DecodeError::Codec)?,
+                max_records: cur.u32().map_err(DecodeError::Codec)?,
+            },
+            OP_REPL_HEARTBEAT => Request::ReplHeartbeat {
+                replica: cur.u64().map_err(DecodeError::Codec)?,
+                durable_lsn: cur.u64().map_err(DecodeError::Codec)?,
+            },
             tag => {
                 return Err(DecodeError::Codec(CodecError::BadTag {
                     what: "request opcode",
@@ -540,9 +708,30 @@ impl Response {
                 payload.push(OP_STATS_RESULT);
                 put_service_stats(payload, &stats.service);
                 put_server_stats(payload, &stats.server);
+                put_replication_stats(payload, &stats.replication);
             }
             Response::Flushed => payload.push(OP_FLUSHED),
             Response::ShuttingDown => payload.push(OP_SHUTTING_DOWN),
+            Response::ReplBatch(batch) => {
+                payload.push(OP_REPL_BATCH);
+                put_u64(payload, batch.first_lsn);
+                put_u64(payload, batch.durable_lsn);
+                put_u32(payload, batch.records.len() as u32);
+                // Each record is length-prefixed: `JournalRecord::decode`
+                // wants exactly one record's bytes.
+                let mut record_buf = Vec::new();
+                for record in &batch.records {
+                    record_buf.clear();
+                    record.encode(&mut record_buf);
+                    put_bytes(payload, &record_buf);
+                }
+            }
+            Response::ReplWatermark(mark) => {
+                payload.push(OP_REPL_WATERMARK);
+                put_u64(payload, mark.durable_lsn);
+                put_u32(payload, mark.replicas);
+                put_u64(payload, mark.min_replica_lsn);
+            }
             Response::Error { code, message } => {
                 payload.push(OP_ERROR);
                 payload.push(code.to_wire());
@@ -591,10 +780,35 @@ impl Response {
             OP_STATS_RESULT => {
                 let service = get_service_stats(&mut cur).map_err(DecodeError::Codec)?;
                 let server = get_server_stats(&mut cur).map_err(DecodeError::Codec)?;
-                Response::StatsResult(Box::new(WireStats { service, server }))
+                let replication = get_replication_stats(&mut cur).map_err(DecodeError::Codec)?;
+                Response::StatsResult(Box::new(WireStats {
+                    service,
+                    server,
+                    replication,
+                }))
             }
             OP_FLUSHED => Response::Flushed,
             OP_SHUTTING_DOWN => Response::ShuttingDown,
+            OP_REPL_BATCH => {
+                let first_lsn = cur.u64().map_err(DecodeError::Codec)?;
+                let durable_lsn = cur.u64().map_err(DecodeError::Codec)?;
+                let n = cur.u32().map_err(DecodeError::Codec)?;
+                let mut records = Vec::with_capacity(n.min(65_536) as usize);
+                for _ in 0..n {
+                    let bytes = cur.bytes().map_err(DecodeError::Codec)?;
+                    records.push(JournalRecord::decode(bytes).map_err(DecodeError::Codec)?);
+                }
+                Response::ReplBatch(ReplBatch {
+                    first_lsn,
+                    records,
+                    durable_lsn,
+                })
+            }
+            OP_REPL_WATERMARK => Response::ReplWatermark(ReplWatermark {
+                durable_lsn: cur.u64().map_err(DecodeError::Codec)?,
+                replicas: cur.u32().map_err(DecodeError::Codec)?,
+                min_replica_lsn: cur.u64().map_err(DecodeError::Codec)?,
+            }),
             OP_ERROR => {
                 let code = ErrorCode::from_wire(cur.u8().map_err(DecodeError::Codec)?)
                     .map_err(DecodeError::Codec)?;
@@ -696,6 +910,14 @@ mod tests {
             Request::Stats,
             Request::Flush,
             Request::Shutdown,
+            Request::ReplPull {
+                from_lsn: 42,
+                max_records: 512,
+            },
+            Request::ReplHeartbeat {
+                replica: 7,
+                durable_lsn: 41,
+            },
         ];
         for request in requests {
             assert_eq!(roundtrip_request(&request), request);
@@ -739,6 +961,7 @@ mod tests {
                         bytes_appended: 2,
                         last_fsync_nanos: 3,
                         commits: 4,
+                        durable_lsn: 99,
                         records_recovered: 5,
                         degraded: false,
                     }),
@@ -746,7 +969,7 @@ mod tests {
                 server: ServerStats {
                     connections_opened: 3,
                     connections_closed: 1,
-                    requests: [1, 2, 3, 4, 5, 6, 7, 8, 9],
+                    requests: [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11],
                     reports_ingested: 100,
                     malformed_frames: 1,
                     protocol_errors: 2,
@@ -754,12 +977,57 @@ mod tests {
                     bytes_in: 4,
                     bytes_out: 5,
                 },
+                replication: Some(ReplicationStats {
+                    role: ReplRole::Replica,
+                    local_durable_lsn: 90,
+                    remote_durable_lsn: 99,
+                    lag: 9,
+                    replicas: 0,
+                    connected: true,
+                }),
             })),
             Response::Flushed,
             Response::ShuttingDown,
+            Response::ReplBatch(ReplBatch {
+                first_lsn: 17,
+                records: vec![
+                    JournalRecord::Feedback(Feedback::scored(
+                        AgentId::new(1),
+                        ServiceId::new(2),
+                        0.75,
+                        Time::new(3),
+                    )),
+                    JournalRecord::Publish(Listing {
+                        service: ServiceId::new(4),
+                        provider: ProviderId::new(5),
+                        category: 6,
+                        advertised: QosVector::from_pairs([(Metric::Accuracy, 0.9)]),
+                    }),
+                    JournalRecord::Deregister(ServiceId::new(4)),
+                ],
+                durable_lsn: 20,
+            }),
+            Response::ReplBatch(ReplBatch {
+                first_lsn: 0,
+                records: Vec::new(),
+                durable_lsn: 0,
+            }),
+            Response::ReplWatermark(ReplWatermark {
+                durable_lsn: 20,
+                replicas: 2,
+                min_replica_lsn: 17,
+            }),
             Response::Error {
                 code: ErrorCode::BadRequest,
                 message: "nope".to_string(),
+            },
+            Response::Error {
+                code: ErrorCode::ReadOnly,
+                message: "replica".to_string(),
+            },
+            Response::Error {
+                code: ErrorCode::ReplUnavailable,
+                message: "not a primary".to_string(),
             },
         ];
         for response in responses {

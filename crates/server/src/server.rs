@@ -39,6 +39,7 @@
 //! is durable before the process exits.
 
 use crate::proto::{ErrorCode, Request, Response, ServerStats, WireRanked, WireStats};
+use crate::repl::{ReplicationGauge, Replicator};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -79,7 +80,7 @@ impl Default for ServerConfig {
 struct Counters {
     connections_opened: AtomicU64,
     connections_closed: AtomicU64,
-    requests: [AtomicU64; 9],
+    requests: [AtomicU64; 11],
     reports_ingested: AtomicU64,
     malformed_frames: AtomicU64,
     protocol_errors: AtomicU64,
@@ -90,7 +91,7 @@ struct Counters {
 
 impl Counters {
     fn snapshot(&self) -> ServerStats {
-        let mut requests = [0u64; 9];
+        let mut requests = [0u64; 11];
         for (slot, counter) in requests.iter_mut().zip(&self.requests) {
             *slot = counter.load(Ordering::Relaxed);
         }
@@ -108,11 +109,30 @@ impl Counters {
     }
 }
 
+/// Replication hooks a cluster node plugs into its server. A plain
+/// standalone server uses [`ReplicationHooks::default`]: no shipping,
+/// no gauge, writes allowed.
+#[derive(Default)]
+pub struct ReplicationHooks {
+    /// Serves `ReplPull`/`ReplHeartbeat` (a primary's shipped log).
+    pub replicator: Option<Arc<dyn Replicator>>,
+    /// Staleness watermarks surfaced in the `Stats` response.
+    pub gauge: Option<Arc<ReplicationGauge>>,
+    /// Start in read-only mode: reject writes (publish, deregister,
+    /// ingest) with [`ErrorCode::ReadOnly`]. A replica serves reads at
+    /// its watermark; promotion flips this off via
+    /// [`Server::set_read_only`].
+    pub read_only: bool,
+}
+
 /// State every thread shares.
 struct Shared {
     service: Arc<ReputationService>,
     counters: Counters,
     shutdown: AtomicBool,
+    read_only: AtomicBool,
+    replicator: Option<Arc<dyn Replicator>>,
+    repl_gauge: Option<Arc<ReplicationGauge>>,
     config: ServerConfig,
 }
 
@@ -132,6 +152,18 @@ impl Server {
         addr: impl ToSocketAddrs,
         config: ServerConfig,
     ) -> io::Result<Server> {
+        Server::start_with_replication(service, addr, config, ReplicationHooks::default())
+    }
+
+    /// [`Server::start`] with replication hooks attached — how a cluster
+    /// primary ships its log and a replica serves read-only at its
+    /// watermark.
+    pub fn start_with_replication(
+        service: Arc<ReputationService>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        hooks: ReplicationHooks,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
@@ -139,6 +171,9 @@ impl Server {
             service,
             counters: Counters::default(),
             shutdown: AtomicBool::new(false),
+            read_only: AtomicBool::new(hooks.read_only),
+            replicator: hooks.replicator,
+            repl_gauge: hooks.gauge,
             config,
         });
         let workers_n = config.workers.max(1);
@@ -181,6 +216,17 @@ impl Server {
     /// Whether shutdown has been requested (locally or over the wire).
     pub fn is_shutting_down(&self) -> bool {
         self.shared.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Flip read-only mode. A promoted replica calls
+    /// `set_read_only(false)` to start accepting writes.
+    pub fn set_read_only(&self, read_only: bool) {
+        self.shared.read_only.store(read_only, Ordering::Release);
+    }
+
+    /// Whether writes are currently rejected with [`ErrorCode::ReadOnly`].
+    pub fn is_read_only(&self) -> bool {
+        self.shared.read_only.load(Ordering::Acquire)
     }
 
     /// Request a graceful shutdown: stop accepting, drain every
@@ -498,6 +544,17 @@ fn serve_payload(shared: &Shared, payload: &[u8], draining: bool) -> Response {
             message: "server is draining".to_string(),
         };
     }
+    if shared.read_only.load(Ordering::Acquire)
+        && matches!(
+            request,
+            Request::Publish(_) | Request::Deregister(_) | Request::Ingest(_)
+        )
+    {
+        return Response::Error {
+            code: ErrorCode::ReadOnly,
+            message: "read-only replica; writes must go to the primary".to_string(),
+        };
+    }
     match request {
         Request::Ping => Response::Pong,
         Request::Publish(listing) => Response::Published(shared.service.publish(listing)),
@@ -529,6 +586,7 @@ fn serve_payload(shared: &Shared, payload: &[u8], draining: bool) -> Response {
         Request::Stats => Response::StatsResult(Box::new(WireStats {
             service: shared.service.stats(),
             server: shared.counters.snapshot(),
+            replication: shared.repl_gauge.as_ref().map(|gauge| gauge.snapshot()),
         })),
         Request::Flush => {
             // Blocks this worker until the pipeline catches up — the
@@ -540,5 +598,31 @@ fn serve_payload(shared: &Shared, payload: &[u8], draining: bool) -> Response {
             shared.shutdown.store(true, Ordering::Release);
             Response::ShuttingDown
         }
+        Request::ReplPull {
+            from_lsn,
+            max_records,
+        } => match shared.replicator.as_deref() {
+            Some(replicator) => match replicator.pull(from_lsn, max_records) {
+                Ok(batch) => Response::ReplBatch(batch),
+                Err(err) => Response::Error {
+                    code: ErrorCode::ReplUnavailable,
+                    message: err.to_string(),
+                },
+            },
+            None => Response::Error {
+                code: ErrorCode::ReplUnavailable,
+                message: "this node does not ship a log".to_string(),
+            },
+        },
+        Request::ReplHeartbeat {
+            replica,
+            durable_lsn,
+        } => match shared.replicator.as_deref() {
+            Some(replicator) => Response::ReplWatermark(replicator.heartbeat(replica, durable_lsn)),
+            None => Response::Error {
+                code: ErrorCode::ReplUnavailable,
+                message: "this node does not track replicas".to_string(),
+            },
+        },
     }
 }
