@@ -61,6 +61,16 @@
 //! The JSON line carries the whole sweep plus flat
 //! `query_ops_per_sec_{1,8,max}t` keys for CI gates; the checked-in
 //! curve is BENCH_readpath.json.
+//!
+//! `--write-heavy` is the ingest-side dual: sweep pure ingest load at 1,
+//! 2, 4, … up to `ingest_threads` producer threads, each point against a
+//! freshly built service (and, with `--journal`, a fresh WAL directory),
+//! timed from first submit to `flush()` so every point includes its
+//! durability cost. `--writer-groups N` partitions the journal over N
+//! writer groups — N private logs, N independent group-commit fsync
+//! pipelines — which is the knob the checked-in BENCH_wal.json compares
+//! at 1 vs 2 vs 4 groups. Per-point fsync stats (commits, last-fsync
+//! latency, bytes) ride along in the JSON line.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -94,6 +104,9 @@ struct Config {
     skew: f64,
     replay: bool,
     read_heavy: bool,
+    write_heavy: bool,
+    writer_groups: usize,
+    batch_size: usize,
     socket: Option<String>,
     replicas: Vec<String>,
     shutdown: bool,
@@ -104,6 +117,9 @@ fn parse_args() -> Config {
     let mut skew = 0.0f64;
     let mut replay = false;
     let mut read_heavy = false;
+    let mut write_heavy = false;
+    let mut writer_groups = 1usize;
+    let mut batch_size = 128usize;
     let mut socket = None;
     let mut replicas = Vec::new();
     let mut shutdown = false;
@@ -130,6 +146,26 @@ fn parse_args() -> Config {
             replay = true;
         } else if arg == "--read-heavy" {
             read_heavy = true;
+        } else if arg == "--write-heavy" {
+            write_heavy = true;
+        } else if arg == "--writer-groups" {
+            let value = args.next().expect("--writer-groups takes a count");
+            writer_groups = value
+                .parse()
+                .unwrap_or_else(|_| panic!("--writer-groups expects a number, got {value:?}"));
+        } else if let Some(value) = arg.strip_prefix("--writer-groups=") {
+            writer_groups = value
+                .parse()
+                .unwrap_or_else(|_| panic!("--writer-groups expects a number, got {value:?}"));
+        } else if arg == "--batch" {
+            let value = args.next().expect("--batch takes a batch size");
+            batch_size = value
+                .parse()
+                .unwrap_or_else(|_| panic!("--batch expects a number, got {value:?}"));
+        } else if let Some(value) = arg.strip_prefix("--batch=") {
+            batch_size = value
+                .parse()
+                .unwrap_or_else(|_| panic!("--batch expects a number, got {value:?}"));
         } else if arg == "--skew" {
             let value = args.next().expect("--skew takes a Zipf exponent");
             skew = value
@@ -142,7 +178,7 @@ fn parse_args() -> Config {
         } else {
             numbers.push(arg.parse::<u64>().unwrap_or_else(|_| {
                 panic!(
-                    "expected a number or --journal[=DIR] / --skew S / --replay / --read-heavy / --socket ADDR / --replica ADDR / --shutdown, got {arg:?}"
+                    "expected a number or --journal[=DIR] / --skew S / --replay / --read-heavy / --write-heavy / --writer-groups N / --socket ADDR / --replica ADDR / --shutdown, got {arg:?}"
                 )
             }));
         }
@@ -164,6 +200,9 @@ fn parse_args() -> Config {
         skew,
         replay,
         read_heavy,
+        write_heavy,
+        writer_groups: writer_groups.max(1),
+        batch_size: batch_size.max(1),
         socket,
         replicas,
         shutdown,
@@ -222,7 +261,7 @@ fn run_read_heavy(config: Config) {
     let mut builder = ReputationService::builder()
         .shards(config.shards)
         .channel_capacity(4096)
-        .batch_size(128);
+        .batch_size(config.batch_size);
     if let Some(dir) = &config.journal {
         builder = builder.journal(dir);
     }
@@ -415,6 +454,183 @@ fn run_read_heavy(config: Config) {
         stats.cache_misses,
         stats.snapshot_swaps,
         stats.scratch_reuse,
+    );
+}
+
+/// One point of the write-heavy ingest sweep.
+struct WritePoint {
+    threads: u64,
+    ops_per_sec: f64,
+    commits: u64,
+    fsyncs_per_sec: f64,
+    last_fsync_ns: u64,
+    bytes_appended: u64,
+}
+
+/// The write-path sweep: pure ingest load at doubling producer counts,
+/// each point on a freshly built service so journal state never bleeds
+/// between points. Timed from first submit to `flush()` — with a journal
+/// attached every point pays its full group-commit fsync bill before the
+/// clock stops.
+fn run_write_heavy(config: Config) {
+    let mut thread_counts = Vec::new();
+    let mut t = 1;
+    while t < config.ingest_threads {
+        thread_counts.push(t);
+        t *= 2;
+    }
+    thread_counts.push(config.ingest_threads);
+
+    let mut seeder = StdRng::seed_from_u64(config.seed);
+    let listings: Vec<Listing> = (0..SERVICES)
+        .map(|s| Listing {
+            service: ServiceId::new(s),
+            provider: ProviderId::new(s / 4),
+            category: (s % CATEGORIES as u64) as u32,
+            advertised: QosVector::from_pairs([
+                (Metric::Price, seeder.gen_range(1.0..10.0)),
+                (Metric::ResponseTime, seeder.gen_range(20.0..500.0)),
+                (Metric::Accuracy, seeder.gen_range(0.3..1.0)),
+            ]),
+        })
+        .collect();
+
+    let started = Instant::now();
+    let mut sweep: Vec<WritePoint> = Vec::new();
+    for &threads in &thread_counts {
+        let point_dir = config
+            .journal
+            .as_ref()
+            .map(|dir| dir.join(format!("t{threads}")));
+        let mut builder = ReputationService::builder()
+            .shards(config.shards)
+            .channel_capacity(4096)
+            .batch_size(config.batch_size)
+            .writer_groups(config.writer_groups);
+        if let Some(dir) = &point_dir {
+            let _ = std::fs::remove_dir_all(dir);
+            builder = builder.journal(dir);
+        }
+        if config.replay {
+            builder = builder.replay_scoring();
+        }
+        let service = Arc::new(builder.build());
+        for listing in &listings {
+            service.publish(listing.clone());
+        }
+
+        let zipf = Arc::new(Zipf::new(SERVICES, config.skew));
+        let begun = Instant::now();
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let service = Arc::clone(&service);
+                let zipf = Arc::clone(&zipf);
+                let reports = config.reports_per_ingester;
+                let seed = config.seed.wrapping_add(threads * 100 + t + 1);
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    for i in 0..reports {
+                        let subject = zipf.sample(&mut rng);
+                        service
+                            .ingest(Feedback::scored(
+                                AgentId::new(t * 1_000 + 1),
+                                ServiceId::new(subject),
+                                rng.gen(),
+                                Time::new(i),
+                            ))
+                            .expect("pipeline open for the whole point");
+                    }
+                });
+            }
+        });
+        // Durability barrier: the point is not done until everything
+        // submitted is applied (and fsynced, with a journal).
+        service.flush();
+        let elapsed = begun.elapsed().as_secs_f64();
+
+        let stats = service.stats();
+        let total = threads * config.reports_per_ingester;
+        assert_eq!(stats.feedback, total, "every report applied");
+        let (commits, last_fsync_ns, bytes_appended) = match stats.journal {
+            Some(health) => {
+                assert!(!health.degraded, "journal degraded during the sweep");
+                assert_eq!(
+                    health.writer_groups, config.writer_groups as u64,
+                    "the journal must run the requested writer groups"
+                );
+                (
+                    health.commits,
+                    health.last_fsync_nanos,
+                    health.bytes_appended,
+                )
+            }
+            None => (0, 0, 0),
+        };
+        sweep.push(WritePoint {
+            threads,
+            ops_per_sec: total as f64 / elapsed,
+            commits,
+            fsyncs_per_sec: commits as f64 / elapsed,
+            last_fsync_ns,
+            bytes_appended,
+        });
+        drop(service);
+        if let Some(dir) = &point_dir {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+
+    let wall = started.elapsed().as_secs_f64();
+    let peak = sweep.last().expect("at least one sweep point");
+    let single = sweep.first().expect("at least one sweep point");
+
+    println!(
+        "loadgen --write-heavy: {} reports/thread, sweep {:?} threads, {} writer groups, {} shards, seed {}, skew {}{}",
+        config.reports_per_ingester,
+        thread_counts,
+        config.writer_groups,
+        config.shards,
+        config.seed,
+        config.skew,
+        if config.journal.is_some() {
+            ", journaled"
+        } else {
+            ""
+        },
+    );
+    for point in &sweep {
+        println!(
+            "{:>3} threads  {:>12.0} reports/sec   {:>9} commits ({:>8.0}/sec)   last fsync {:>8.2} µs",
+            point.threads,
+            point.ops_per_sec,
+            point.commits,
+            point.fsyncs_per_sec,
+            point.last_fsync_ns as f64 / 1_000.0,
+        );
+    }
+
+    let sweep_json: Vec<String> = sweep
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"threads\":{},\"ingest_ops_per_sec\":{:.0},\"commits\":{},\"fsyncs_per_sec\":{:.0},\"last_fsync_nanos\":{},\"bytes_appended\":{}}}",
+                p.threads, p.ops_per_sec, p.commits, p.fsyncs_per_sec, p.last_fsync_ns, p.bytes_appended
+            )
+        })
+        .collect();
+    println!(
+        "{{\"mode\":\"write_heavy\",\"writer_groups\":{},\"reports_per_ingester\":{},\"max_ingest_threads\":{},\"shards\":{},\"seed\":{},\"skew\":{},\"journaled\":{},\"wall_seconds\":{:.3},\"sweep\":[{}],\"ingest_ops_per_sec_1t\":{:.0},\"ingest_ops_per_sec\":{:.0}}}",
+        config.writer_groups,
+        config.reports_per_ingester,
+        config.ingest_threads,
+        config.shards,
+        config.seed,
+        config.skew,
+        config.journal.is_some(),
+        wall,
+        sweep_json.join(","),
+        single.ops_per_sec,
+        peak.ops_per_sec,
     );
 }
 
@@ -721,11 +937,16 @@ fn main() {
         run_read_heavy(config);
         return;
     }
+    if config.write_heavy {
+        run_write_heavy(config);
+        return;
+    }
 
     let mut builder = ReputationService::builder()
         .shards(config.shards)
         .channel_capacity(4096)
-        .batch_size(128);
+        .batch_size(config.batch_size)
+        .writer_groups(config.writer_groups);
     if let Some(dir) = &config.journal {
         builder = builder.journal(dir);
     }
@@ -879,12 +1100,13 @@ fn main() {
                 health.last_fsync_nanos as f64 / 1_000.0
             );
             format!(
-                "{{\"segments\":{},\"bytes_appended\":{},\"commits\":{},\"last_fsync_nanos\":{},\"records_recovered\":{}}}",
+                "{{\"segments\":{},\"bytes_appended\":{},\"commits\":{},\"last_fsync_nanos\":{},\"records_recovered\":{},\"writer_groups\":{}}}",
                 health.segments,
                 health.bytes_appended,
                 health.commits,
                 health.last_fsync_nanos,
-                health.records_recovered
+                health.records_recovered,
+                health.writer_groups
             )
         }
         None => "null".to_string(),

@@ -174,6 +174,81 @@ fn replicas_catch_up_then_follow_the_live_tail() {
 }
 
 #[test]
+fn a_partitioned_primary_ships_a_dense_merged_stream() {
+    let primary_dir = temp_dir("part-primary");
+    // Four writer groups: the primary's journal is partitioned over
+    // group-NNN/ subdirectories and replication reads it through the
+    // merged ship cursor. The replica stays single-log and re-journals
+    // the shipped stream sequentially, so its LSNs must still equal the
+    // primary's.
+    let service = Arc::new(
+        ReputationService::builder()
+            .shards(4)
+            .writer_groups(4)
+            .journal(&primary_dir)
+            .try_build()
+            .expect("partitioned journaled service"),
+    );
+    let primary = Primary::start(
+        Arc::clone(&service),
+        "127.0.0.1:0",
+        PrimaryConfig::default(),
+    )
+    .expect("primary");
+    let primary_addr = primary.local_addr().to_string();
+
+    service.publish(listing(1, 0));
+    service.publish(listing(2, 0));
+    for i in 0..96u64 {
+        service
+            .ingest(feedback(i, 1 + (i % 2), 0.3 + (i as f64 % 7.0) / 10.0, i))
+            .expect("ingest");
+    }
+    service.flush();
+    let after_history = service.durable_lsn().expect("journaled");
+    assert_eq!(after_history, 98, "crash-free watermark covers everything");
+
+    let dir = temp_dir("part-replica");
+    let replica =
+        Replica::start(&primary_addr[..], "127.0.0.1:0", &dir, replica_config(1)).expect("replica");
+    await_catch_up(&replica, after_history, 10);
+
+    // Live tail shipped while attached, still merged across groups.
+    for i in 96..128u64 {
+        service
+            .ingest(feedback(i, 1 + (i % 2), 0.8, i))
+            .expect("ingest tail");
+    }
+    service.flush();
+    let after_tail = service.durable_lsn().expect("journaled");
+    await_catch_up(&replica, after_tail, 10);
+
+    for subject in [ServiceId::new(1), ServiceId::new(2)] {
+        let ours = service.score(subject.into()).expect("primary score");
+        let theirs = replica
+            .service()
+            .score(subject.into())
+            .expect("replica score");
+        assert!(
+            (ours.value.get() - theirs.value.get()).abs() < 1e-9,
+            "replica diverged on {subject:?}"
+        );
+    }
+    assert_eq!(
+        replica.replication_stats().local_durable_lsn,
+        after_tail,
+        "replica LSNs equal primary LSNs across the merged stream"
+    );
+
+    replica.join();
+    primary.shutdown();
+    primary.join();
+    for dir in [primary_dir, dir] {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
 fn replicas_reject_writes_with_a_typed_error() {
     let primary_dir = temp_dir("ro-primary");
     let service = journaled_service(&primary_dir);

@@ -10,11 +10,20 @@
 //! recovery tolerates it: a torn tail on the *final* segment is truncated
 //! away (those records were never acknowledged durable), while damage to
 //! an earlier segment is real corruption and refuses to open.
+//!
+//! A journal writes one of two segment formats (see [`crate::segment`]):
+//! **dense** (v1), where LSNs follow from the segment start, or
+//! **tagged** (v2), where every frame carries its global LSN — the format
+//! of a partitioned journal's per-group logs, opened with
+//! [`Journal::open_tagged`] and appended with
+//! [`Journal::append_batch_at`] at LSNs handed out by a
+//! [`LsnAllocator`](crate::group::LsnAllocator).
 
 use crate::frame::write_frame;
 use crate::record::JournalRecord;
 use crate::segment::{
-    list_segments, scan_segment, segment_file_name, segment_header, SEGMENT_HEADER_LEN,
+    list_segments, scan_segment_entries, segment_file_name, segment_header, tagged_segment_header,
+    SEGMENT_HEADER_LEN,
 };
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write};
@@ -75,6 +84,7 @@ pub struct Journal {
     bytes_appended: u64,
     last_fsync_nanos: u64,
     commits: u64,
+    tagged: bool,
 }
 
 fn sync_dir(dir: &Path) -> io::Result<()> {
@@ -86,20 +96,25 @@ fn sync_dir(dir: &Path) -> io::Result<()> {
     Ok(())
 }
 
-fn create_segment(dir: &Path, start_lsn: u64) -> io::Result<File> {
+fn create_segment(dir: &Path, start_lsn: u64, tagged: bool) -> io::Result<File> {
     let path = dir.join(segment_file_name(start_lsn));
     let mut file = OpenOptions::new()
         .create_new(true)
         .write(true)
         .open(&path)?;
-    file.write_all(&segment_header(start_lsn))?;
+    let header = if tagged {
+        tagged_segment_header(start_lsn)
+    } else {
+        segment_header(start_lsn)
+    };
+    file.write_all(&header)?;
     file.sync_data()?;
     sync_dir(dir)?;
     Ok(file)
 }
 
 impl Journal {
-    /// Open (or create) the journal in `dir` and position the writer
+    /// Open (or create) a dense journal in `dir` and position the writer
     /// after the last durable record.
     ///
     /// A torn tail on the final segment — the signature of a crashed
@@ -107,14 +122,26 @@ impl Journal {
     /// an [`io::ErrorKind::InvalidData`] error: the log lost acknowledged
     /// history and must not be silently extended.
     pub fn open(dir: impl Into<PathBuf>, config: JournalConfig) -> io::Result<Journal> {
-        let dir = dir.into();
+        Self::open_inner(dir.into(), config, false)
+    }
+
+    /// Open (or create) an LSN-tagged journal in `dir` — one writer
+    /// group's log of a partitioned journal. Same crash-repair rules as
+    /// [`Journal::open`]; the writer resumes past the highest LSN on
+    /// disk, though the real resume point is the partition-wide
+    /// allocator's, which is at least this.
+    pub fn open_tagged(dir: impl Into<PathBuf>, config: JournalConfig) -> io::Result<Journal> {
+        Self::open_inner(dir.into(), config, true)
+    }
+
+    fn open_inner(dir: PathBuf, config: JournalConfig, tagged: bool) -> io::Result<Journal> {
         fs::create_dir_all(&dir)?;
         let mut segments = list_segments(&dir)?;
 
         // A final segment whose header never hit the disk holds zero
         // acknowledged records; drop it and fall back to its predecessor.
         while let Some((_, path)) = segments.last() {
-            if scan_segment(path)?.is_some() {
+            if scan_segment_entries(path)?.is_some() {
                 break;
             }
             fs::remove_file(path)?;
@@ -122,7 +149,7 @@ impl Journal {
         }
 
         if segments.is_empty() {
-            let file = create_segment(&dir, 0)?;
+            let file = create_segment(&dir, 0, tagged)?;
             return Ok(Journal {
                 dir,
                 config,
@@ -134,18 +161,30 @@ impl Journal {
                 bytes_appended: 0,
                 last_fsync_nanos: 0,
                 commits: 0,
+                tagged,
             });
         }
 
         let last_index = segments.len() - 1;
         let mut next_lsn = 0;
         for (i, (start_lsn, path)) in segments.iter().enumerate() {
-            let scan = scan_segment(path)?.ok_or_else(|| {
+            let scan = scan_segment_entries(path)?.ok_or_else(|| {
                 io::Error::new(
                     io::ErrorKind::InvalidData,
                     format!("segment {} has a corrupt header", path.display()),
                 )
             })?;
+            if scan.tagged != tagged {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "segment {} has format v{}, but this journal writes v{}",
+                        path.display(),
+                        if scan.tagged { 2 } else { 1 },
+                        if tagged { 2 } else { 1 },
+                    ),
+                ));
+            }
             if scan.torn && i != last_index {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
@@ -161,7 +200,12 @@ impl Journal {
                 file.set_len(scan.valid_len)?;
                 file.sync_data()?;
             }
-            next_lsn = start_lsn + scan.records.len() as u64;
+            next_lsn = scan
+                .entries
+                .last()
+                .map(|(lsn, _)| lsn + 1)
+                .unwrap_or(*start_lsn)
+                .max(next_lsn);
         }
 
         let (segment_start, last_path) = segments[last_index].clone();
@@ -178,6 +222,7 @@ impl Journal {
             bytes_appended: 0,
             last_fsync_nanos: 0,
             commits: 0,
+            tagged,
         })
     }
 
@@ -209,9 +254,39 @@ impl Journal {
     /// Group-commit a batch: one buffered write, one `fdatasync`.
     ///
     /// When this returns `Ok`, every record of the batch is durable. An
-    /// empty batch is a no-op that costs nothing.
+    /// empty batch is a no-op that costs nothing. Dense journals only —
+    /// a tagged journal's LSNs come from its partition's allocator, via
+    /// [`Journal::append_batch_at`].
     pub fn append_batch(&mut self, records: &[JournalRecord]) -> io::Result<AppendReceipt> {
-        let first_lsn = self.next_lsn;
+        assert!(
+            !self.tagged,
+            "append_batch on a tagged journal; LSNs must come from the allocator"
+        );
+        self.append_at(self.next_lsn, records)
+    }
+
+    /// Group-commit a batch whose first record has the globally allocated
+    /// LSN `first_lsn` (the batch occupies `[first_lsn, first_lsn + n)`).
+    /// Tagged journals only; `first_lsn` must not go backwards.
+    pub fn append_batch_at(
+        &mut self,
+        first_lsn: u64,
+        records: &[JournalRecord],
+    ) -> io::Result<AppendReceipt> {
+        assert!(self.tagged, "append_batch_at on a dense journal");
+        assert!(
+            first_lsn >= self.next_lsn,
+            "LSN {first_lsn} would rewind a journal already at {}",
+            self.next_lsn
+        );
+        self.append_at(first_lsn, records)
+    }
+
+    fn append_at(
+        &mut self,
+        first_lsn: u64,
+        records: &[JournalRecord],
+    ) -> io::Result<AppendReceipt> {
         if records.is_empty() {
             return Ok(AppendReceipt {
                 first_lsn,
@@ -220,12 +295,15 @@ impl Journal {
             });
         }
         if self.segment_bytes >= self.config.max_segment_bytes {
-            self.rotate()?;
+            self.rotate_to(first_lsn)?;
         }
         let mut buf = Vec::new();
         let mut payload = Vec::new();
-        for record in records {
+        for (i, record) in records.iter().enumerate() {
             payload.clear();
+            if self.tagged {
+                payload.extend_from_slice(&(first_lsn + i as u64).to_le_bytes());
+            }
             record.encode(&mut payload);
             write_frame(&mut buf, &payload);
         }
@@ -236,7 +314,7 @@ impl Journal {
 
         self.segment_bytes += buf.len() as u64;
         self.bytes_appended += buf.len() as u64;
-        self.next_lsn += records.len() as u64;
+        self.next_lsn = first_lsn + records.len() as u64;
         self.last_fsync_nanos = fsync_nanos;
         self.commits += 1;
         Ok(AppendReceipt {
@@ -248,9 +326,16 @@ impl Journal {
 
     /// Close the active segment and start a fresh one at the current LSN.
     pub fn rotate(&mut self) -> io::Result<()> {
+        self.rotate_to(self.next_lsn)
+    }
+
+    /// Close the active segment and start a fresh one named `start_lsn` —
+    /// the LSN of the first record the new segment will hold (for a
+    /// tagged journal, a lower bound on it).
+    fn rotate_to(&mut self, start_lsn: u64) -> io::Result<()> {
         self.file.sync_data()?;
-        self.file = create_segment(&self.dir, self.next_lsn)?;
-        self.segment_start = self.next_lsn;
+        self.file = create_segment(&self.dir, start_lsn, self.tagged)?;
+        self.segment_start = start_lsn;
         self.segment_bytes = SEGMENT_HEADER_LEN as u64;
         self.segments += 1;
         Ok(())
@@ -268,6 +353,7 @@ impl Journal {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::segment::scan_segment;
     use wsrep_core::feedback::Feedback;
     use wsrep_core::id::{AgentId, ServiceId};
     use wsrep_core::time::Time;
@@ -418,6 +504,93 @@ mod tests {
         let receipt = journal.append_batch(&[]).unwrap();
         assert_eq!(receipt.count, 0);
         assert_eq!(journal.stats().commits, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn tagged_lsns(dir: &Path) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (_, path) in list_segments(dir).unwrap() {
+            let scan = scan_segment_entries(&path).unwrap().unwrap();
+            assert!(scan.tagged);
+            out.extend(scan.entries.iter().map(|(lsn, _)| *lsn));
+        }
+        out
+    }
+
+    #[test]
+    fn tagged_journal_persists_sparse_lsns_and_resumes() {
+        let dir = temp_dir("tagged-resume");
+        {
+            let mut journal = Journal::open_tagged(&dir, JournalConfig::default()).unwrap();
+            journal.append_batch_at(2, &[record(2), record(3)]).unwrap();
+            // LSNs 4..7 went to other groups.
+            journal.append_batch_at(7, &[record(7)]).unwrap();
+            assert_eq!(journal.next_lsn(), 8);
+        }
+        {
+            let journal = Journal::open_tagged(&dir, JournalConfig::default()).unwrap();
+            assert_eq!(journal.next_lsn(), 8, "resumes past the highest LSN");
+        }
+        assert_eq!(tagged_lsns(&dir), vec![2, 3, 7]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tagged_rotation_names_segments_by_incoming_lsn() {
+        let dir = temp_dir("tagged-rotate");
+        let config = JournalConfig {
+            max_segment_bytes: 128,
+        };
+        let mut journal = Journal::open_tagged(&dir, config).unwrap();
+        let mut lsn = 0;
+        for _ in 0..20 {
+            journal.append_batch_at(lsn, &[record(lsn)]).unwrap();
+            lsn += 3; // sparse: two of every three LSNs live elsewhere
+        }
+        assert!(journal.stats().segments > 1);
+        // Every segment's name is a lower bound on its records.
+        for (start, path) in list_segments(&dir).unwrap() {
+            let scan = scan_segment_entries(&path).unwrap().unwrap();
+            for (lsn, _) in &scan.entries {
+                assert!(*lsn >= start);
+            }
+        }
+        assert_eq!(tagged_lsns(&dir).len(), 20);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tagged_torn_tail_is_truncated_on_open() {
+        let dir = temp_dir("tagged-torn");
+        {
+            let mut journal = Journal::open_tagged(&dir, JournalConfig::default()).unwrap();
+            journal
+                .append_batch_at(10, &(10..15).map(record).collect::<Vec<_>>())
+                .unwrap();
+        }
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let len = fs::metadata(&path).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(len - 4)
+            .unwrap();
+        let journal = Journal::open_tagged(&dir, JournalConfig::default()).unwrap();
+        assert_eq!(journal.next_lsn(), 14, "torn record dropped");
+        assert_eq!(tagged_lsns(&dir), vec![10, 11, 12, 13]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn format_mismatch_refuses_to_open() {
+        let dir = temp_dir("format-mismatch");
+        {
+            let mut journal = Journal::open_tagged(&dir, JournalConfig::default()).unwrap();
+            journal.append_batch_at(0, &[record(0)]).unwrap();
+        }
+        let err = Journal::open(&dir, JournalConfig::default()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -13,27 +13,36 @@
 //! - [`record`] — the event vocabulary: feedback, publish, deregister;
 //! - [`codec`] — the hand-rolled, version-pinned binary layout;
 //! - [`frame`] — CRC32 framing with torn-write detection;
-//! - [`segment`] — LSN-named segment files and their scanner;
+//! - [`segment`] — LSN-named segment files (dense and LSN-tagged) and
+//!   their scanners;
 //! - [`journal`] — the group-committing writer (one fsync per batch);
+//! - [`group`] — the partitioned write path: N writer-group journals
+//!   sharing one LSN space via a global allocator, with a cross-group
+//!   durable watermark;
 //! - [`snapshot`] — atomic point-in-time state captures;
-//! - [`recovery`] — snapshot + tail replay, tolerant of a torn final
-//!   record;
+//! - [`recovery`] — snapshot + tail replay, merging all log streams by
+//!   LSN, tolerant of torn final records;
 //! - [`compact`] — deletion of segments fully covered by a snapshot;
-//! - [`ship`] — incremental reads of a live log, for replication
-//!   followers.
+//! - [`ship`] — incremental reads of a live log (single or merged
+//!   across writer groups), for replication followers.
 //!
 //! ## Durability contract
 //!
 //! A record is *acknowledged* once the [`Journal::append_batch`] call
 //! that carried it returns `Ok`: it has been written and fdatasync'd.
-//! Recovery restores **exactly the acknowledged prefix** of the log — a
-//! crash mid-append loses only the unacknowledged tail, which the framing
-//! detects and truncates. Acknowledged data is never silently dropped: a
-//! torn *non-final* segment refuses to open.
+//! Recovery restores **at least the acknowledged prefix** of the log — a
+//! crash mid-append loses only unacknowledged records, which the framing
+//! detects and truncates per log stream. Acknowledged data is never
+//! silently dropped: a torn *non-final* segment refuses to open. In a
+//! partitioned journal the acknowledged prefix is bounded by the
+//! cross-group watermark ([`group::LsnAllocator::durable_lsn`]); a crash
+//! may additionally preserve unacknowledged records above a gap, which
+//! recovery keeps (they are a superset of every acknowledged record).
 
 pub mod codec;
 pub mod compact;
 pub mod frame;
+pub mod group;
 pub mod journal;
 pub mod record;
 pub mod recovery;
@@ -42,8 +51,10 @@ pub mod ship;
 pub mod snapshot;
 
 pub use compact::{compact_dir, CompactReport};
+pub use group::{GroupSet, LsnAllocator};
 pub use journal::{AppendReceipt, Journal, JournalConfig, JournalStats};
 pub use record::JournalRecord;
 pub use recovery::{recover, Recovered};
+pub use segment::{group_dir_name, list_group_dirs};
 pub use ship::{ShipCursor, ShippedBatch};
 pub use snapshot::{latest_snapshot, write_snapshot, Snapshot};

@@ -5,11 +5,24 @@
 //! 1. load the newest snapshot that validates (a damaged snapshot falls
 //!    back to its predecessor, or to nothing — the WAL still holds every
 //!    record);
-//! 2. walk the WAL segments in LSN order, skipping records the snapshot
-//!    already covers, and replay publish / deregister / feedback events;
-//! 3. stop at the first torn frame — a crashed append's tail was never
+//! 2. walk every log stream — the root's dense segments plus, in a
+//!    partitioned journal, each `group-NNN/` directory's tagged
+//!    segments — keeping each stream's valid prefix and stopping that
+//!    stream at its first torn frame (a crashed append's tail was never
 //!    acknowledged as durable, so dropping it cannot lose acknowledged
-//!    data.
+//!    data);
+//! 3. merge the surviving records by LSN, skip what the snapshot already
+//!    covers, and replay publish / deregister / feedback events in
+//!    global order.
+//!
+//! With several writer groups, a crash can leave *interior gaps* in the
+//! merged LSN sequence — one group's later batch hit the disk while
+//! another group's earlier batch died in the page cache. Every record
+//! past a gap is kept: acknowledgement (`flush`) only ever covered
+//! prefixes all groups had fsynced, so the gap's records were never
+//! acknowledged, while records above it may have been. [`Recovered`]
+//! reports both views: `next_lsn` (past the highest survivor — where
+//! allocation resumes) and `durable_lsn` (the contiguous frontier).
 //!
 //! The result carries everything a serving registry needs to resume:
 //! live listings, the feedback log in per-subject order (replaying it
@@ -18,7 +31,7 @@
 //! the LSN the journal writer should continue from.
 
 use crate::record::JournalRecord;
-use crate::segment::{list_segments, scan_segment, SegmentScan};
+use crate::segment::{list_group_dirs, list_segments, scan_segment_entries, SegmentEntries};
 use crate::snapshot::latest_snapshot;
 use std::collections::BTreeMap;
 use std::io;
@@ -42,12 +55,18 @@ pub struct Recovered {
     pub torn_tail: bool,
     /// LSN of the last record processed + 1 — where appends resume.
     pub next_lsn: u64,
+    /// The contiguous durable frontier: every LSN below this was
+    /// recovered (or snapshot-covered). Equals `next_lsn` unless a crash
+    /// left cross-group gaps in the partitioned log.
+    pub durable_lsn: u64,
 }
 
 /// Rebuild registry state from the journal at `dir`.
 ///
 /// A missing or empty directory recovers to the empty state — a fresh
-/// boot and a recovery are the same code path.
+/// boot and a recovery are the same code path. Handles single-log,
+/// partitioned, and migrated (root segments + group directories)
+/// layouts.
 pub fn recover(dir: &Path) -> io::Result<Recovered> {
     if !dir.exists() {
         return Ok(Recovered::default());
@@ -67,50 +86,75 @@ pub fn recover(dir: &Path) -> io::Result<Recovered> {
         recovered.feedback = snapshot.feedback;
     }
 
-    let segments = list_segments(dir)?;
-    let scans = scan_segments_parallel(&segments);
-    'segments: for ((start_lsn, _), scan) in segments.iter().zip(scans) {
-        let start_lsn = *start_lsn;
-        let Some(scan) = scan? else {
-            // A header that never reached the disk: rotation crashed
-            // before any record was acknowledged in this segment.
-            recovered.torn_tail = true;
-            break;
-        };
-        for (i, record) in scan.records.into_iter().enumerate() {
-            let lsn = start_lsn + i as u64;
-            if lsn < covered_lsn {
-                continue; // the snapshot already has it
+    // One stream per log: the root's own segments, then each group's.
+    let mut streams = vec![list_segments(dir)?];
+    for (_, group_dir) in list_group_dirs(dir)? {
+        streams.push(list_segments(&group_dir)?);
+    }
+    let flat: Vec<&(u64, PathBuf)> = streams.iter().flatten().collect();
+    let mut scans = scan_segments_parallel(&flat).into_iter();
+
+    let mut entries: Vec<(u64, JournalRecord)> = Vec::new();
+    for stream in &streams {
+        let mut stream_stopped = false;
+        for _ in stream {
+            let scan = scans.next().expect("one scan per listed segment");
+            if stream_stopped {
+                continue; // past this stream's torn point; scan already done
             }
-            match record {
-                JournalRecord::Feedback(feedback) => recovered.feedback.push(feedback),
-                JournalRecord::Publish(listing) => {
-                    listings.insert(listing.service, listing);
-                }
-                JournalRecord::Deregister(service) => {
-                    listings.remove(&service);
+            let Some(scan) = scan? else {
+                // A header that never reached the disk: rotation crashed
+                // before any record was acknowledged in this segment.
+                recovered.torn_tail = true;
+                stream_stopped = true;
+                continue;
+            };
+            for (lsn, record) in scan.entries {
+                if lsn >= covered_lsn {
+                    entries.push((lsn, record));
                 }
             }
-            recovered.records_recovered += 1;
-            recovered.next_lsn = lsn + 1;
-        }
-        if scan.torn {
-            recovered.torn_tail = true;
-            break 'segments;
+            if scan.torn {
+                recovered.torn_tail = true;
+                stream_stopped = true;
+            }
         }
     }
+
+    // Global replay order. Streams are individually sorted, so this is
+    // a nearly-sorted merge — cheap for the single-log layout.
+    entries.sort_by_key(|(lsn, _)| *lsn);
+
+    let mut frontier = covered_lsn;
+    for (lsn, record) in entries {
+        if lsn == frontier {
+            frontier = lsn + 1;
+        }
+        match record {
+            JournalRecord::Feedback(feedback) => recovered.feedback.push(feedback),
+            JournalRecord::Publish(listing) => {
+                listings.insert(listing.service, listing);
+            }
+            JournalRecord::Deregister(service) => {
+                listings.remove(&service);
+            }
+        }
+        recovered.records_recovered += 1;
+        recovered.next_lsn = lsn + 1;
+    }
+    recovered.durable_lsn = frontier;
 
     recovered.listings = listings.into_values().collect();
     Ok(recovered)
 }
 
 /// Read and decode every segment concurrently, one contiguous chunk of
-/// the LSN-ordered segment list per worker. Decoding dominates recovery
+/// the flattened segment list per worker. Decoding dominates recovery
 /// of a long WAL, and segments decode independently — ordering decisions
-/// (skip-below-snapshot, stop-at-torn-tail) stay in the sequential merge
-/// above, so the result is byte-for-byte what per-segment sequential
-/// scanning produces.
-fn scan_segments_parallel(segments: &[(u64, PathBuf)]) -> Vec<io::Result<Option<SegmentScan>>> {
+/// (skip-below-snapshot, stop-at-torn-tail, cross-group merge) stay in
+/// the sequential merge above, so the result is byte-for-byte what
+/// per-segment sequential scanning produces.
+fn scan_segments_parallel(segments: &[&(u64, PathBuf)]) -> Vec<io::Result<Option<SegmentEntries>>> {
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -118,7 +162,7 @@ fn scan_segments_parallel(segments: &[(u64, PathBuf)]) -> Vec<io::Result<Option<
     if workers <= 1 {
         return segments
             .iter()
-            .map(|(_, path)| scan_segment(path))
+            .map(|(_, path)| scan_segment_entries(path))
             .collect();
     }
     let chunk = segments.len().div_ceil(workers);
@@ -129,7 +173,7 @@ fn scan_segments_parallel(segments: &[(u64, PathBuf)]) -> Vec<io::Result<Option<
                 scope.spawn(move || {
                     chunk
                         .iter()
-                        .map(|(_, path)| scan_segment(path))
+                        .map(|(_, path)| scan_segment_entries(path))
                         .collect::<Vec<_>>()
                 })
             })
@@ -277,6 +321,95 @@ mod tests {
         assert!(recovered.torn_tail);
         assert_eq!(recovered.feedback, reports[..7].to_vec());
         assert_eq!(recovered.next_lsn, 7);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn partitioned_log_merges_groups_by_lsn() {
+        let dir = temp_dir("partitioned");
+        let set = crate::group::GroupSet::open(&dir, 3, JournalConfig::default(), 0).unwrap();
+        set.append_batch(0, &[JournalRecord::Publish(listing(1))])
+            .unwrap(); // LSN 0
+        let reports: Vec<Feedback> = (0..9).map(feedback).collect();
+        // Interleave feedback across groups 1 and 2 out of group order.
+        for (i, report) in reports.iter().enumerate() {
+            let group = 1 + (i % 2);
+            set.append_batch(group, &[JournalRecord::Feedback(report.clone())])
+                .unwrap(); // LSNs 1..=9
+        }
+        drop(set);
+
+        let recovered = recover(&dir).unwrap();
+        assert_eq!(recovered.feedback, reports, "merged back into LSN order");
+        assert_eq!(recovered.listings, vec![listing(1)]);
+        assert_eq!(recovered.next_lsn, 10);
+        assert_eq!(recovered.durable_lsn, 10);
+        assert!(!recovered.torn_tail);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn migrated_layout_replays_root_then_groups() {
+        let dir = temp_dir("migrated");
+        {
+            // A single-log past life…
+            let mut journal = Journal::open(&dir, JournalConfig::default()).unwrap();
+            journal
+                .append_batch(&[
+                    JournalRecord::Publish(listing(1)),
+                    JournalRecord::Feedback(feedback(0)),
+                ])
+                .unwrap(); // LSNs 0-1
+        }
+        // …then the same directory reopened partitioned.
+        let set = crate::group::GroupSet::open(&dir, 2, JournalConfig::default(), 0).unwrap();
+        assert_eq!(set.allocator().next_lsn(), 2, "resumes past root segments");
+        set.append_batch(1, &[JournalRecord::Feedback(feedback(1))])
+            .unwrap(); // LSN 2
+        drop(set);
+
+        let recovered = recover(&dir).unwrap();
+        assert_eq!(recovered.feedback, vec![feedback(0), feedback(1)]);
+        assert_eq!(recovered.next_lsn, 3);
+        assert_eq!(recovered.durable_lsn, 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cross_group_gap_keeps_later_records_and_reports_the_frontier() {
+        let dir = temp_dir("gap");
+        let set = crate::group::GroupSet::open(&dir, 2, JournalConfig::default(), 0).unwrap();
+        set.append_batch(0, &[JournalRecord::Feedback(feedback(0))])
+            .unwrap(); // LSN 0, group 0
+        set.append_batch(1, &[JournalRecord::Feedback(feedback(1))])
+            .unwrap(); // LSN 1, group 1
+        set.append_batch(0, &[JournalRecord::Feedback(feedback(2))])
+            .unwrap(); // LSN 2, group 0
+        drop(set);
+        // Simulate group 1's batch dying in the page cache: its record
+        // at LSN 1 is torn away, leaving a gap between groups.
+        let group1 = dir.join(crate::segment::group_dir_name(1));
+        let (_, path) = list_segments(&group1).unwrap().pop().unwrap();
+        let len = fs::metadata(&path).unwrap().len();
+        fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(len - 3)
+            .unwrap();
+
+        let recovered = recover(&dir).unwrap();
+        assert!(recovered.torn_tail);
+        assert_eq!(
+            recovered.feedback,
+            vec![feedback(0), feedback(2)],
+            "the survivor above the gap is kept"
+        );
+        assert_eq!(
+            recovered.next_lsn, 3,
+            "allocation resumes past the survivor"
+        );
+        assert_eq!(recovered.durable_lsn, 1, "frontier stops at the gap");
         fs::remove_dir_all(&dir).unwrap();
     }
 

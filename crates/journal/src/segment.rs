@@ -1,6 +1,6 @@
 //! WAL segment files.
 //!
-//! The journal directory holds a sequence of segment files named by the
+//! A journal directory holds a sequence of segment files named by the
 //! **log sequence number (LSN)** of their first record:
 //!
 //! ```text
@@ -11,10 +11,23 @@
 //! ```
 //!
 //! Each segment starts with a 13-byte header (`WSRJ`, format version,
-//! start LSN) followed by CRC32 frames (see [`crate::frame`]). LSNs are
-//! dense — record *n* of a segment has LSN `start_lsn + n` — so a
-//! snapshot LSN alone decides which segments the compactor may drop and
-//! which records recovery must replay.
+//! start LSN) followed by CRC32 frames (see [`crate::frame`]). Two frame
+//! layouts exist:
+//!
+//! - **Version 1 (dense).** The frame payload is the record encoding and
+//!   LSNs are dense — record *n* of a segment has LSN `start_lsn + n` —
+//!   so a snapshot LSN alone decides which segments the compactor may
+//!   drop and which records recovery must replay.
+//! - **Version 2 (tagged).** Written by the per-group logs of a
+//!   partitioned journal (see [`crate::group`]): each frame payload
+//!   carries its record's global LSN as an 8-byte LE prefix, because a
+//!   group's log holds an increasing but *non-dense* subset of the global
+//!   LSN space. The header's start LSN is a lower bound on every record
+//!   in the segment, not necessarily the first record's LSN.
+//!
+//! A partitioned journal keeps each group's segments in a `group-NNN/`
+//! subdirectory of the journal root; the root itself may still hold
+//! dense segments from a pre-partition life, and recovery merges both.
 
 use crate::frame::{FrameEnd, FrameReader};
 use crate::record::JournalRecord;
@@ -24,10 +37,14 @@ use std::path::{Path, PathBuf};
 
 /// Magic bytes opening every segment file.
 pub const SEGMENT_MAGIC: [u8; 4] = *b"WSRJ";
-/// On-disk format version this code writes and reads.
+/// On-disk format version of dense segments (payload = record).
 pub const FORMAT_VERSION: u8 = 1;
+/// On-disk format version of LSN-tagged segments (payload = LSN ‖ record).
+pub const TAGGED_FORMAT_VERSION: u8 = 2;
 /// Segment header bytes: magic + version + start LSN.
 pub const SEGMENT_HEADER_LEN: usize = 13;
+/// Bytes of the LSN prefix inside every tagged frame payload.
+pub const LSN_TAG_LEN: usize = 8;
 
 /// The file name of the segment whose first record has `start_lsn`.
 pub fn segment_file_name(start_lsn: u64) -> String {
@@ -43,13 +60,58 @@ pub fn parse_segment_name(name: &str) -> Option<u64> {
     u64::from_str_radix(hex, 16).ok()
 }
 
-/// Encode a segment header.
+/// Encode a dense (version-1) segment header.
 pub fn segment_header(start_lsn: u64) -> [u8; SEGMENT_HEADER_LEN] {
+    segment_header_versioned(start_lsn, FORMAT_VERSION)
+}
+
+/// Encode a tagged (version-2) segment header.
+pub fn tagged_segment_header(start_lsn: u64) -> [u8; SEGMENT_HEADER_LEN] {
+    segment_header_versioned(start_lsn, TAGGED_FORMAT_VERSION)
+}
+
+fn segment_header_versioned(start_lsn: u64, version: u8) -> [u8; SEGMENT_HEADER_LEN] {
     let mut header = [0u8; SEGMENT_HEADER_LEN];
     header[..4].copy_from_slice(&SEGMENT_MAGIC);
-    header[4] = FORMAT_VERSION;
+    header[4] = version;
     header[5..].copy_from_slice(&start_lsn.to_le_bytes());
     header
+}
+
+/// The subdirectory name of writer group `group` in a partitioned
+/// journal root.
+pub fn group_dir_name(group: usize) -> String {
+    format!("group-{group:03}")
+}
+
+/// Parse a group directory name back to its group index.
+pub fn parse_group_dir_name(name: &str) -> Option<usize> {
+    let digits = name.strip_prefix("group-")?;
+    if digits.len() != 3 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Writer-group directories under a journal root, ordered by group
+/// index. A missing or unpartitioned root yields an empty list.
+pub fn list_group_dirs(root: &Path) -> io::Result<Vec<(usize, PathBuf)>> {
+    let entries = match fs::read_dir(root) {
+        Ok(entries) => entries,
+        Err(err) if err.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(err) => return Err(err),
+    };
+    let mut dirs = Vec::new();
+    for entry in entries {
+        let entry = entry?;
+        if let Some(group) = entry.file_name().to_str().and_then(parse_group_dir_name) {
+            if entry.file_type()?.is_dir() {
+                dirs.push((group, entry.path()));
+            }
+        }
+    }
+    dirs.sort_by_key(|(group, _)| *group);
+    Ok(dirs)
 }
 
 /// Segment paths in the directory, ordered by start LSN.
@@ -78,27 +140,113 @@ pub struct SegmentScan {
     pub torn: bool,
 }
 
-/// Read and validate one segment file.
+/// Read and validate one dense (version-1) segment file.
 ///
 /// A header that is missing or corrupt yields `Ok(None)` — the file is
 /// not a usable segment (e.g. a crash tore the very first write) and the
-/// caller decides whether that is fatal. Frame-level damage is *not* an
+/// caller decides whether that is fatal. A valid header carrying an
+/// unexpected format version is an error: the file *is* a segment, just
+/// not one this scanner may interpret (silently treating it as garbage
+/// would let `Journal::open` delete it). Frame-level damage is *not* an
 /// error: the valid prefix is returned with `torn = true`.
 pub fn scan_segment(path: &Path) -> io::Result<Option<SegmentScan>> {
+    let entries = match scan_segment_entries(path)? {
+        Some(entries) => entries,
+        None => return Ok(None),
+    };
+    if entries.tagged {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "segment {} is LSN-tagged (format v{TAGGED_FORMAT_VERSION}); \
+                 expected a dense v{FORMAT_VERSION} segment",
+                path.display()
+            ),
+        ));
+    }
+    Ok(Some(SegmentScan {
+        start_lsn: entries.start_lsn,
+        records: entries
+            .entries
+            .into_iter()
+            .map(|(_, record)| record)
+            .collect(),
+        valid_len: entries.valid_len,
+        torn: entries.torn,
+    }))
+}
+
+/// The decoded contents of one segment file, LSN attached to every
+/// record, in either on-disk format.
+#[derive(Debug)]
+pub struct SegmentEntries {
+    /// Start LSN from the header. For dense segments the first record's
+    /// LSN; for tagged segments a lower bound on every record.
+    pub start_lsn: u64,
+    /// The valid `(lsn, record)` prefix, in strictly increasing LSN
+    /// order. Dense segments get their LSNs synthesized from the start.
+    pub entries: Vec<(u64, JournalRecord)>,
+    /// File offset just past the last valid frame (header included).
+    pub valid_len: u64,
+    /// Whether bytes after the valid prefix were torn/corrupt.
+    pub torn: bool,
+    /// Whether the segment is LSN-tagged (format version 2).
+    pub tagged: bool,
+}
+
+/// Read and validate one segment file of either format.
+///
+/// Same contract as [`scan_segment`] — `Ok(None)` for a missing/corrupt
+/// header, torn frames keep the valid prefix — except both dense and
+/// tagged segments are accepted; only an unknown format version errors.
+/// A tagged frame whose payload is shorter than the LSN prefix, or whose
+/// LSN breaks the segment's strictly-increasing order, is treated as
+/// torn data.
+pub fn scan_segment_entries(path: &Path) -> io::Result<Option<SegmentEntries>> {
     let bytes = fs::read(path)?;
-    if bytes.len() < SEGMENT_HEADER_LEN || bytes[..4] != SEGMENT_MAGIC || bytes[4] != FORMAT_VERSION
-    {
+    if bytes.len() < SEGMENT_HEADER_LEN || bytes[..4] != SEGMENT_MAGIC {
         return Ok(None);
     }
+    let tagged = match bytes[4] {
+        FORMAT_VERSION => false,
+        TAGGED_FORMAT_VERSION => true,
+        version => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "segment {} has unknown format version {version}",
+                    path.display()
+                ),
+            ))
+        }
+    };
     let start_lsn = u64::from_le_bytes(bytes[5..SEGMENT_HEADER_LEN].try_into().unwrap());
     let mut reader = FrameReader::new(&bytes[SEGMENT_HEADER_LEN..]);
-    let mut records = Vec::new();
+    let mut entries = Vec::new();
     let mut valid_len = SEGMENT_HEADER_LEN;
     let mut torn = false;
+    let mut floor = start_lsn;
     while let Some(payload) = reader.next() {
-        match JournalRecord::decode(payload) {
+        let (lsn, body) = if tagged {
+            if payload.len() < LSN_TAG_LEN {
+                torn = true;
+                break;
+            }
+            let lsn = u64::from_le_bytes(payload[..LSN_TAG_LEN].try_into().unwrap());
+            (lsn, &payload[LSN_TAG_LEN..])
+        } else {
+            (start_lsn + entries.len() as u64, payload)
+        };
+        if lsn < floor {
+            // An out-of-order LSN cannot come from a healthy writer;
+            // treat everything from here on as damage.
+            torn = true;
+            break;
+        }
+        match JournalRecord::decode(body) {
             Ok(record) => {
-                records.push(record);
+                floor = lsn + 1;
+                entries.push((lsn, record));
                 valid_len = SEGMENT_HEADER_LEN + reader.valid_len();
             }
             // A frame whose checksum passes but whose payload does not
@@ -112,11 +260,12 @@ pub fn scan_segment(path: &Path) -> io::Result<Option<SegmentScan>> {
     if reader.end() == Some(FrameEnd::Torn) {
         torn = true;
     }
-    Ok(Some(SegmentScan {
+    Ok(Some(SegmentEntries {
         start_lsn,
-        records,
+        entries,
         valid_len: valid_len as u64,
         torn,
+        tagged,
     }))
 }
 
@@ -198,6 +347,84 @@ mod tests {
         assert!(scan_segment(&path).unwrap().is_none());
         fs::write(&path, b"NOPE_________").unwrap();
         assert!(scan_segment(&path).unwrap().is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn write_tagged_segment(path: &Path, start_lsn: u64, lsns: &[u64]) -> Vec<u8> {
+        let mut bytes = tagged_segment_header(start_lsn).to_vec();
+        for &lsn in lsns {
+            let mut payload = lsn.to_le_bytes().to_vec();
+            payload.extend_from_slice(&record(lsn).to_bytes());
+            write_frame(&mut bytes, &payload);
+        }
+        fs::write(path, &bytes).unwrap();
+        bytes
+    }
+
+    #[test]
+    fn tagged_segments_round_trip_sparse_lsns() {
+        let dir = temp_dir("tagged");
+        let path = dir.join(segment_file_name(3));
+        write_tagged_segment(&path, 3, &[3, 7, 8, 20]);
+        let scan = scan_segment_entries(&path).unwrap().expect("valid header");
+        assert!(scan.tagged);
+        assert_eq!(scan.start_lsn, 3);
+        let lsns: Vec<u64> = scan.entries.iter().map(|(l, _)| *l).collect();
+        assert_eq!(lsns, vec![3, 7, 8, 20]);
+        assert_eq!(scan.entries[1].1, record(7));
+        assert!(!scan.torn);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dense_scan_refuses_tagged_segment() {
+        let dir = temp_dir("tagged-refuse");
+        let path = dir.join(segment_file_name(0));
+        write_tagged_segment(&path, 0, &[0, 2]);
+        let err = scan_segment(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unknown_version_is_an_error_not_garbage() {
+        let dir = temp_dir("version");
+        let path = dir.join(segment_file_name(0));
+        let mut bytes = segment_header(0).to_vec();
+        bytes[4] = 9;
+        fs::write(&path, &bytes).unwrap();
+        assert!(scan_segment(&path).is_err());
+        assert!(scan_segment_entries(&path).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn out_of_order_tagged_lsn_is_torn() {
+        let dir = temp_dir("tagged-order");
+        let path = dir.join(segment_file_name(0));
+        write_tagged_segment(&path, 0, &[4, 9, 6]);
+        let scan = scan_segment_entries(&path).unwrap().unwrap();
+        assert_eq!(scan.entries.len(), 2);
+        assert!(scan.torn);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_dir_names_round_trip() {
+        assert_eq!(group_dir_name(0), "group-000");
+        assert_eq!(parse_group_dir_name("group-007"), Some(7));
+        assert_eq!(parse_group_dir_name("group-7"), None);
+        assert_eq!(parse_group_dir_name("groups"), None);
+
+        let dir = temp_dir("groups");
+        for g in [2usize, 0, 1] {
+            fs::create_dir_all(dir.join(group_dir_name(g))).unwrap();
+        }
+        fs::write(dir.join("group-003"), b"a file, not a dir").unwrap();
+        let groups = list_group_dirs(&dir).unwrap();
+        let indices: Vec<usize> = groups.iter().map(|(g, _)| *g).collect();
+        assert_eq!(indices, vec![0, 1, 2]);
+        assert!(list_group_dirs(&dir.join("missing")).unwrap().is_empty());
         fs::remove_dir_all(&dir).unwrap();
     }
 

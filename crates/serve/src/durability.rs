@@ -1,94 +1,234 @@
-//! The serve-side durability seam: one commit lock around the journal.
+//! The serve-side durability seam: commit locks around the journal.
 //!
 //! Everything that must be journaled — ingested feedback batches, listing
 //! publishes and deregistrations — goes through [`JournalHandle`], which
-//! wraps the [`Journal`] in a mutex and pairs each append with the
-//! in-memory apply **while the lock is held**. That single invariant is
-//! what makes checkpoints consistent: a checkpointer taking the same lock
-//! always observes an `(LSN, state)` pair where the state is exactly the
-//! effect of the first `LSN` journal records — no applied-but-unjournaled
-//! record, no journaled-but-unapplied one.
+//! pairs each append with the in-memory apply **while a commit lock is
+//! held**. With one writer group that is the classic single mutex around
+//! the [`Journal`]; with several ([`GroupSet`]), each group has its own
+//! commit lock and fsyncs independently, and a shared allocator hands
+//! out LSNs so cross-group order is defined. Either way the invariant
+//! that makes checkpoints consistent holds: a checkpointer holding *all*
+//! commit locks observes an `(LSN, state)` pair where the state is
+//! exactly the effect of the first `LSN` journal records — no
+//! applied-but-unjournaled record, no journaled-but-unapplied one.
+//!
+//! Listing mutations (publish/deregister) always commit through **group
+//! 0**, so they keep a total order among themselves regardless of how
+//! many feedback writers run.
 //!
 //! Journal I/O failure (disk full, volume gone) does **not** take the
 //! service down: the in-memory apply still happens, the failure is logged
 //! once, and [`JournalHandle::health`] reports the handle as degraded so
 //! operators can see that durability — not availability — was lost.
 
+use std::io;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, MutexGuard};
-use wsrep_journal::{Journal, JournalRecord};
+use wsrep_journal::{CompactReport, GroupSet, Journal, JournalRecord, JournalStats};
 
 /// Journal health counters, surfaced through
 /// [`ServiceStats`](crate::service::ServiceStats).
+///
+/// Like `ServiceStats`, multi-writer counters are **monotone but not a
+/// consistent cut**: each writer group is sampled under its own commit
+/// lock, so `commits` (summed across groups) and `durable_lsn` may
+/// disagree by in-flight batches. `last_fsync_nanos` is the slowest
+/// group's most recent fsync — the number an operator watching commit
+/// latency cares about.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct JournalHealth {
-    /// WAL segment files currently on disk.
+    /// WAL segment files currently on disk, summed across writer groups.
     pub segments: u64,
-    /// Bytes appended since the service started.
+    /// Bytes appended since the service started, summed across groups.
     pub bytes_appended: u64,
-    /// Wall time of the most recent group-commit fsync.
+    /// Wall time of the most recent group-commit fsync; with several
+    /// writer groups, the slowest group's most recent fsync.
     pub last_fsync_nanos: u64,
-    /// Group commits (fsyncs) issued since the service started.
+    /// Group commits (fsyncs) issued since the service started, summed
+    /// across writer groups.
     pub commits: u64,
-    /// One past the LSN of the last record in the log — the durable
-    /// watermark replication watermarks and staleness are measured in.
+    /// The contiguous durable frontier — the watermark replication and
+    /// staleness are measured in. With one writer this is one past the
+    /// last record; with several it is the min over groups of each
+    /// group's settled prefix.
     pub durable_lsn: u64,
     /// Entries replayed at startup (snapshot entries + WAL records).
     pub records_recovered: u64,
+    /// Writer groups committing in parallel (1 = single commit lock).
+    pub writer_groups: u64,
     /// True once any journal append has failed; the service keeps
     /// serving, but writes since the first failure are not durable.
     pub degraded: bool,
 }
 
-/// The commit lock: serializes journal appends with their in-memory
-/// applies and with checkpoint state capture.
+/// The write-ahead log behind the handle: one commit lock, or one per
+/// writer group.
+#[derive(Debug)]
+enum Wal {
+    Single(Mutex<Journal>),
+    Partitioned(GroupSet),
+}
+
+/// The commit-lock layer: serializes journal appends with their
+/// in-memory applies and with checkpoint state capture.
 #[derive(Debug)]
 pub(crate) struct JournalHandle {
-    journal: Mutex<Journal>,
+    wal: Wal,
+    dir: PathBuf,
     records_recovered: u64,
     degraded: AtomicBool,
 }
 
+/// One writer group's held commit lock, for multi-step commits
+/// (deregister checks the listing table before appending).
+pub(crate) struct CommitGuard<'a> {
+    handle: &'a JournalHandle,
+    journal: MutexGuard<'a, Journal>,
+    group: usize,
+}
+
+impl CommitGuard<'_> {
+    /// Append under this held commit lock. An I/O error degrades
+    /// durability (logged once, visible in [`JournalHandle::health`])
+    /// instead of failing the operation.
+    pub(crate) fn append(&mut self, records: &[JournalRecord]) {
+        let result = match &self.handle.wal {
+            Wal::Single(_) => self.journal.append_batch(records).map(|_| ()),
+            Wal::Partitioned(set) => set
+                .append_locked(self.group, &mut self.journal, records)
+                .map(|_| ()),
+        };
+        if let Err(err) = result {
+            if !self.handle.degraded.swap(true, Ordering::SeqCst) {
+                eprintln!("wsrep-serve: journal append failed; durability degraded: {err}");
+            }
+        }
+    }
+}
+
 impl JournalHandle {
-    pub(crate) fn new(journal: Journal, records_recovered: u64) -> Self {
+    pub(crate) fn single(journal: Journal, records_recovered: u64) -> Self {
+        let dir = journal.dir().to_path_buf();
         JournalHandle {
-            journal: Mutex::new(journal),
+            wal: Wal::Single(Mutex::new(journal)),
+            dir,
             records_recovered,
             degraded: AtomicBool::new(false),
         }
     }
 
-    /// Take the commit lock directly, for multi-step commits (deregister
-    /// checks the map first) and checkpoint capture.
-    pub(crate) fn lock(&self) -> MutexGuard<'_, Journal> {
-        self.journal.lock().unwrap_or_else(|e| e.into_inner())
+    pub(crate) fn partitioned(set: GroupSet, records_recovered: u64) -> Self {
+        let dir = set.root().to_path_buf();
+        JournalHandle {
+            wal: Wal::Partitioned(set),
+            dir,
+            records_recovered,
+            degraded: AtomicBool::new(false),
+        }
     }
 
-    /// Append under an already-held commit lock. An I/O error degrades
-    /// durability (logged once, visible in [`JournalHandle::health`])
-    /// instead of failing the operation.
-    pub(crate) fn append_locked(&self, journal: &mut Journal, records: &[JournalRecord]) {
-        if let Err(err) = journal.append_batch(records) {
-            if !self.degraded.swap(true, Ordering::SeqCst) {
-                eprintln!("wsrep-serve: journal append failed; durability degraded: {err}");
+    /// The journal root directory (snapshots live here; a partitioned
+    /// log keeps its per-group segments in subdirectories).
+    pub(crate) fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Writer groups committing in parallel.
+    pub(crate) fn writer_groups(&self) -> usize {
+        match &self.wal {
+            Wal::Single(_) => 1,
+            Wal::Partitioned(set) => set.group_count(),
+        }
+    }
+
+    /// Take one writer group's commit lock. Listing mutations use group
+    /// 0; ingest writers use their own group.
+    pub(crate) fn lock_group(&self, group: usize) -> CommitGuard<'_> {
+        let journal = match &self.wal {
+            Wal::Single(journal) => {
+                debug_assert_eq!(group, 0, "single-writer journal only has group 0");
+                journal.lock().unwrap_or_else(|e| e.into_inner())
+            }
+            Wal::Partitioned(set) => set.lock(group),
+        };
+        CommitGuard {
+            handle: self,
+            journal,
+            group,
+        }
+    }
+
+    /// Group-commit `records` to `group`, then run `apply` — both under
+    /// that group's commit lock, so a concurrent checkpoint can never
+    /// observe the store between a journal append and its apply (or vice
+    /// versa).
+    pub(crate) fn commit<R>(
+        &self,
+        group: usize,
+        records: &[JournalRecord],
+        apply: impl FnOnce() -> R,
+    ) -> R {
+        let mut guard = self.lock_group(group);
+        guard.append(records);
+        apply()
+    }
+
+    /// Hold **every** commit lock while running `capture`, and return the
+    /// checkpoint LSN alongside its result. With all locks held no batch
+    /// is in flight, so the allocator's next LSN (or the single writer's
+    /// position) is a consistent cut: the captured state is exactly the
+    /// effect of the first `lsn` records.
+    pub(crate) fn freeze<R>(&self, capture: impl FnOnce() -> R) -> (u64, R) {
+        match &self.wal {
+            Wal::Single(journal) => {
+                let journal = journal.lock().unwrap_or_else(|e| e.into_inner());
+                let lsn = journal.next_lsn();
+                let result = capture();
+                drop(journal);
+                (lsn, result)
+            }
+            Wal::Partitioned(set) => {
+                // Writers each hold at most one group lock and never
+                // acquire a second, so taking all of them in index order
+                // cannot deadlock.
+                let guards: Vec<_> = (0..set.group_count()).map(|g| set.lock(g)).collect();
+                let lsn = set.allocator().next_lsn();
+                let result = capture();
+                drop(guards);
+                (lsn, result)
             }
         }
     }
 
-    /// Group-commit `records`, then run `apply` — both under the commit
-    /// lock, so a concurrent checkpoint can never observe the store
-    /// between a journal append and its apply (or vice versa).
-    pub(crate) fn commit<R>(&self, records: &[JournalRecord], apply: impl FnOnce() -> R) -> R {
-        let mut journal = self.lock();
-        self.append_locked(&mut journal, records);
-        apply()
+    /// Compact segments (every group's, plus any pre-partition root
+    /// segments) and stale snapshots covered by `covered_lsn`.
+    pub(crate) fn compact(&self, covered_lsn: u64) -> io::Result<CompactReport> {
+        match &self.wal {
+            Wal::Single(journal) => journal
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .compact(covered_lsn),
+            Wal::Partitioned(set) => set.compact(covered_lsn),
+        }
+    }
+
+    /// The contiguous durable frontier.
+    pub(crate) fn durable_lsn(&self) -> u64 {
+        match &self.wal {
+            Wal::Single(journal) => journal.lock().unwrap_or_else(|e| e.into_inner()).next_lsn(),
+            Wal::Partitioned(set) => set.durable_lsn(),
+        }
     }
 
     pub(crate) fn health(&self) -> JournalHealth {
-        let journal = self.lock();
-        let stats = journal.stats();
-        let durable_lsn = journal.next_lsn();
-        drop(journal);
+        let (stats, durable_lsn): (JournalStats, u64) = match &self.wal {
+            Wal::Single(journal) => {
+                let journal = journal.lock().unwrap_or_else(|e| e.into_inner());
+                (journal.stats(), journal.next_lsn())
+            }
+            Wal::Partitioned(set) => (set.stats(), set.durable_lsn()),
+        };
         JournalHealth {
             segments: stats.segments,
             bytes_appended: stats.bytes_appended,
@@ -96,6 +236,7 @@ impl JournalHandle {
             commits: stats.commits,
             durable_lsn,
             records_recovered: self.records_recovered,
+            writer_groups: self.writer_groups() as u64,
             degraded: self.degraded.load(Ordering::SeqCst),
         }
     }

@@ -1,22 +1,29 @@
 //! Batched feedback ingestion.
 //!
-//! Producers push reports into a bounded channel (backpressure: a full
-//! channel blocks the producer instead of growing without bound) and a
-//! single writer thread drains them. The writer greedily gathers up to
-//! `batch_size` queued reports per wake-up and applies them through
-//! [`ShardedStore::insert_batch`], so a burst of B reports costs one lock
-//! acquisition per touched shard instead of one per report.
+//! Producers push reports into bounded channels (backpressure: a full
+//! channel blocks the producer instead of growing without bound) and
+//! writer threads drain them — one writer per **writer group**. A report
+//! is routed by its subject's shard (`shard_of(subject) % groups`), so a
+//! subject's reports always flow through the same writer in submission
+//! order, and groups own disjoint shard sets (no two writers contend on
+//! a shard lock). With one group this collapses to the classic single
+//! writer. Each writer greedily gathers up to `batch_size` queued
+//! reports per wake-up and applies them through
+//! [`ShardedStore::insert_batch`], so a burst of B reports costs one
+//! lock acquisition per touched shard instead of one per report.
 //!
-//! When a journal is attached, the writer **group-commits each batch to
-//! the WAL before applying it**: one buffered write and one fsync cover
-//! the whole batch, and only after the apply does the progress counter
-//! move. [`IngestPipeline::flush`] therefore doubles as a durability
-//! barrier — when it returns, everything submitted so far is both
-//! queryable and on stable storage.
+//! When a journal is attached, each writer **group-commits its batch to
+//! its own group's WAL before applying it**: one buffered write and one
+//! fsync cover the whole batch — N writers mean N independent fsync
+//! pipelines instead of one commit lock — and only after the apply does
+//! the shared progress counter move. [`IngestPipeline::flush`] therefore
+//! doubles as a durability barrier — when it returns, everything
+//! submitted so far is both queryable and on stable storage, across
+//! every group.
 //!
 //! [`IngestPipeline::flush`] gives tests and benchmarks a consistency
-//! point: it blocks until everything submitted *so far by this handle* has
-//! been applied to the store.
+//! point: it blocks until everything submitted *so far by this handle*
+//! has been applied to the store.
 
 use crate::durability::JournalHandle;
 use crate::shard::ShardedStore;
@@ -32,7 +39,8 @@ use wsrep_journal::JournalRecord;
 /// Ingestion tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IngestConfig {
-    /// Bounded channel capacity; a full channel blocks producers.
+    /// Bounded channel capacity per writer group; a full channel blocks
+    /// producers.
     pub channel_capacity: usize,
     /// Most reports applied per writer wake-up.
     pub batch_size: usize,
@@ -59,7 +67,7 @@ impl fmt::Display for IngestClosed {
 
 impl std::error::Error for IngestClosed {}
 
-/// Applied-report counter the writer bumps and `flush` waits on.
+/// Applied-report counter the writers bump and `flush` waits on.
 #[derive(Debug, Default)]
 struct Progress {
     applied: Mutex<u64>,
@@ -85,61 +93,106 @@ impl Progress {
     }
 }
 
-/// The channel + writer-thread pair feeding a [`ShardedStore`].
-#[derive(Debug)]
+/// The channels + writer threads feeding a [`ShardedStore`], one
+/// channel/writer pair per writer group.
 pub struct IngestPipeline {
-    sender: Option<Sender<Feedback>>,
-    writer: Option<JoinHandle<()>>,
+    store: Arc<ShardedStore>,
+    senders: Vec<Sender<Feedback>>,
+    writers: Vec<JoinHandle<()>>,
     submitted: AtomicU64,
     progress: Arc<Progress>,
 }
 
+impl fmt::Debug for IngestPipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("IngestPipeline")
+            .field("writer_groups", &self.writers.len())
+            .field("submitted", &self.submitted)
+            .finish_non_exhaustive()
+    }
+}
+
 impl IngestPipeline {
-    /// Start the writer thread draining into `store`.
+    /// Start a single writer thread draining into `store`.
     pub fn start(store: Arc<ShardedStore>, config: IngestConfig) -> Self {
-        Self::start_with_journal(store, config, None, None)
+        Self::start_with_journal(store, config, None, None, 1)
     }
 
-    /// Start the writer thread, journaling each batch before applying it
-    /// when a journal handle is attached, and bumping per-category score
-    /// epochs after each apply when a [`ScoreEpochs`] map is attached.
+    /// Start `writer_groups` writer threads, each journaling its batches
+    /// to its own writer group before applying them when a journal
+    /// handle is attached, and bumping per-category score epochs after
+    /// each apply when a [`ScoreEpochs`] map is attached. A journaled
+    /// pipeline's group count must match the handle's.
     pub(crate) fn start_with_journal(
         store: Arc<ShardedStore>,
         config: IngestConfig,
         journal: Option<Arc<JournalHandle>>,
         score_epochs: Option<Arc<ScoreEpochs>>,
+        writer_groups: usize,
     ) -> Self {
-        let (sender, receiver) = bounded::<Feedback>(config.channel_capacity);
-        let progress = Arc::new(Progress::default());
-        let writer_progress = Arc::clone(&progress);
-        let batch_size = config.batch_size.max(1);
-        let writer = std::thread::spawn(move || {
-            drain(
-                &store,
-                &receiver,
-                batch_size,
-                &writer_progress,
-                journal.as_deref(),
-                score_epochs.as_deref(),
+        let groups = writer_groups.max(1);
+        if let Some(handle) = &journal {
+            debug_assert_eq!(
+                groups,
+                handle.writer_groups(),
+                "pipeline fan-out must match the journal's writer groups"
             );
-        });
+        }
+        let progress = Arc::new(Progress::default());
+        let batch_size = config.batch_size.max(1);
+        let mut senders = Vec::with_capacity(groups);
+        let mut writers = Vec::with_capacity(groups);
+        for group in 0..groups {
+            let (sender, receiver) = bounded::<Feedback>(config.channel_capacity);
+            let store = Arc::clone(&store);
+            let progress = Arc::clone(&progress);
+            let journal = journal.clone();
+            let score_epochs = score_epochs.clone();
+            let writer = std::thread::Builder::new()
+                .name(format!("wsrep-ingest-{group}"))
+                .spawn(move || {
+                    drain(
+                        &store,
+                        &receiver,
+                        batch_size,
+                        &progress,
+                        journal.as_deref(),
+                        score_epochs.as_deref(),
+                        group,
+                    );
+                })
+                .expect("spawn ingest writer");
+            senders.push(sender);
+            writers.push(writer);
+        }
         IngestPipeline {
-            sender: Some(sender),
-            writer: Some(writer),
+            store,
+            senders,
+            writers,
             submitted: AtomicU64::new(0),
             progress,
         }
     }
 
-    /// Enqueue one report, blocking while the channel is full.
+    /// The writer group owning `feedback`'s subject.
+    fn group_of(&self, feedback: &Feedback) -> usize {
+        self.store.shard_of(feedback.subject) % self.senders.len()
+    }
+
+    /// Enqueue one report, blocking while its group's channel is full.
     pub fn submit(&self, feedback: Feedback) -> Result<(), IngestClosed> {
-        let sender = self.sender.as_ref().ok_or(IngestClosed)?;
-        sender.send(feedback).map_err(|_| IngestClosed)?;
+        if self.senders.is_empty() {
+            return Err(IngestClosed);
+        }
+        let group = self.group_of(&feedback);
+        self.senders[group]
+            .send(feedback)
+            .map_err(|_| IngestClosed)?;
         self.submitted.fetch_add(1, Ordering::SeqCst);
         Ok(())
     }
 
-    /// Enqueue a whole batch, blocking while the channel is full.
+    /// Enqueue a whole batch, blocking while channels are full.
     ///
     /// Semantically identical to calling [`IngestPipeline::submit`] in a
     /// loop, but the `submitted` counter moves once — a `flush` racing a
@@ -151,10 +204,13 @@ impl IngestPipeline {
         &self,
         batch: impl IntoIterator<Item = Feedback>,
     ) -> Result<u64, IngestClosed> {
-        let sender = self.sender.as_ref().ok_or(IngestClosed)?;
+        if self.senders.is_empty() {
+            return Err(IngestClosed);
+        }
         let mut accepted = 0u64;
         for feedback in batch {
-            if sender.send(feedback).is_err() {
+            let group = self.group_of(&feedback);
+            if self.senders[group].send(feedback).is_err() {
                 self.submitted.fetch_add(accepted, Ordering::SeqCst);
                 return Err(IngestClosed);
             }
@@ -169,20 +225,20 @@ impl IngestPipeline {
         self.submitted.load(Ordering::SeqCst)
     }
 
-    /// Reports the writer has applied to the store so far.
+    /// Reports the writers have applied to the store so far.
     pub fn applied(&self) -> u64 {
         self.progress.current()
     }
 
-    /// Reports queued but not yet applied.
+    /// Reports queued but not yet applied, across all groups.
     pub fn backlog(&self) -> usize {
-        self.sender.as_ref().map(|s| s.len()).unwrap_or(0)
+        self.senders.iter().map(|s| s.len()).sum()
     }
 
     /// Block until everything submitted before this call is applied.
     ///
     /// With a journal attached this is also a **durability barrier**:
-    /// the writer fsyncs each batch before applying it and applies it
+    /// every writer fsyncs each batch before applying it and applies it
     /// before advancing the counter this waits on, so on return every
     /// prior submission is on stable storage.
     pub fn flush(&self) {
@@ -192,10 +248,11 @@ impl IngestPipeline {
 
 impl Drop for IngestPipeline {
     fn drop(&mut self) {
-        // Disconnect the channel; the writer drains what is queued, then
-        // exits, and we wait for it so no report is lost on shutdown.
-        drop(self.sender.take());
-        if let Some(writer) = self.writer.take() {
+        // Disconnect every channel; each writer drains what is queued,
+        // then exits, and we wait for all so no report is lost on
+        // shutdown.
+        self.senders.clear();
+        for writer in self.writers.drain(..) {
             let _ = writer.join();
         }
     }
@@ -208,6 +265,7 @@ fn drain(
     progress: &Progress,
     journal: Option<&JournalHandle>,
     score_epochs: Option<&ScoreEpochs>,
+    group: usize,
 ) {
     // Blocking recv for the first report of a batch, then opportunistic
     // try_recv to gather whatever else is already queued.
@@ -228,10 +286,11 @@ fn drain(
         match journal {
             Some(handle) => {
                 // Journal first (one write + one fsync for the whole
-                // batch), apply second, both under the commit lock.
+                // batch, on this group's log), apply second, both under
+                // this group's commit lock.
                 let records: Vec<JournalRecord> =
                     batch.iter().cloned().map(JournalRecord::Feedback).collect();
-                handle.commit(&records, || store.insert_batch(batch));
+                handle.commit(group, &records, || store.insert_batch(batch));
             }
             None => store.insert_batch(batch),
         }
@@ -316,5 +375,44 @@ mod tests {
         }
         pipeline.flush();
         assert_eq!(store.len(), 200);
+    }
+
+    #[test]
+    fn multiple_writer_groups_preserve_per_subject_order() {
+        let store = Arc::new(ShardedStore::new(8));
+        let pipeline = IngestPipeline::start_with_journal(
+            Arc::clone(&store),
+            IngestConfig::default(),
+            None,
+            None,
+            4,
+        );
+        // Interleave subjects; each subject's reports must stay in
+        // submission order even though four writers apply them.
+        for round in 0..200u64 {
+            for service in 0..12u64 {
+                pipeline
+                    .submit(Feedback::scored(
+                        AgentId::new(round),
+                        ServiceId::new(service),
+                        0.5,
+                        Time::new(round),
+                    ))
+                    .unwrap();
+            }
+        }
+        pipeline.flush();
+        assert_eq!(store.len(), 200 * 12);
+        for service in 0..12u64 {
+            let subject: SubjectId = ServiceId::new(service).into();
+            assert_eq!(store.epoch(subject), 200);
+            let times: Vec<u64> = store.about(subject).iter().map(|f| f.at.round()).collect();
+            let sorted = {
+                let mut s = times.clone();
+                s.sort_unstable();
+                s
+            };
+            assert_eq!(times, sorted, "subject {service} order preserved");
+        }
     }
 }

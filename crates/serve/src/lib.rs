@@ -11,8 +11,10 @@
 //! - [`fxhash`] — the multiply-xor hasher the hot maps key with;
 //! - [`shard`] — the feedback log split over independently locked shards,
 //!   with wait-free per-subject epoch counters;
-//! - [`ingest`] — a bounded channel + writer thread applying feedback in
-//!   per-shard batches and bumping category score epochs;
+//! - [`ingest`] — bounded channels + one writer thread per **writer
+//!   group** (subjects route by shard, groups own disjoint shard sets),
+//!   applying feedback in per-shard batches and bumping category score
+//!   epochs;
 //! - [`cache`] — epoch-validated score memoization over snapshot-swapped
 //!   shards, so a hot subject costs one atomic probe instead of a log
 //!   replay;
@@ -25,9 +27,11 @@
 //!   simulator, and scoring through any
 //!   [`ReputationMechanism`](wsrep_core::mechanism::ReputationMechanism);
 //! - [`durability`] — the optional [`wsrep_journal`] integration: batches
-//!   are group-committed to a write-ahead log before they are applied,
-//!   `ServiceBuilder::recover_from` replays snapshot + WAL tail on boot,
-//!   and a background checkpointer snapshots and compacts the log.
+//!   are group-committed to a write-ahead log before they are applied —
+//!   with `ServiceBuilder::writer_groups(n)`, to `n` partitioned logs
+//!   with independent fsync pipelines under a shared LSN space —
+//!   `ServiceBuilder::recover_from` replays snapshot + WAL tail(s) on
+//!   boot, and a background checkpointer snapshots and compacts the log.
 
 pub mod cache;
 pub mod durability;

@@ -46,7 +46,9 @@ use wsrep_core::id::{ServiceId, SubjectId};
 use wsrep_core::mechanism::{score_from_log, ReputationMechanism};
 use wsrep_core::mechanisms::beta::BetaMechanism;
 use wsrep_core::trust::TrustEstimate;
-use wsrep_journal::{recover, write_snapshot, Journal, JournalConfig, JournalRecord};
+use wsrep_journal::{
+    list_group_dirs, recover, write_snapshot, GroupSet, Journal, JournalConfig, JournalRecord,
+};
 use wsrep_qos::metric::Metric;
 use wsrep_qos::normalize::{NormalizationMatrix, OverallScore};
 use wsrep_qos::preference::Preferences;
@@ -185,6 +187,7 @@ pub struct ServiceBuilder {
     journal_config: JournalConfig,
     checkpoint_every: Option<Duration>,
     incremental: bool,
+    writer_groups: usize,
 }
 
 impl Default for ServiceBuilder {
@@ -199,6 +202,7 @@ impl Default for ServiceBuilder {
             journal_config: JournalConfig::default(),
             checkpoint_every: None,
             incremental: true,
+            writer_groups: 1,
         }
     }
 }
@@ -284,6 +288,17 @@ impl ServiceBuilder {
         self
     }
 
+    /// Ingest writer groups (clamped to at least 1). With `n > 1` the
+    /// ingest pipeline runs `n` writer threads, each owning a disjoint
+    /// set of store shards — and, with a journal attached, its own WAL
+    /// partition with its own group-commit fsync pipeline. A journal
+    /// directory that already holds `m > n` partitions reopens with `m`
+    /// writers; the layout never shrinks in place.
+    pub fn writer_groups(mut self, groups: usize) -> Self {
+        self.writer_groups = groups.max(1);
+        self
+    }
+
     /// Start the service (spawns the ingest writer thread).
     ///
     /// Panics if the journal directory cannot be opened or recovered;
@@ -314,12 +329,14 @@ impl ServiceBuilder {
         let mut journal = None;
         if let Some(dir) = self.journal_dir {
             let mut records_recovered = 0;
+            let mut floor_lsn = 0;
             if self.recover {
                 // Replay BEFORE opening the writer: recovery tolerates a
-                // torn final record, and `Journal::open` then truncates
+                // torn final record, and reopening the log then truncates
                 // the same tail, so both agree on the durable prefix.
                 let recovered = recover(&dir)?;
                 records_recovered = recovered.records_recovered;
+                floor_lsn = recovered.next_lsn;
                 for listing in recovered.listings {
                     score_epochs.ensure(listing.service.into(), listing.category);
                     listings.publish(listing);
@@ -332,15 +349,34 @@ impl ServiceBuilder {
                 // scales with cores, not history length.
                 store.insert_batch_parallel(recovered.feedback);
             }
-            let inner = Journal::open(&dir, self.journal_config)?;
-            journal = Some(Arc::new(JournalHandle::new(inner, records_recovered)));
+            // A directory that already has writer-group partitions must
+            // reopen partitioned even if the builder asked for one
+            // writer; a fresh single-writer journal keeps the flat
+            // (root-level) layout bit-for-bit.
+            let on_disk_groups = list_group_dirs(&dir)?.len();
+            let handle = if self.writer_groups <= 1 && on_disk_groups == 0 {
+                let inner = Journal::open(&dir, self.journal_config)?;
+                JournalHandle::single(inner, records_recovered)
+            } else {
+                let set = GroupSet::open(&dir, self.writer_groups, self.journal_config, floor_lsn)?;
+                JournalHandle::partitioned(set, records_recovered)
+            };
+            journal = Some(Arc::new(handle));
         }
 
+        // A journaled pipeline's fan-out must match the log's partition
+        // count (which may exceed the requested one when reopening a
+        // wider on-disk layout); without a journal the knob alone decides.
+        let pipeline_groups = journal
+            .as_ref()
+            .map(|handle| handle.writer_groups())
+            .unwrap_or(self.writer_groups);
         let ingest = IngestPipeline::start_with_journal(
             Arc::clone(&store),
             self.ingest,
             journal.clone(),
             Some(Arc::clone(&score_epochs)),
+            pipeline_groups,
         );
         let compactor = match (&journal, self.checkpoint_every) {
             (Some(handle), Some(every)) => Some(Compactor::spawn(
@@ -430,8 +466,11 @@ impl ReputationService {
     pub fn publish(&self, listing: Listing) -> PublishStatus {
         match &self.journal {
             Some(handle) => {
+                // Listing mutations always commit through group 0, so
+                // they keep a total order among themselves however many
+                // feedback writers run.
                 let record = JournalRecord::Publish(listing.clone());
-                handle.commit(std::slice::from_ref(&record), || {
+                handle.commit(0, std::slice::from_ref(&record), || {
                     self.apply_publish(listing)
                 })
             }
@@ -452,12 +491,12 @@ impl ReputationService {
     pub fn deregister(&self, service: ServiceId) -> Result<(), RegistryError> {
         match &self.journal {
             Some(handle) => {
-                // Hold the commit lock across check-and-remove so a
+                // Hold group 0's commit lock across check-and-remove so a
                 // concurrent checkpoint never sees the removal without
                 // its journal record.
-                let mut journal = handle.lock();
+                let mut guard = handle.lock_group(0);
                 if self.apply_deregister(service) {
-                    handle.append_locked(&mut journal, &[JournalRecord::Deregister(service)]);
+                    guard.append(&[JournalRecord::Deregister(service)]);
                     Ok(())
                 } else {
                     Err(RegistryError::NotFound)
@@ -578,19 +617,22 @@ impl ReputationService {
         Ok(accepted)
     }
 
-    /// One past the LSN of the last record in the attached journal — the
-    /// durable watermark replication lag is measured against. `None`
-    /// without a journal.
+    /// The attached journal's contiguous durable frontier — the
+    /// watermark replication lag is measured against. With one writer
+    /// this is one past the last record; with several writer groups it
+    /// is the min over groups of each group's settled prefix, so every
+    /// record below it is on disk. `None` without a journal.
     pub fn durable_lsn(&self) -> Option<u64> {
-        self.journal.as_ref().map(|handle| handle.lock().next_lsn())
+        self.journal.as_ref().map(|handle| handle.durable_lsn())
     }
 
-    /// The attached journal's directory, when one is attached — where a
-    /// [`wsrep_journal::ShipCursor`] reads records to replicate.
+    /// The attached journal's root directory, when one is attached —
+    /// where a [`wsrep_journal::ShipCursor`] reads records to replicate
+    /// (merging writer-group partitions when there are several).
     pub fn journal_dir(&self) -> Option<PathBuf> {
         self.journal
             .as_ref()
-            .map(|handle| handle.lock().dir().to_path_buf())
+            .map(|handle| handle.dir().to_path_buf())
     }
 
     /// Snapshot the full registry state at a consistent LSN, then drop
@@ -794,29 +836,28 @@ impl ReputationService {
     }
 }
 
-/// Capture `(LSN, listings, feedback)` under the commit lock, write the
-/// snapshot outside it, then compact.
+/// Capture `(LSN, listings, feedback)` with every commit lock held,
+/// write the snapshot outside the locks, then compact.
 ///
 /// Consistency argument: every mutation commits its journal record and
-/// its in-memory apply under the same lock, so at capture time the state
-/// is exactly the effect of records `[0, next_lsn)` — including reports
-/// still queued in the ingest channel, which have an LSN above the
-/// captured one and survive compaction in the WAL tail.
+/// its in-memory apply under the same (per-group) commit lock, so with
+/// all locks held the state is exactly the effect of records
+/// `[0, next_lsn)` — including reports still queued in the ingest
+/// channels, which get LSNs above the captured one and survive
+/// compaction in the WAL tails.
 fn checkpoint_now(
     handle: &JournalHandle,
     store: &ShardedStore,
     listings: &Listings,
 ) -> io::Result<CheckpointReport> {
-    let (lsn, dir, listing_vec, feedback) = {
-        let journal = handle.lock();
-        let lsn = journal.next_lsn();
+    let (lsn, (listing_vec, feedback)) = handle.freeze(|| {
         let listing_vec: Vec<Listing> = listings.table.read().values().cloned().collect();
         let feedback = store.dump();
-        (lsn, journal.dir().to_path_buf(), listing_vec, feedback)
-    };
+        (listing_vec, feedback)
+    });
     let entries = listing_vec.len() as u64 + feedback.len() as u64;
-    write_snapshot(&dir, lsn, &listing_vec, &feedback)?;
-    let report = handle.lock().compact(lsn)?;
+    write_snapshot(handle.dir(), lsn, &listing_vec, &feedback)?;
+    let report = handle.compact(lsn)?;
     Ok(CheckpointReport {
         lsn,
         entries,

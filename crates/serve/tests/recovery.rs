@@ -18,7 +18,7 @@ use wsrep_core::mechanisms::beta::BetaMechanism;
 use wsrep_core::store::FeedbackStore;
 use wsrep_core::time::Time;
 use wsrep_core::trust::TrustEstimate;
-use wsrep_journal::{recover, Journal, JournalConfig, JournalRecord};
+use wsrep_journal::{recover, GroupSet, Journal, JournalConfig, JournalRecord};
 use wsrep_qos::metric::Metric;
 use wsrep_qos::value::QosVector;
 use wsrep_serve::ReputationService;
@@ -31,16 +31,25 @@ fn temp_dir(tag: &str) -> PathBuf {
     dir
 }
 
-/// Copy the journal directory byte for byte — the durable state an
-/// abrupt kill would leave behind.
+/// Copy the journal directory byte for byte (including writer-group
+/// subdirectories) — the durable state an abrupt kill would leave behind.
 fn freeze(live: &Path, tag: &str) -> PathBuf {
     let frozen = temp_dir(tag);
-    fs::create_dir_all(&frozen).unwrap();
-    for entry in fs::read_dir(live).unwrap() {
-        let entry = entry.unwrap();
-        fs::copy(entry.path(), frozen.join(entry.file_name())).unwrap();
-    }
+    copy_tree(live, &frozen);
     frozen
+}
+
+fn copy_tree(from: &Path, to: &Path) {
+    fs::create_dir_all(to).unwrap();
+    for entry in fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        let target = to.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_tree(&entry.path(), &target);
+        } else {
+            fs::copy(entry.path(), target).unwrap();
+        }
+    }
 }
 
 fn feedback(rater: u64, service: u64, score: f64, at: u64) -> Feedback {
@@ -275,6 +284,100 @@ fn background_compactor_takes_checkpoints_on_its_own() {
     fs::remove_dir_all(&live).unwrap();
 }
 
+#[test]
+fn partitioned_kill_and_recover_restores_every_acknowledged_score() {
+    let live = temp_dir("part-kill-live");
+    let svc = ReputationService::builder()
+        .shards(4)
+        .writer_groups(4)
+        .journal(&live)
+        .build();
+    for s in 0..6 {
+        svc.publish(listing(s, s as u32 % 2));
+    }
+    svc.deregister(ServiceId::new(5)).unwrap();
+    let reports: Vec<Feedback> = (0..300)
+        .map(|i| feedback(i % 17, i % 6, (i % 10) as f64 / 10.0, i))
+        .collect();
+    for report in &reports {
+        svc.ingest(report.clone()).unwrap();
+    }
+    // Durability barrier: everything above is fsynced across all four
+    // writer-group logs, so the cross-group watermark covers it.
+    svc.flush();
+    let frozen = freeze(&live, "part-kill-frozen");
+    let pre_crash: Vec<Option<TrustEstimate>> = (0..6)
+        .map(|s| svc.score(ServiceId::new(s).into()))
+        .collect();
+    drop(svc);
+
+    // No writer_groups setting: the on-disk partitioned layout decides.
+    let revived = ReputationService::builder()
+        .shards(4)
+        .recover_from(&frozen)
+        .build();
+    for (s, expected) in pre_crash.iter().enumerate() {
+        let subject: SubjectId = ServiceId::new(s as u64).into();
+        assert_eq!(
+            revived.score(subject),
+            *expected,
+            "service {s} must score identically after partitioned recovery"
+        );
+        assert_eq!(
+            revived.score(subject),
+            sequential_score(&reports, subject),
+            "recovered score must equal a sequential replay"
+        );
+    }
+    assert_eq!(revived.stats().listings, 5);
+    assert!(revived.listing(ServiceId::new(5)).is_none());
+    let health = revived.stats().journal.expect("journal attached");
+    assert_eq!(health.records_recovered, 307);
+    assert_eq!(health.writer_groups, 4, "on-disk layout reopens wide");
+    assert!(!health.degraded);
+    fs::remove_dir_all(&live).unwrap();
+    fs::remove_dir_all(&frozen).unwrap();
+}
+
+#[test]
+fn torn_tail_in_one_group_loses_only_that_groups_suffix() {
+    let live = temp_dir("part-torn-live");
+    let reports: Vec<Feedback> = (0..10).map(|i| feedback(i, i % 3, 0.7, i)).collect();
+    {
+        let set = GroupSet::open(&live, 2, JournalConfig::default(), 0).unwrap();
+        // One record per commit, alternating groups: LSN i lands in
+        // group i % 2, so each group's log is every other LSN.
+        for (i, report) in reports.iter().enumerate() {
+            let receipt = set
+                .append_batch(i % 2, &[JournalRecord::Feedback(report.clone())])
+                .unwrap();
+            assert_eq!(receipt.first_lsn, i as u64);
+        }
+    }
+    // Tear group 1 back to 3 whole frames: LSNs 7 and 9 are lost while
+    // group 0's 8 survives above the resulting gap.
+    let group1 = live.join("group-001");
+    let (_, segment) = wsrep_journal::segment::list_segments(&group1)
+        .unwrap()
+        .pop()
+        .unwrap();
+    let len = fs::metadata(&segment).unwrap().len();
+    let frame = (len - 13) / 5; // 13-byte header, five same-size frames
+    fs::OpenOptions::new()
+        .write(true)
+        .open(&segment)
+        .unwrap()
+        .set_len(13 + 3 * frame)
+        .unwrap();
+
+    let recovered = recover(&live).unwrap();
+    let survivors: Vec<u64> = recovered.feedback.iter().map(|f| f.rater.raw()).collect();
+    assert_eq!(survivors, vec![0, 1, 2, 3, 4, 5, 6, 8], "gap at 7, keep 8");
+    assert_eq!(recovered.durable_lsn, 7, "frontier stops at the gap");
+    assert_eq!(recovered.next_lsn, 9, "appends resume past the survivor");
+    fs::remove_dir_all(&live).unwrap();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -334,5 +437,131 @@ proptest! {
         }
         drop(revived);
         fs::remove_dir_all(&live).unwrap();
+    }
+
+    /// Partition the log over several writer groups, tear every group's
+    /// tail at an arbitrary byte, and recovery must (a) keep exactly a
+    /// prefix of each group's log, (b) equal a sequential single-log
+    /// replay of the surviving records, and (c) report a durable
+    /// watermark that never exceeds any group's torn frontier.
+    #[test]
+    fn partitioned_truncate_anywhere_matches_a_sequential_replay_twin(
+        n in 1usize..60,
+        groups in 2usize..5,
+        chunk in 1usize..6,
+        cuts in proptest::collection::vec(0u64..2000, 4),
+    ) {
+        let tag = format!("part-prop-{n}-{groups}-{chunk}-{}", cuts[0]);
+        let live = temp_dir(&tag);
+        // Record i carries its own LSN in the rater id: batches are
+        // appended one at a time, so allocation is dense and global
+        // position == LSN.
+        let reports: Vec<Feedback> = (0..n as u64)
+            .map(|i| feedback(i, i % 6, ((i % 7) as f64) / 7.0, i))
+            .collect();
+        let mut group_lsns: Vec<Vec<u64>> = vec![Vec::new(); groups];
+        {
+            let set = GroupSet::open(&live, groups, JournalConfig::default(), 0).unwrap();
+            for (b, batch) in reports.chunks(chunk).enumerate() {
+                let group = b % groups;
+                let records: Vec<JournalRecord> =
+                    batch.iter().cloned().map(JournalRecord::Feedback).collect();
+                let receipt = set.append_batch(group, &records).unwrap();
+                group_lsns[group]
+                    .extend(receipt.first_lsn..receipt.first_lsn + receipt.count);
+            }
+        }
+        // Tear each group's last segment at an independent offset —
+        // groups torn at different LSNs is exactly the crash shape a
+        // partitioned writer leaves.
+        for (group, lsns) in group_lsns.iter().enumerate() {
+            if lsns.is_empty() {
+                continue;
+            }
+            let dir = live.join(format!("group-{group:03}"));
+            let (_, segment) = wsrep_journal::segment::list_segments(&dir)
+                .unwrap()
+                .pop()
+                .unwrap();
+            let len = fs::metadata(&segment).unwrap().len();
+            let cut = len.saturating_sub(cuts[group % cuts.len()]).max(13);
+            fs::OpenOptions::new()
+                .write(true)
+                .open(&segment)
+                .unwrap()
+                .set_len(cut)
+                .unwrap();
+        }
+
+        let recovered = recover(&live).unwrap();
+        let survivors: Vec<u64> = recovered.feedback.iter().map(|f| f.rater.raw()).collect();
+
+        // (a) Per-group, the surviving LSNs are a prefix of that group's
+        // appends: tearing a suffix of bytes loses a suffix of records.
+        let survived: std::collections::BTreeSet<u64> = survivors.iter().copied().collect();
+        let mut torn_frontiers: Vec<u64> = Vec::new();
+        for lsns in &group_lsns {
+            let kept = lsns.iter().take_while(|lsn| survived.contains(lsn)).count();
+            for lost in &lsns[kept..] {
+                prop_assert!(
+                    !survived.contains(lost),
+                    "group lost LSN {} but kept a later one", lost
+                );
+            }
+            torn_frontiers.push(lsns.get(kept).copied().unwrap_or(u64::MAX));
+        }
+
+        // (b) The merged replay equals a sequential single-log twin fed
+        // the same surviving records in LSN order.
+        let twin_dir = temp_dir(&format!("{tag}-twin"));
+        {
+            let mut twin = Journal::open(&twin_dir, JournalConfig::default()).unwrap();
+            let records: Vec<JournalRecord> = recovered
+                .feedback
+                .iter()
+                .cloned()
+                .map(JournalRecord::Feedback)
+                .collect();
+            if !records.is_empty() {
+                twin.append_batch(&records).unwrap();
+            }
+        }
+        let twin = recover(&twin_dir).unwrap();
+        prop_assert_eq!(&twin.feedback, &recovered.feedback);
+
+        // (c) The reported frontier is the first hole in the survivor
+        // set and never exceeds any group's torn frontier.
+        let first_hole = (0..n as u64)
+            .find(|lsn| !survived.contains(lsn))
+            .unwrap_or(n as u64);
+        prop_assert_eq!(recovered.durable_lsn, first_hole);
+        for frontier in torn_frontiers {
+            prop_assert!(
+                recovered.durable_lsn <= frontier,
+                "watermark {} beyond a torn frontier {}", recovered.durable_lsn, frontier
+            );
+        }
+        prop_assert_eq!(
+            recovered.next_lsn,
+            survivors.iter().max().map(|lsn| lsn + 1).unwrap_or(0)
+        );
+
+        // The revived service scores every subject like a sequential
+        // replay of the surviving stream.
+        let revived = ReputationService::builder()
+            .shards(3)
+            .recover_from(&live)
+            .build();
+        for service in 0..6u64 {
+            let subject: SubjectId = ServiceId::new(service).into();
+            prop_assert_eq!(
+                revived.score(subject),
+                sequential_score(&recovered.feedback, subject),
+                "subject {} over {} groups", service, groups
+            );
+        }
+        drop(revived);
+        fs::remove_dir_all(&live).unwrap();
+        fs::remove_dir_all(&twin_dir).unwrap();
     }
 }

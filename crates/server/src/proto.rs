@@ -48,7 +48,9 @@ use wsrep_serve::{JournalHealth, RankedService, ServiceStats};
 use wsrep_sim::registry::{Listing, PublishStatus};
 
 /// Protocol version carried in every payload.
-pub const PROTO_VERSION: u8 = 1;
+///
+/// v2: stats payloads gained the journal's `writer_groups` count.
+pub const PROTO_VERSION: u8 = 2;
 
 // Request opcodes — wire contract, never renumber.
 const OP_PING: u8 = 0x01;
@@ -423,6 +425,7 @@ fn put_service_stats(out: &mut Vec<u8>, stats: &ServiceStats) {
             put_u64(out, health.commits);
             put_u64(out, health.durable_lsn);
             put_u64(out, health.records_recovered);
+            put_u64(out, health.writer_groups);
             put_bool(out, health.degraded);
         }
         None => put_bool(out, false),
@@ -452,6 +455,7 @@ fn get_service_stats(cur: &mut Cursor<'_>) -> Result<ServiceStats, CodecError> {
                 commits: cur.u64()?,
                 durable_lsn: cur.u64()?,
                 records_recovered: cur.u64()?,
+                writer_groups: cur.u64()?,
                 degraded: cur.bool()?,
             })
         } else {
@@ -963,6 +967,7 @@ mod tests {
                         commits: 4,
                         durable_lsn: 99,
                         records_recovered: 5,
+                        writer_groups: 4,
                         degraded: false,
                     }),
                 },
