@@ -29,15 +29,17 @@ const CATEGORIES: u32 = 4;
 fn loaded_service(reports: u64) -> ReputationService {
     let service = ReputationService::builder().shards(8).build();
     for s in 0..SERVICES {
-        service.publish(Listing {
-            service: ServiceId::new(s),
-            provider: ProviderId::new(s / 4),
-            category: (s % CATEGORIES as u64) as u32,
-            advertised: QosVector::from_pairs([
-                (Metric::Price, 1.0 + s as f64),
-                (Metric::Accuracy, 1.0 / (1.0 + s as f64)),
-            ]),
-        });
+        service
+            .publish(Listing {
+                service: ServiceId::new(s),
+                provider: ProviderId::new(s / 4),
+                category: (s % CATEGORIES as u64) as u32,
+                advertised: QosVector::from_pairs([
+                    (Metric::Price, 1.0 + s as f64),
+                    (Metric::Accuracy, 1.0 / (1.0 + s as f64)),
+                ]),
+            })
+            .expect("publish");
     }
     for i in 0..reports {
         service
@@ -158,15 +160,17 @@ fn bench_top_k(c: &mut Criterion) {
     group.bench_function("plan_rebuild_after_publish", |b| {
         b.iter(|| {
             epoch_nudge += 1;
-            service.publish(Listing {
-                service: ServiceId::new(3),
-                provider: ProviderId::new(0),
-                category: 0,
-                advertised: QosVector::from_pairs([
-                    (Metric::Price, 4.0 + (epoch_nudge % 7) as f64),
-                    (Metric::Accuracy, 0.25),
-                ]),
-            });
+            service
+                .publish(Listing {
+                    service: ServiceId::new(3),
+                    provider: ProviderId::new(0),
+                    category: 0,
+                    advertised: QosVector::from_pairs([
+                        (Metric::Price, 4.0 + (epoch_nudge % 7) as f64),
+                        (Metric::Accuracy, 0.25),
+                    ]),
+                })
+                .expect("publish");
             service.top_k_into(black_box(0), &prefs, 10, &mut out);
             out.len()
         })

@@ -26,15 +26,17 @@ fn feedback(rater: u64, service: u64, score: f64, at: u64) -> Feedback {
 fn loaded_service(reports_per_subject: u64, services: u64) -> ReputationService {
     let service = ReputationService::builder().shards(8).build();
     for s in 0..services {
-        service.publish(Listing {
-            service: ServiceId::new(s),
-            provider: ProviderId::new(s),
-            category: 0,
-            advertised: QosVector::from_pairs([
-                (Metric::Price, 1.0 + s as f64),
-                (Metric::Accuracy, 0.5 + 0.4 * (s as f64 / services as f64)),
-            ]),
-        });
+        service
+            .publish(Listing {
+                service: ServiceId::new(s),
+                provider: ProviderId::new(s),
+                category: 0,
+                advertised: QosVector::from_pairs([
+                    (Metric::Price, 1.0 + s as f64),
+                    (Metric::Accuracy, 0.5 + 0.4 * (s as f64 / services as f64)),
+                ]),
+            })
+            .expect("publish");
     }
     for i in 0..reports_per_subject {
         for s in 0..services {

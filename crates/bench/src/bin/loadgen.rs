@@ -85,7 +85,9 @@ use wsrep_qos::metric::Metric;
 use wsrep_qos::preference::Preferences;
 use wsrep_qos::value::QosVector;
 use wsrep_serve::ReputationService;
-use wsrep_server::{Client, Request, Response};
+use wsrep_server::{
+    ChaosConfig, Client, FlakyProxy, Request, Response, RetryPolicy, RetryingClient,
+};
 use wsrep_sim::registry::Listing;
 
 const SERVICES: u64 = 64;
@@ -110,6 +112,7 @@ struct Config {
     socket: Option<String>,
     replicas: Vec<String>,
     shutdown: bool,
+    chaos: bool,
 }
 
 fn parse_args() -> Config {
@@ -123,6 +126,7 @@ fn parse_args() -> Config {
     let mut socket = None;
     let mut replicas = Vec::new();
     let mut shutdown = false;
+    let mut chaos = false;
     let mut numbers = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -136,6 +140,8 @@ fn parse_args() -> Config {
             replicas.push(addr.to_string());
         } else if arg == "--shutdown" {
             shutdown = true;
+        } else if arg == "--chaos" {
+            chaos = true;
         } else if arg == "--journal" {
             journal = Some(
                 std::env::temp_dir().join(format!("wsrep-loadgen-journal-{}", std::process::id())),
@@ -188,6 +194,10 @@ fn parse_args() -> Config {
         replicas.is_empty() || socket.is_some(),
         "--replica requires --socket (the primary the replicas trail)"
     );
+    assert!(
+        !chaos || socket.is_some(),
+        "--chaos requires --socket (the server to proxy in front of)"
+    );
     let get = |i: usize, default: u64| numbers.get(i).copied().unwrap_or(default);
     Config {
         ingest_threads: get(0, 4),
@@ -206,6 +216,7 @@ fn parse_args() -> Config {
         socket,
         replicas,
         shutdown,
+        chaos,
     }
 }
 
@@ -272,16 +283,18 @@ fn run_read_heavy(config: Config) {
     let zipf = Arc::new(Zipf::new(SERVICES, config.skew));
     let mut seeder = StdRng::seed_from_u64(config.seed);
     for s in 0..SERVICES {
-        service.publish(Listing {
-            service: ServiceId::new(s),
-            provider: ProviderId::new(s / 4),
-            category: (s % CATEGORIES as u64) as u32,
-            advertised: QosVector::from_pairs([
-                (Metric::Price, seeder.gen_range(1.0..10.0)),
-                (Metric::ResponseTime, seeder.gen_range(20.0..500.0)),
-                (Metric::Accuracy, seeder.gen_range(0.3..1.0)),
-            ]),
-        });
+        service
+            .publish(Listing {
+                service: ServiceId::new(s),
+                provider: ProviderId::new(s / 4),
+                category: (s % CATEGORIES as u64) as u32,
+                advertised: QosVector::from_pairs([
+                    (Metric::Price, seeder.gen_range(1.0..10.0)),
+                    (Metric::ResponseTime, seeder.gen_range(20.0..500.0)),
+                    (Metric::Accuracy, seeder.gen_range(0.3..1.0)),
+                ]),
+            })
+            .expect("publish");
     }
     let prefs = Preferences::uniform([Metric::Price, Metric::ResponseTime, Metric::Accuracy]);
 
@@ -516,7 +529,7 @@ fn run_write_heavy(config: Config) {
         }
         let service = Arc::new(builder.build());
         for listing in &listings {
-            service.publish(listing.clone());
+            service.publish(listing.clone()).expect("publish");
         }
 
         let zipf = Arc::new(Zipf::new(SERVICES, config.skew));
@@ -706,7 +719,7 @@ fn run_socket(config: Config, addr: String) {
                             )
                         })
                         .collect();
-                    client.queue(&Request::Ingest(batch));
+                    client.queue(&Request::Ingest { batch, key: None });
                     client.flush_queued().expect("ingest write");
                     sent += n;
                     accepted += drain(&mut client, SOCKET_INGEST_WINDOW - 1);
@@ -925,12 +938,145 @@ fn run_socket(config: Config, addr: String) {
     );
 }
 
+/// `--chaos`: the CI chaos smoke. Every ingester reaches the server
+/// only through an in-process [`FlakyProxy`] that keeps dropping,
+/// splitting and delaying the stream, and retries each keyed batch
+/// until it is acked — then the run verifies over a clean connection
+/// that the server applied exactly the acked count (no losses, no
+/// double-applies), and reports the injected-fault counters so the CI
+/// gate can prove the chaos actually happened. Composes with a server
+/// started under `--fault-append-every` for the disk half.
+fn run_chaos(config: Config, addr: String) {
+    use std::net::ToSocketAddrs as _;
+    let upstream = addr
+        .to_socket_addrs()
+        .expect("resolve --socket address")
+        .next()
+        .expect("--socket resolved to nothing");
+    let proxy = FlakyProxy::start(
+        upstream,
+        ChaosConfig {
+            seed: config.seed,
+            drop_conn_every: Some(101),
+            split_chunks: true,
+            delay_every: Some(47),
+            delay: Duration::from_millis(1),
+            ..ChaosConfig::default()
+        },
+    )
+    .expect("chaos proxy");
+    let proxy_addr = proxy.addr().to_string();
+
+    let begun = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..config.ingest_threads {
+        let proxy_addr = proxy_addr.clone();
+        let reports = config.reports_per_ingester;
+        let batch_size = config.batch_size as u64;
+        let seed = config.seed;
+        handles.push(std::thread::spawn(move || {
+            let mut client = RetryingClient::new(
+                proxy_addr,
+                RetryPolicy {
+                    base: Duration::from_millis(2),
+                    cap: Duration::from_millis(50),
+                    multiplier: 2.0,
+                    max_attempts: 200,
+                    deadline: None,
+                },
+            )
+            .with_producer(seed.wrapping_mul(1_000).wrapping_add(t));
+            client.set_read_timeout(Some(Duration::from_secs(5)));
+            let mut sent = 0u64;
+            let mut acked = 0u64;
+            while sent < reports {
+                let n = batch_size.min(reports - sent);
+                let batch: Vec<Feedback> = (0..n)
+                    .map(|i| {
+                        let at = sent + i;
+                        Feedback::scored(
+                            AgentId::new(t * 1_000_000 + at),
+                            ServiceId::new(at % SERVICES),
+                            0.5 + (at % 5) as f64 / 10.0,
+                            Time::new(at),
+                        )
+                    })
+                    .collect();
+                acked += client.ingest(batch).expect("keyed ingest through chaos");
+                sent += n;
+            }
+            client.flush().expect("flush through chaos");
+            acked
+        }));
+    }
+    let acked: u64 = handles
+        .into_iter()
+        .map(|h| h.join().expect("ingester"))
+        .sum();
+    let wall = begun.elapsed().as_secs_f64();
+
+    // Verify over a clean, direct connection — the proxy stays chaotic.
+    let mut direct = Client::connect(&addr[..]).expect("direct connect");
+    let stats = direct.stats().expect("stats");
+    let applied = stats.service.feedback;
+    let (journal_errors, degraded, fenced) = match stats.service.journal {
+        Some(health) => (health.journal_errors, health.degraded, health.fenced),
+        None => (0, false, false),
+    };
+    if config.shutdown {
+        direct.shutdown_server().expect("shutdown");
+    }
+    let counters = proxy.counters();
+    let lost = acked.saturating_sub(applied);
+    let extra = applied.saturating_sub(acked);
+
+    println!(
+        "chaos ingest       {:>12} acked / {} applied",
+        acked, applied
+    );
+    println!(
+        "chaos link faults  {:>12} (drops {}, delays {})",
+        counters.injected(),
+        counters.dropped_conns,
+        counters.delayed_chunks
+    );
+    println!(
+        "{{\"mode\":\"chaos\",\"ingest_threads\":{},\"reports_per_ingester\":{},\"batch\":{},\"seed\":{},\"wall_seconds\":{:.3},\"acked\":{},\"applied\":{},\"lost_acked_writes\":{},\"double_applied\":{},\"injected_link_faults\":{},\"dropped_conns\":{},\"delayed_chunks\":{},\"proxy_conns\":{},\"journal_errors\":{},\"degraded\":{},\"fenced\":{}}}",
+        config.ingest_threads,
+        config.reports_per_ingester,
+        config.batch_size,
+        config.seed,
+        wall,
+        acked,
+        applied,
+        lost,
+        extra,
+        counters.injected(),
+        counters.dropped_conns,
+        counters.delayed_chunks,
+        counters.accepted_conns,
+        journal_errors,
+        degraded,
+        fenced,
+    );
+    assert_eq!(lost, 0, "acked writes were lost under chaos");
+    assert_eq!(extra, 0, "retried batches were double-applied under chaos");
+    assert!(
+        counters.injected() > 0,
+        "the chaos schedule never fired; this smoke proved nothing"
+    );
+}
+
 fn main() {
     let config = parse_args();
     assert!(config.ingest_threads >= 1 && config.query_threads >= 1);
 
     if let Some(addr) = config.socket.clone() {
-        run_socket(config, addr);
+        if config.chaos {
+            run_chaos(config, addr);
+        } else {
+            run_socket(config, addr);
+        }
         return;
     }
     if config.read_heavy {
@@ -957,16 +1103,18 @@ fn main() {
     let zipf = Arc::new(Zipf::new(SERVICES, config.skew));
     let mut seeder = StdRng::seed_from_u64(config.seed);
     for s in 0..SERVICES {
-        service.publish(Listing {
-            service: ServiceId::new(s),
-            provider: ProviderId::new(s / 4),
-            category: (s % CATEGORIES as u64) as u32,
-            advertised: QosVector::from_pairs([
-                (Metric::Price, seeder.gen_range(1.0..10.0)),
-                (Metric::ResponseTime, seeder.gen_range(20.0..500.0)),
-                (Metric::Accuracy, seeder.gen_range(0.3..1.0)),
-            ]),
-        });
+        service
+            .publish(Listing {
+                service: ServiceId::new(s),
+                provider: ProviderId::new(s / 4),
+                category: (s % CATEGORIES as u64) as u32,
+                advertised: QosVector::from_pairs([
+                    (Metric::Price, seeder.gen_range(1.0..10.0)),
+                    (Metric::ResponseTime, seeder.gen_range(20.0..500.0)),
+                    (Metric::Accuracy, seeder.gen_range(0.3..1.0)),
+                ]),
+            })
+            .expect("publish");
     }
     let prefs = Preferences::uniform([Metric::Price, Metric::ResponseTime, Metric::Accuracy]);
 
@@ -1100,13 +1248,16 @@ fn main() {
                 health.last_fsync_nanos as f64 / 1_000.0
             );
             format!(
-                "{{\"segments\":{},\"bytes_appended\":{},\"commits\":{},\"last_fsync_nanos\":{},\"records_recovered\":{},\"writer_groups\":{}}}",
+                "{{\"segments\":{},\"bytes_appended\":{},\"commits\":{},\"last_fsync_nanos\":{},\"records_recovered\":{},\"writer_groups\":{},\"journal_errors\":{},\"degraded\":{},\"fenced\":{}}}",
                 health.segments,
                 health.bytes_appended,
                 health.commits,
                 health.last_fsync_nanos,
                 health.records_recovered,
-                health.writer_groups
+                health.writer_groups,
+                health.journal_errors,
+                health.degraded,
+                health.fenced
             )
         }
         None => "null".to_string(),

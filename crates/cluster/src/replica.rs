@@ -20,9 +20,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use wsrep_serve::ReputationService;
+use wsrep_serve::{ReplicateError, ReputationService};
 use wsrep_server::{
-    Client, ReplicationGauge, ReplicationHooks, ReplicationStats, Server, ServerConfig,
+    Backoff, Client, ReplicationGauge, ReplicationHooks, ReplicationStats, RetryPolicy, Server,
+    ServerConfig,
 };
 
 /// Tuning for a [`Replica`].
@@ -41,8 +42,11 @@ pub struct ReplicaConfig {
     /// Read timeout on the replication connection — bounds how long a
     /// dead primary can keep the pull loop blocked.
     pub read_timeout: Duration,
-    /// Pause between reconnect attempts after the link drops.
-    pub reconnect_backoff: Duration,
+    /// Reconnect schedule after the link drops: jittered exponential
+    /// backoff (see [`RetryPolicy`]), reset after every successful
+    /// pull. Jitter matters here — a fleet of replicas orphaned by one
+    /// primary restart must not stampede back in lockstep.
+    pub reconnect: RetryPolicy,
     /// Records requested per pull.
     pub max_batch_records: u32,
 }
@@ -55,7 +59,11 @@ impl Default for ReplicaConfig {
             replica_id: 1,
             poll_interval: Duration::from_millis(20),
             read_timeout: Duration::from_secs(1),
-            reconnect_backoff: Duration::from_millis(100),
+            reconnect: RetryPolicy {
+                base: Duration::from_millis(100),
+                cap: Duration::from_secs(2),
+                ..RetryPolicy::unbounded()
+            },
             max_batch_records: 4096,
         }
     }
@@ -238,19 +246,28 @@ impl Drop for Replica {
 }
 
 /// The replication loop: connect, pull from the local watermark, apply,
-/// heartbeat; reconnect with backoff when the link drops.
+/// heartbeat; reconnect with jittered exponential backoff when the link
+/// drops (reset after every successful pull, so a healthy link always
+/// reconnects from the base delay).
+///
+/// Any pull that times out abandons the connection rather than reading
+/// again: a timed-out [`Client`] is poisoned mid-frame, and the next
+/// `recv` on it could pair the late response with the wrong request.
+/// Reconnecting and re-pulling from the local durable watermark is
+/// always safe — the stream is idempotent below the watermark.
 fn pull_loop(shared: &ReplShared, primary_addr: &str, config: &ReplicaConfig) {
+    let mut backoff = Backoff::new(config.reconnect, config.replica_id);
     while !shared.stopped() {
         let mut client = match Client::connect(primary_addr) {
             Ok(client) => client,
             Err(_) => {
                 shared.gauge.set_connected(false);
-                shared.interruptible_sleep(config.reconnect_backoff);
+                shared.interruptible_sleep(backoff.next_delay());
                 continue;
             }
         };
         if client.set_read_timeout(Some(config.read_timeout)).is_err() {
-            shared.interruptible_sleep(config.reconnect_backoff);
+            shared.interruptible_sleep(backoff.next_delay());
             continue;
         }
         shared.gauge.set_connected(true);
@@ -270,6 +287,7 @@ fn pull_loop(shared: &ReplShared, primary_addr: &str, config: &ReplicaConfig) {
                 }
             };
             shared.touch();
+            backoff.reset();
             shared.gauge.set_remote(batch.durable_lsn);
 
             if batch.records.is_empty() {
@@ -292,9 +310,22 @@ fn pull_loop(shared: &ReplShared, primary_addr: &str, config: &ReplicaConfig) {
                 shared.gauge.set_connected(false);
                 break;
             }
-            if shared.service.apply_replicated(batch.records).is_err() {
+            match shared.service.apply_replicated(batch.records) {
+                Ok(_) => {}
                 // Ingest pipeline closed: this service is shutting down.
-                return;
+                Err(ReplicateError::Closed) => return,
+                // This replica's own journal failed and its durability
+                // policy fences writes. Re-pulling would just fence
+                // again — stop replicating rather than silently fall
+                // behind while claiming to trail the primary.
+                Err(ReplicateError::NotDurable) => {
+                    eprintln!(
+                        "wsrep-cluster: replica journal fenced by its durability policy; \
+                         stopping the pull loop"
+                    );
+                    shared.gauge.set_connected(false);
+                    return;
+                }
             }
             let applied = shared.service.durable_lsn().unwrap_or(0);
             shared.gauge.set_local(applied);
@@ -305,7 +336,7 @@ fn pull_loop(shared: &ReplShared, primary_addr: &str, config: &ReplicaConfig) {
             shared.touch();
         }
         if !shared.stopped() {
-            shared.interruptible_sleep(config.reconnect_backoff);
+            shared.interruptible_sleep(backoff.next_delay());
         }
     }
 }

@@ -65,7 +65,8 @@ pub fn verify_against_sequential_replay(
                     // Barrier first, so the listing lands after every
                     // report already ingested — the journal's order.
                     twin.flush();
-                    twin.publish(listing);
+                    twin.publish(listing)
+                        .expect("non-journaled twin cannot fence publishes");
                 }
                 JournalRecord::Deregister(id) => {
                     twin.flush();

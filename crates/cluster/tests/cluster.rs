@@ -14,7 +14,7 @@ use wsrep_qos::metric::Metric;
 use wsrep_qos::preference::Preferences;
 use wsrep_qos::value::QosVector;
 use wsrep_serve::ReputationService;
-use wsrep_server::{Client, ClientError, ErrorCode, ReplRole};
+use wsrep_server::{Client, ClientError, ErrorCode, ReplRole, RetryPolicy};
 use wsrep_sim::registry::Listing;
 
 fn temp_dir(tag: &str) -> PathBuf {
@@ -57,7 +57,11 @@ fn replica_config(id: u64) -> ReplicaConfig {
         shards: 4,
         replica_id: id,
         poll_interval: Duration::from_millis(5),
-        reconnect_backoff: Duration::from_millis(20),
+        reconnect: RetryPolicy {
+            base: Duration::from_millis(20),
+            cap: Duration::from_millis(100),
+            ..RetryPolicy::unbounded()
+        },
         ..ReplicaConfig::default()
     }
 }
@@ -93,8 +97,8 @@ fn replicas_catch_up_then_follow_the_live_tail() {
     let primary_addr = primary.local_addr().to_string();
 
     // History written *before* any replica exists: catch-up path.
-    service.publish(listing(1, 0));
-    service.publish(listing(2, 0));
+    service.publish(listing(1, 0)).expect("publish");
+    service.publish(listing(2, 0)).expect("publish");
     for i in 0..64u64 {
         service
             .ingest(feedback(i, 1 + (i % 2), 0.3 + (i as f64 % 7.0) / 10.0, i))
@@ -197,8 +201,8 @@ fn a_partitioned_primary_ships_a_dense_merged_stream() {
     .expect("primary");
     let primary_addr = primary.local_addr().to_string();
 
-    service.publish(listing(1, 0));
-    service.publish(listing(2, 0));
+    service.publish(listing(1, 0)).expect("publish");
+    service.publish(listing(2, 0)).expect("publish");
     for i in 0..96u64 {
         service
             .ingest(feedback(i, 1 + (i % 2), 0.3 + (i as f64 % 7.0) / 10.0, i))
@@ -304,7 +308,7 @@ fn a_restarted_replica_recovers_its_own_journal_before_reconnecting() {
     .expect("primary");
     let primary_addr = primary.local_addr().to_string();
 
-    service.publish(listing(5, 0));
+    service.publish(listing(5, 0)).expect("publish");
     for i in 0..32u64 {
         service.ingest(feedback(i, 5, 0.7, i)).expect("ingest");
     }

@@ -14,7 +14,7 @@ use wsrep_core::id::{AgentId, ProviderId, ServiceId};
 use wsrep_core::time::Time;
 use wsrep_qos::metric::Metric;
 use wsrep_qos::value::QosVector;
-use wsrep_server::Client;
+use wsrep_server::{Client, RetryPolicy};
 use wsrep_sim::registry::Listing;
 
 fn temp_dir(tag: &str) -> PathBuf {
@@ -80,7 +80,11 @@ fn sigkilled_primary_fails_over_to_a_promoted_replica_equal_to_sequential_replay
             shards: 4,
             replica_id: 7,
             poll_interval: Duration::from_millis(2),
-            reconnect_backoff: Duration::from_millis(20),
+            reconnect: RetryPolicy {
+                base: Duration::from_millis(20),
+                cap: Duration::from_millis(100),
+                ..RetryPolicy::unbounded()
+            },
             read_timeout: Duration::from_millis(500),
             ..ReplicaConfig::default()
         },

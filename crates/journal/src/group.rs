@@ -200,6 +200,15 @@ impl GroupSet {
         &self.allocator
     }
 
+    /// Install a fault-injection policy on every group's journal (see
+    /// [`Journal::set_io_policy`]).
+    pub fn set_io_policy(&self, policy: std::sync::Arc<dyn crate::faults::IoPolicy>) {
+        for group in 0..self.groups.len() {
+            self.lock(group)
+                .set_io_policy(std::sync::Arc::clone(&policy));
+        }
+    }
+
     /// Lock one group's journal (its commit lock).
     pub fn lock(&self, group: usize) -> MutexGuard<'_, Journal> {
         self.groups[group].lock().unwrap_or_else(|e| e.into_inner())

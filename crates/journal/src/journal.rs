@@ -19,6 +19,7 @@
 //! [`Journal::append_batch_at`] at LSNs handed out by a
 //! [`LsnAllocator`](crate::group::LsnAllocator).
 
+use crate::faults::{Fault, IoOp, IoPolicy};
 use crate::frame::write_frame;
 use crate::record::JournalRecord;
 use crate::segment::{
@@ -26,8 +27,9 @@ use crate::segment::{
     SEGMENT_HEADER_LEN,
 };
 use std::fs::{self, File, OpenOptions};
-use std::io::{self, Write};
+use std::io::{self, Seek, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Journal tuning knobs.
@@ -85,6 +87,7 @@ pub struct Journal {
     last_fsync_nanos: u64,
     commits: u64,
     tagged: bool,
+    policy: Option<Arc<dyn IoPolicy>>,
 }
 
 fn sync_dir(dir: &Path) -> io::Result<()> {
@@ -162,6 +165,7 @@ impl Journal {
                 last_fsync_nanos: 0,
                 commits: 0,
                 tagged,
+                policy: None,
             });
         }
 
@@ -223,7 +227,41 @@ impl Journal {
             last_fsync_nanos: 0,
             commits: 0,
             tagged,
+            policy: None,
         })
+    }
+
+    /// Install a fault-injection policy, consulted before every append,
+    /// fsync and rotation from now on. Testing and chaos harness only;
+    /// without one the write path is untouched.
+    pub fn set_io_policy(&mut self, policy: Arc<dyn IoPolicy>) {
+        self.policy = Some(policy);
+    }
+
+    /// Consult the installed fault policy for `op`. Delays are served in
+    /// place, errors are returned, and a torn-write fault surfaces as
+    /// `Ok(Some(keep_bytes))` for the append path to honor.
+    fn consult(&self, op: IoOp) -> io::Result<Option<usize>> {
+        let Some(policy) = &self.policy else {
+            return Ok(None);
+        };
+        match policy.inject(op) {
+            None => Ok(None),
+            Some(Fault::Delay(delay)) => {
+                std::thread::sleep(delay);
+                Ok(None)
+            }
+            Some(Fault::Torn { keep }) if op == IoOp::Append => Ok(Some(keep)),
+            Some(fault) => Err(fault.into_error(op)),
+        }
+    }
+
+    /// After a failed append: drop the unacknowledged bytes (best
+    /// effort) so they cannot ride a later batch's fsync into the
+    /// acknowledged log.
+    fn restore_segment_len(&mut self) {
+        let _ = self.file.set_len(self.segment_bytes);
+        let _ = self.file.seek(io::SeekFrom::Start(self.segment_bytes));
     }
 
     /// The journal directory.
@@ -294,9 +332,14 @@ impl Journal {
                 fsync_nanos: 0,
             });
         }
-        if self.segment_bytes >= self.config.max_segment_bytes {
+        // Never rotate an empty segment: there is nothing to seal, and
+        // the successor would collide with the active segment's name.
+        if self.segment_bytes >= self.config.max_segment_bytes
+            && self.segment_bytes > SEGMENT_HEADER_LEN as u64
+        {
             self.rotate_to(first_lsn)?;
         }
+        let torn = self.consult(IoOp::Append)?;
         let mut buf = Vec::new();
         let mut payload = Vec::new();
         for (i, record) in records.iter().enumerate() {
@@ -307,9 +350,27 @@ impl Journal {
             record.encode(&mut payload);
             write_frame(&mut buf, &payload);
         }
-        self.file.write_all(&buf)?;
+        if let Some(keep) = torn {
+            // Land the partial bytes the way a crash mid-`write` would,
+            // then fail: the tail garbage stays for reopen to repair.
+            let keep = keep.min(buf.len());
+            let _ = self.file.write_all(&buf[..keep]);
+            let _ = self.file.sync_data();
+            return Err(Fault::Torn { keep }.into_error(IoOp::Append));
+        }
+        if let Err(err) = self.file.write_all(&buf) {
+            self.restore_segment_len();
+            return Err(err);
+        }
+        if let Err(err) = self.consult(IoOp::Fsync) {
+            self.restore_segment_len();
+            return Err(err);
+        }
         let sync_started = Instant::now();
-        self.file.sync_data()?;
+        if let Err(err) = self.file.sync_data() {
+            self.restore_segment_len();
+            return Err(err);
+        }
         let fsync_nanos = sync_started.elapsed().as_nanos() as u64;
 
         self.segment_bytes += buf.len() as u64;
@@ -333,6 +394,7 @@ impl Journal {
     /// the LSN of the first record the new segment will hold (for a
     /// tagged journal, a lower bound on it).
     fn rotate_to(&mut self, start_lsn: u64) -> io::Result<()> {
+        self.consult(IoOp::Rotate)?;
         self.file.sync_data()?;
         self.file = create_segment(&self.dir, start_lsn, self.tagged)?;
         self.segment_start = start_lsn;
@@ -579,6 +641,97 @@ mod tests {
         let journal = Journal::open_tagged(&dir, JournalConfig::default()).unwrap();
         assert_eq!(journal.next_lsn(), 14, "torn record dropped");
         assert_eq!(tagged_lsns(&dir), vec![10, 11, 12, 13]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_append_error_rejects_the_batch_and_leaves_the_log_clean() {
+        use crate::faults::{Fault, FaultScript, IoOp};
+        let dir = temp_dir("inject-enospc");
+        let mut journal = Journal::open(&dir, JournalConfig::default()).unwrap();
+        let script = std::sync::Arc::new(FaultScript::new());
+        script.push_after(IoOp::Append, 1, Fault::enospc());
+        journal.set_io_policy(script.clone());
+
+        journal.append_batch(&[record(0)]).unwrap();
+        let err = journal.append_batch(&[record(1)]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert_eq!(journal.next_lsn(), 1, "rejected batch claims no LSNs");
+        assert_eq!(script.injected(), 1);
+
+        // The log is untouched by the failure: a retry lands cleanly and
+        // recovery sees exactly the acknowledged records.
+        journal.append_batch(&[record(1)]).unwrap();
+        drop(journal);
+        assert_eq!(all_records(&dir), vec![record(0), record(1)]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_torn_write_is_repaired_on_reopen() {
+        use crate::faults::{Fault, FaultScript, IoOp};
+        let dir = temp_dir("inject-torn");
+        let mut journal = Journal::open(&dir, JournalConfig::default()).unwrap();
+        let script = std::sync::Arc::new(FaultScript::new());
+        script.push_after(IoOp::Append, 1, Fault::Torn { keep: 5 });
+        journal.set_io_policy(script);
+
+        journal.append_batch(&[record(0), record(1)]).unwrap();
+        journal.append_batch(&[record(2)]).unwrap_err();
+        drop(journal);
+
+        // The partial frame is on disk; reopen truncates it away and the
+        // acknowledged prefix survives untouched.
+        let journal = Journal::open(&dir, JournalConfig::default()).unwrap();
+        assert_eq!(journal.next_lsn(), 2);
+        drop(journal);
+        assert_eq!(all_records(&dir), vec![record(0), record(1)]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_fsync_failure_drops_the_unacknowledged_bytes() {
+        use crate::faults::{Fault, FaultScript, IoOp};
+        let dir = temp_dir("inject-fsync");
+        let mut journal = Journal::open(&dir, JournalConfig::default()).unwrap();
+        let script = std::sync::Arc::new(FaultScript::new());
+        script.push(IoOp::Fsync, Fault::Error(io::ErrorKind::Other));
+        journal.set_io_policy(script);
+
+        journal.append_batch(&[record(0)]).unwrap_err();
+        // The written-but-never-synced frame was truncated away, so the
+        // next batch cannot smuggle it into the acknowledged log.
+        journal.append_batch(&[record(7)]).unwrap();
+        drop(journal);
+        let records = all_records(&dir);
+        assert_eq!(records, vec![record(7)], "rejected batch never surfaces");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_rotate_failure_surfaces_before_the_write() {
+        use crate::faults::{Fault, FaultScript, IoOp};
+        let dir = temp_dir("inject-rotate");
+        // A 1-byte cap forces a rotation before every append.
+        let config = JournalConfig {
+            max_segment_bytes: 1,
+        };
+        let mut journal = Journal::open(&dir, config).unwrap();
+        let script = std::sync::Arc::new(FaultScript::new());
+        script.push(IoOp::Rotate, Fault::enospc());
+        journal.set_io_policy(script);
+
+        // The empty initial segment is never rotated, so the first
+        // append proceeds; the second must rotate, which the script
+        // fails before anything is written.
+        journal.append_batch(&[record(0)]).unwrap();
+        let err = journal.append_batch(&[record(1)]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert_eq!(journal.next_lsn(), 1, "nothing written by the failure");
+        // The next attempt rotates cleanly and proceeds.
+        journal.append_batch(&[record(1)]).unwrap();
+        drop(journal);
+        assert_eq!(all_records(&dir), vec![record(0), record(1)]);
         fs::remove_dir_all(&dir).unwrap();
     }
 

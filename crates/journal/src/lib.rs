@@ -12,6 +12,9 @@
 //!
 //! - [`record`] — the event vocabulary: feedback, publish, deregister;
 //! - [`codec`] — the hand-rolled, version-pinned binary layout;
+//! - [`faults`] — failpoint-style fault injection over
+//!   append/fsync/rotate/snapshot, so durability claims are testable
+//!   under disk failures, not just SIGKILL;
 //! - [`frame`] — CRC32 framing with torn-write detection;
 //! - [`segment`] — LSN-named segment files (dense and LSN-tagged) and
 //!   their scanners;
@@ -41,6 +44,7 @@
 
 pub mod codec;
 pub mod compact;
+pub mod faults;
 pub mod frame;
 pub mod group;
 pub mod journal;
@@ -51,6 +55,7 @@ pub mod ship;
 pub mod snapshot;
 
 pub use compact::{compact_dir, CompactReport};
+pub use faults::{Fault, FaultCounters, FaultScript, IoOp, IoPolicy, PeriodicFaults};
 pub use group::{GroupSet, LsnAllocator};
 pub use journal::{AppendReceipt, Journal, JournalConfig, JournalStats};
 pub use record::JournalRecord;

@@ -66,12 +66,14 @@ impl SelectionStrategy for ServedSelect {
         // Mirror the candidate set into the service so its listing table
         // tracks the (possibly stale) view the consumer received.
         for candidate in ctx.candidates {
-            self.service.publish(Listing {
-                service: candidate.service,
-                provider: candidate.provider,
-                category: self.category,
-                advertised: candidate.advertised.clone(),
-            });
+            self.service
+                .publish(Listing {
+                    service: candidate.service,
+                    provider: candidate.provider,
+                    category: self.category,
+                    advertised: candidate.advertised.clone(),
+                })
+                .expect("non-journaled mirror cannot fence publishes");
         }
         // Read-your-own-writes: rank only after everything this strategy
         // has filed is applied, so a selection never depends on how far

@@ -16,16 +16,106 @@
 //! 0**, so they keep a total order among themselves regardless of how
 //! many feedback writers run.
 //!
-//! Journal I/O failure (disk full, volume gone) does **not** take the
-//! service down: the in-memory apply still happens, the failure is logged
-//! once, and [`JournalHandle::health`] reports the handle as degraded so
-//! operators can see that durability — not availability — was lost.
+//! # Failure policy
+//!
+//! What journal I/O failure (disk full, volume gone, injected fault)
+//! means is configurable per service via [`DurabilityPolicy`]:
+//!
+//! - [`DurabilityPolicy::Degrade`] (the default) keeps serving: the
+//!   in-memory apply still happens and the handle stops journaling, so
+//!   availability survives at the cost of durability. The log keeps a
+//!   clean prefix — no interior gaps — and every failure is counted in
+//!   [`JournalHealth::journal_errors`] with `degraded` latched true.
+//! - [`DurabilityPolicy::ReadOnly`] fences writes: the failing batch is
+//!   **rejected, not applied**, and every later mutation refuses with
+//!   [`NotDurable`] while reads keep serving the last durable state.
+//! - [`DurabilityPolicy::FailStop`] fences exactly like `ReadOnly` and
+//!   additionally reports the node as fail-stopped, so a host process
+//!   can exit rather than keep a lying registry reachable.
 
+use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use wsrep_journal::faults::{Fault, IoOp, IoPolicy};
 use wsrep_journal::{CompactReport, GroupSet, Journal, JournalRecord, JournalStats};
+
+/// How the service responds to a journal I/O failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DurabilityPolicy {
+    /// Keep serving and applying writes without the journal; durability
+    /// is lost from the first failure on, visibly (`degraded`,
+    /// `journal_errors`).
+    #[default]
+    Degrade,
+    /// Fence writes after the first failure: reject every further
+    /// mutation with [`NotDurable`], keep serving reads.
+    ReadOnly,
+    /// Fence writes and report fail-stop, so the host process can exit
+    /// instead of serving at all.
+    FailStop,
+}
+
+impl DurabilityPolicy {
+    /// Stable wire encoding (shipped inside `WireStats`).
+    pub fn as_u8(self) -> u8 {
+        match self {
+            DurabilityPolicy::Degrade => 0,
+            DurabilityPolicy::ReadOnly => 1,
+            DurabilityPolicy::FailStop => 2,
+        }
+    }
+
+    /// Inverse of [`DurabilityPolicy::as_u8`].
+    pub fn from_u8(value: u8) -> Option<DurabilityPolicy> {
+        match value {
+            0 => Some(DurabilityPolicy::Degrade),
+            1 => Some(DurabilityPolicy::ReadOnly),
+            2 => Some(DurabilityPolicy::FailStop),
+            _ => None,
+        }
+    }
+
+    /// Parse the operator-facing spelling (`degrade` / `read-only` /
+    /// `fail-stop`), for CLI flags.
+    pub fn parse(name: &str) -> Option<DurabilityPolicy> {
+        match name {
+            "degrade" => Some(DurabilityPolicy::Degrade),
+            "read-only" | "readonly" => Some(DurabilityPolicy::ReadOnly),
+            "fail-stop" | "failstop" => Some(DurabilityPolicy::FailStop),
+            _ => None,
+        }
+    }
+
+    /// The operator-facing spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            DurabilityPolicy::Degrade => "degrade",
+            DurabilityPolicy::ReadOnly => "read-only",
+            DurabilityPolicy::FailStop => "fail-stop",
+        }
+    }
+}
+
+impl fmt::Display for DurabilityPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A mutation was rejected because the durability policy fenced writes
+/// after a journal failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotDurable;
+
+impl fmt::Display for NotDurable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "journal failed; durability policy fenced writes")
+    }
+}
+
+impl std::error::Error for NotDurable {}
 
 /// Journal health counters, surfaced through
 /// [`ServiceStats`](crate::service::ServiceStats).
@@ -57,9 +147,18 @@ pub struct JournalHealth {
     pub records_recovered: u64,
     /// Writer groups committing in parallel (1 = single commit lock).
     pub writer_groups: u64,
-    /// True once any journal append has failed; the service keeps
-    /// serving, but writes since the first failure are not durable.
+    /// Journal append failures since the service started (monotone).
+    pub journal_errors: u64,
+    /// The configured response to journal failure.
+    pub policy: DurabilityPolicy,
+    /// True once a failure degraded durability under
+    /// [`DurabilityPolicy::Degrade`]: the service keeps serving, but
+    /// writes since the first failure are not durable.
     pub degraded: bool,
+    /// True once a failure fenced writes under
+    /// [`DurabilityPolicy::ReadOnly`] / [`DurabilityPolicy::FailStop`]:
+    /// every mutation since refuses with [`NotDurable`].
+    pub fenced: bool,
 }
 
 /// The write-ahead log behind the handle: one commit lock, or one per
@@ -71,13 +170,18 @@ enum Wal {
 }
 
 /// The commit-lock layer: serializes journal appends with their
-/// in-memory applies and with checkpoint state capture.
+/// in-memory applies and with checkpoint state capture, and enforces
+/// the configured [`DurabilityPolicy`] on append failure.
 #[derive(Debug)]
 pub(crate) struct JournalHandle {
     wal: Wal,
     dir: PathBuf,
     records_recovered: u64,
+    policy: DurabilityPolicy,
+    io_policy: Option<Arc<dyn IoPolicy>>,
+    journal_errors: AtomicU64,
     degraded: AtomicBool,
+    fenced: AtomicBool,
 }
 
 /// One writer group's held commit lock, for multi-step commits
@@ -89,42 +193,92 @@ pub(crate) struct CommitGuard<'a> {
 }
 
 impl CommitGuard<'_> {
-    /// Append under this held commit lock. An I/O error degrades
-    /// durability (logged once, visible in [`JournalHandle::health`])
-    /// instead of failing the operation.
-    pub(crate) fn append(&mut self, records: &[JournalRecord]) {
-        let result = match &self.handle.wal {
+    /// Append under this held commit lock, subject to the durability
+    /// policy: `Err(NotDurable)` means the batch was **not** journaled
+    /// and must not be applied; `Ok` means it was journaled — or that
+    /// the policy is [`DurabilityPolicy::Degrade`] and durability was
+    /// (already) visibly given up.
+    pub(crate) fn append(&mut self, records: &[JournalRecord]) -> Result<(), NotDurable> {
+        let handle = self.handle;
+        if handle.fenced.load(Ordering::SeqCst) {
+            return Err(NotDurable);
+        }
+        if handle.policy == DurabilityPolicy::Degrade && handle.degraded.load(Ordering::SeqCst) {
+            // Sticky degrade: stop journaling entirely after the first
+            // failure so the log keeps a clean prefix — resuming after
+            // a gap would make later records replay out of a hole.
+            return Ok(());
+        }
+        let result = match &handle.wal {
             Wal::Single(_) => self.journal.append_batch(records).map(|_| ()),
             Wal::Partitioned(set) => set
                 .append_locked(self.group, &mut self.journal, records)
                 .map(|_| ()),
         };
-        if let Err(err) = result {
-            if !self.handle.degraded.swap(true, Ordering::SeqCst) {
-                eprintln!("wsrep-serve: journal append failed; durability degraded: {err}");
+        match result {
+            Ok(()) => Ok(()),
+            Err(err) => {
+                handle.journal_errors.fetch_add(1, Ordering::SeqCst);
+                match handle.policy {
+                    DurabilityPolicy::Degrade => {
+                        if !handle.degraded.swap(true, Ordering::SeqCst) {
+                            eprintln!(
+                                "wsrep-serve: journal append failed; durability degraded: {err}"
+                            );
+                        }
+                        Ok(())
+                    }
+                    DurabilityPolicy::ReadOnly | DurabilityPolicy::FailStop => {
+                        if !handle.fenced.swap(true, Ordering::SeqCst) {
+                            eprintln!(
+                                "wsrep-serve: journal append failed; {} policy fenced writes: {err}",
+                                handle.policy
+                            );
+                        }
+                        Err(NotDurable)
+                    }
+                }
             }
         }
     }
 }
 
 impl JournalHandle {
-    pub(crate) fn single(journal: Journal, records_recovered: u64) -> Self {
+    pub(crate) fn single(
+        journal: Journal,
+        records_recovered: u64,
+        policy: DurabilityPolicy,
+        io_policy: Option<Arc<dyn IoPolicy>>,
+    ) -> Self {
         let dir = journal.dir().to_path_buf();
         JournalHandle {
             wal: Wal::Single(Mutex::new(journal)),
             dir,
             records_recovered,
+            policy,
+            io_policy,
+            journal_errors: AtomicU64::new(0),
             degraded: AtomicBool::new(false),
+            fenced: AtomicBool::new(false),
         }
     }
 
-    pub(crate) fn partitioned(set: GroupSet, records_recovered: u64) -> Self {
+    pub(crate) fn partitioned(
+        set: GroupSet,
+        records_recovered: u64,
+        policy: DurabilityPolicy,
+        io_policy: Option<Arc<dyn IoPolicy>>,
+    ) -> Self {
         let dir = set.root().to_path_buf();
         JournalHandle {
             wal: Wal::Partitioned(set),
             dir,
             records_recovered,
+            policy,
+            io_policy,
+            journal_errors: AtomicU64::new(0),
             degraded: AtomicBool::new(false),
+            fenced: AtomicBool::new(false),
         }
     }
 
@@ -132,6 +286,32 @@ impl JournalHandle {
     /// log keeps its per-group segments in subdirectories).
     pub(crate) fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The configured response to journal failure.
+    pub(crate) fn policy(&self) -> DurabilityPolicy {
+        self.policy
+    }
+
+    /// True once the policy fenced writes after a failure.
+    pub(crate) fn fenced(&self) -> bool {
+        self.fenced.load(Ordering::SeqCst)
+    }
+
+    /// Consult the installed fault-injection policy for a snapshot
+    /// write — the checkpoint-side fault seam.
+    pub(crate) fn consult_snapshot(&self) -> io::Result<()> {
+        let Some(policy) = &self.io_policy else {
+            return Ok(());
+        };
+        match policy.inject(IoOp::Snapshot) {
+            None => Ok(()),
+            Some(Fault::Delay(delay)) => {
+                std::thread::sleep(delay);
+                Ok(())
+            }
+            Some(fault) => Err(fault.into_error(IoOp::Snapshot)),
+        }
     }
 
     /// Writer groups committing in parallel.
@@ -162,16 +342,17 @@ impl JournalHandle {
     /// Group-commit `records` to `group`, then run `apply` — both under
     /// that group's commit lock, so a concurrent checkpoint can never
     /// observe the store between a journal append and its apply (or vice
-    /// versa).
+    /// versa). When the durability policy rejects the append
+    /// (`Err(NotDurable)`), `apply` is **not** run.
     pub(crate) fn commit<R>(
         &self,
         group: usize,
         records: &[JournalRecord],
         apply: impl FnOnce() -> R,
-    ) -> R {
+    ) -> Result<R, NotDurable> {
         let mut guard = self.lock_group(group);
-        guard.append(records);
-        apply()
+        guard.append(records)?;
+        Ok(apply())
     }
 
     /// Hold **every** commit lock while running `capture`, and return the
@@ -237,7 +418,10 @@ impl JournalHandle {
             durable_lsn,
             records_recovered: self.records_recovered,
             writer_groups: self.writer_groups() as u64,
+            journal_errors: self.journal_errors.load(Ordering::SeqCst),
+            policy: self.policy,
             degraded: self.degraded.load(Ordering::SeqCst),
+            fenced: self.fenced.load(Ordering::SeqCst),
         }
     }
 }

@@ -283,27 +283,40 @@ fn drain(
             Some(_) => batch.iter().map(|f| f.subject).collect(),
             None => Vec::new(),
         };
-        match journal {
+        let accepted = match journal {
             Some(handle) => {
                 // Journal first (one write + one fsync for the whole
                 // batch, on this group's log), apply second, both under
-                // this group's commit lock.
+                // this group's commit lock. A fenced handle rejects the
+                // batch: it is dropped here, unapplied — the fence is
+                // observable before `progress` moves, so a flusher that
+                // checks `fenced` after flushing cannot miss it.
                 let records: Vec<JournalRecord> =
                     batch.iter().cloned().map(JournalRecord::Feedback).collect();
-                handle.commit(group, &records, || store.insert_batch(batch));
+                handle
+                    .commit(group, &records, || store.insert_batch(batch))
+                    .is_ok()
             }
-            None => store.insert_batch(batch),
-        }
+            None => {
+                store.insert_batch(batch);
+                true
+            }
+        };
         // Bump category score epochs only after the batch is in the
         // store: an epoch observer that rebuilds is then guaranteed to
         // see at least the feedback the epoch counts (never-stale rule),
         // and it happens before `progress` moves so `flush()` callers
         // always see their own invalidations.
-        if let Some(epochs) = score_epochs {
-            for subject in subjects {
-                epochs.bump(subject);
+        if accepted {
+            if let Some(epochs) = score_epochs {
+                for subject in subjects {
+                    epochs.bump(subject);
+                }
             }
         }
+        // Progress advances even for rejected batches so `flush()` never
+        // hangs on a fenced pipeline; the caller learns of the rejection
+        // from the fence flag, not from a stuck barrier.
         progress.add(applied);
     }
 }

@@ -43,11 +43,12 @@ pub mod snapshot;
 pub mod topk;
 
 pub use cache::ScoreCache;
-pub use durability::JournalHealth;
+pub use durability::{DurabilityPolicy, JournalHealth, NotDurable};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use ingest::{IngestClosed, IngestConfig, IngestPipeline};
 pub use service::{
-    CheckpointReport, MechanismFactory, ReputationService, ServiceBuilder, ServiceStats,
+    CheckpointReport, MechanismFactory, ReplicateError, ReputationService, ServiceBuilder,
+    ServiceStats,
 };
 pub use shard::{EpochMap, FoldFactory, ShardedStore};
 pub use snapshot::SnapshotCell;

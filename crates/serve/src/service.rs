@@ -27,7 +27,7 @@
 //! Call [`ReputationService::flush`] for a consistency point.
 
 use crate::cache::ScoreCache;
-use crate::durability::{JournalHandle, JournalHealth};
+use crate::durability::{DurabilityPolicy, JournalHandle, JournalHealth, NotDurable};
 use crate::ingest::{IngestClosed, IngestConfig, IngestPipeline};
 use crate::shard::{FoldFactory, ShardedStore};
 use crate::topk::{CategoryPlan, PlanCache, RankCache, RankedList, ScoreEpochs};
@@ -46,6 +46,7 @@ use wsrep_core::id::{ServiceId, SubjectId};
 use wsrep_core::mechanism::{score_from_log, ReputationMechanism};
 use wsrep_core::mechanisms::beta::BetaMechanism;
 use wsrep_core::trust::TrustEstimate;
+use wsrep_journal::faults::IoPolicy;
 use wsrep_journal::{
     list_group_dirs, recover, write_snapshot, GroupSet, Journal, JournalConfig, JournalRecord,
 };
@@ -176,6 +177,39 @@ pub struct CheckpointReport {
     pub bytes_reclaimed: u64,
 }
 
+/// Why [`ReputationService::apply_replicated`] stopped applying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicateError {
+    /// The ingest pipeline already shut down.
+    Closed,
+    /// The durability policy fenced writes after a journal failure; the
+    /// replica refuses to acknowledge records it cannot journal.
+    NotDurable,
+}
+
+impl fmt::Display for ReplicateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplicateError::Closed => IngestClosed.fmt(f),
+            ReplicateError::NotDurable => NotDurable.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ReplicateError {}
+
+impl From<IngestClosed> for ReplicateError {
+    fn from(_: IngestClosed) -> Self {
+        ReplicateError::Closed
+    }
+}
+
+impl From<NotDurable> for ReplicateError {
+    fn from(_: NotDurable) -> Self {
+        ReplicateError::NotDurable
+    }
+}
+
 /// Configures and builds a [`ReputationService`].
 pub struct ServiceBuilder {
     shards: usize,
@@ -188,6 +222,8 @@ pub struct ServiceBuilder {
     checkpoint_every: Option<Duration>,
     incremental: bool,
     writer_groups: usize,
+    durability: DurabilityPolicy,
+    io_policy: Option<Arc<dyn IoPolicy>>,
 }
 
 impl Default for ServiceBuilder {
@@ -203,6 +239,8 @@ impl Default for ServiceBuilder {
             checkpoint_every: None,
             incremental: true,
             writer_groups: 1,
+            durability: DurabilityPolicy::default(),
+            io_policy: None,
         }
     }
 }
@@ -299,6 +337,24 @@ impl ServiceBuilder {
         self
     }
 
+    /// How the service responds to a journal I/O failure: keep serving
+    /// without durability ([`DurabilityPolicy::Degrade`], the default),
+    /// fence writes ([`DurabilityPolicy::ReadOnly`]), or fence writes
+    /// and report fail-stop ([`DurabilityPolicy::FailStop`]). Only
+    /// meaningful with a journal attached.
+    pub fn durability_policy(mut self, policy: DurabilityPolicy) -> Self {
+        self.durability = policy;
+        self
+    }
+
+    /// Install a fault-injection policy on the journal (and the
+    /// checkpointer's snapshot writes) — the test seam behind every
+    /// durability claim. See [`wsrep_journal::faults`].
+    pub fn io_policy(mut self, policy: Arc<dyn IoPolicy>) -> Self {
+        self.io_policy = Some(policy);
+        self
+    }
+
     /// Start the service (spawns the ingest writer thread).
     ///
     /// Panics if the journal directory cannot be opened or recovered;
@@ -355,11 +411,27 @@ impl ServiceBuilder {
             // (root-level) layout bit-for-bit.
             let on_disk_groups = list_group_dirs(&dir)?.len();
             let handle = if self.writer_groups <= 1 && on_disk_groups == 0 {
-                let inner = Journal::open(&dir, self.journal_config)?;
-                JournalHandle::single(inner, records_recovered)
+                let mut inner = Journal::open(&dir, self.journal_config)?;
+                if let Some(policy) = &self.io_policy {
+                    inner.set_io_policy(Arc::clone(policy));
+                }
+                JournalHandle::single(
+                    inner,
+                    records_recovered,
+                    self.durability,
+                    self.io_policy.clone(),
+                )
             } else {
                 let set = GroupSet::open(&dir, self.writer_groups, self.journal_config, floor_lsn)?;
-                JournalHandle::partitioned(set, records_recovered)
+                if let Some(policy) = &self.io_policy {
+                    set.set_io_policy(Arc::clone(policy));
+                }
+                JournalHandle::partitioned(
+                    set,
+                    records_recovered,
+                    self.durability,
+                    self.io_policy.clone(),
+                )
             };
             journal = Some(Arc::new(handle));
         }
@@ -461,20 +533,24 @@ impl ReputationService {
     }
 
     /// Publish (or update) a listing. The served registry has no down
-    /// state — publication always succeeds. With a journal attached the
-    /// event is committed to the log before the listing table changes.
-    pub fn publish(&self, listing: Listing) -> PublishStatus {
+    /// state, so the only refusal is [`RegistryError::NotDurable`]: the
+    /// durability policy fenced writes after a journal failure. With a
+    /// journal attached the event is committed to the log before the
+    /// listing table changes.
+    pub fn publish(&self, listing: Listing) -> Result<PublishStatus, RegistryError> {
         match &self.journal {
             Some(handle) => {
                 // Listing mutations always commit through group 0, so
                 // they keep a total order among themselves however many
                 // feedback writers run.
                 let record = JournalRecord::Publish(listing.clone());
-                handle.commit(0, std::slice::from_ref(&record), || {
-                    self.apply_publish(listing)
-                })
+                handle
+                    .commit(0, std::slice::from_ref(&record), || {
+                        self.apply_publish(listing)
+                    })
+                    .map_err(|NotDurable| RegistryError::NotDurable)
             }
-            None => self.apply_publish(listing),
+            None => Ok(self.apply_publish(listing)),
         }
     }
 
@@ -487,20 +563,27 @@ impl ReputationService {
         self.listings.publish(listing)
     }
 
-    /// Remove a listing. Journaled only when it actually removes one.
+    /// Remove a listing. Journaled only when it actually removes one;
+    /// a fenced journal refuses with [`RegistryError::NotDurable`]
+    /// **without** removing anything.
     pub fn deregister(&self, service: ServiceId) -> Result<(), RegistryError> {
         match &self.journal {
             Some(handle) => {
-                // Hold group 0's commit lock across check-and-remove so a
-                // concurrent checkpoint never sees the removal without
-                // its journal record.
+                // Hold group 0's commit lock across check-append-remove:
+                // a concurrent checkpoint never sees the removal without
+                // its journal record, and the journal-before-apply order
+                // means a policy-rejected append leaves the listing in
+                // place — the service never claims a removal it cannot
+                // make durable.
                 let mut guard = handle.lock_group(0);
-                if self.apply_deregister(service) {
-                    guard.append(&[JournalRecord::Deregister(service)]);
-                    Ok(())
-                } else {
-                    Err(RegistryError::NotFound)
+                if self.listing(service).is_none() {
+                    return Err(RegistryError::NotFound);
                 }
+                guard
+                    .append(&[JournalRecord::Deregister(service)])
+                    .map_err(|NotDurable| RegistryError::NotDurable)?;
+                self.apply_deregister(service);
+                Ok(())
             }
             None => {
                 if self.apply_deregister(service) {
@@ -565,6 +648,40 @@ impl ReputationService {
         self.ingest.flush();
     }
 
+    /// [`ReputationService::flush`], but honest about fencing: if the
+    /// durability policy fenced writes ([`DurabilityPolicy::ReadOnly`] /
+    /// [`DurabilityPolicy::FailStop`]), some previously accepted reports
+    /// were rejected instead of journaled, and this returns
+    /// [`NotDurable`] rather than acknowledging them. Servers use this
+    /// as the ack barrier so a fenced node refuses instead of lying.
+    pub fn try_flush(&self) -> Result<(), NotDurable> {
+        self.ingest.flush();
+        // The writer sets the fence before advancing the progress
+        // counter, so after the wait above any rejected prior batch is
+        // visible here.
+        if self.durability_fenced() {
+            return Err(NotDurable);
+        }
+        Ok(())
+    }
+
+    /// True once the durability policy fenced writes after a journal
+    /// failure. A fenced service keeps answering reads but refuses every
+    /// mutation; under [`DurabilityPolicy::FailStop`] the host process
+    /// is expected to exit when this turns true.
+    pub fn durability_fenced(&self) -> bool {
+        self.journal.as_ref().is_some_and(|handle| handle.fenced())
+    }
+
+    /// The configured response to journal failure
+    /// ([`DurabilityPolicy::Degrade`] when no journal is attached).
+    pub fn durability_policy(&self) -> DurabilityPolicy {
+        self.journal
+            .as_ref()
+            .map(|handle| handle.policy())
+            .unwrap_or_default()
+    }
+
     /// Apply a run of replicated journal records in shipped order — the
     /// entry point a replication follower feeds records pulled from its
     /// primary through.
@@ -579,12 +696,16 @@ impl ReputationService {
     /// primary only journals removals that happened, so this indicates
     /// nothing worse than a duplicate delivery).
     ///
-    /// Returns how many records were applied; when it returns, every one
-    /// of them is queryable (and durable, with a journal attached).
+    /// Returns how many records were applied; when it returns `Ok`,
+    /// every one of them is queryable (and durable, with a journal
+    /// attached). A fenced replica ([`DurabilityPolicy::ReadOnly`] /
+    /// [`DurabilityPolicy::FailStop`] after a journal failure) returns
+    /// [`ReplicateError::NotDurable`] instead of acknowledging records
+    /// it could not journal.
     pub fn apply_replicated(
         &self,
         records: impl IntoIterator<Item = JournalRecord>,
-    ) -> Result<u64, IngestClosed> {
+    ) -> Result<u64, ReplicateError> {
         let mut applied = 0u64;
         let mut batch: Vec<Feedback> = Vec::new();
         for record in records {
@@ -592,12 +713,18 @@ impl ReputationService {
                 JournalRecord::Feedback(report) => batch.push(report),
                 JournalRecord::Publish(listing) => {
                     applied += self.drain_replicated(&mut batch)?;
-                    self.publish(listing);
+                    self.publish(listing)
+                        .map_err(|_| ReplicateError::NotDurable)?;
                     applied += 1;
                 }
                 JournalRecord::Deregister(service) => {
                     applied += self.drain_replicated(&mut batch)?;
-                    let _ = self.deregister(service);
+                    // NotFound is tolerated (duplicate delivery); a
+                    // durability fence is not.
+                    match self.deregister(service) {
+                        Ok(()) | Err(RegistryError::NotFound) => {}
+                        Err(_) => return Err(ReplicateError::NotDurable),
+                    }
                     applied += 1;
                 }
             }
@@ -608,12 +735,12 @@ impl ReputationService {
 
     /// Submit buffered replicated feedback and wait until it is applied
     /// (and journaled, when a journal is attached).
-    fn drain_replicated(&self, batch: &mut Vec<Feedback>) -> Result<u64, IngestClosed> {
+    fn drain_replicated(&self, batch: &mut Vec<Feedback>) -> Result<u64, ReplicateError> {
         if batch.is_empty() {
             return Ok(0);
         }
         let accepted = self.ingest_batch(batch.drain(..))?;
-        self.flush();
+        self.try_flush()?;
         Ok(accepted)
     }
 
@@ -856,6 +983,9 @@ fn checkpoint_now(
         (listing_vec, feedback)
     });
     let entries = listing_vec.len() as u64 + feedback.len() as u64;
+    // The checkpoint-side fault seam: an installed IoPolicy can fail or
+    // delay the snapshot write just like any journal I/O.
+    handle.consult_snapshot()?;
     write_snapshot(handle.dir(), lsn, &listing_vec, &feedback)?;
     let report = handle.compact(lsn)?;
     Ok(CheckpointReport {
@@ -946,9 +1076,18 @@ mod tests {
     #[test]
     fn publish_search_and_deregister() {
         let svc = ReputationService::builder().shards(2).build();
-        assert_eq!(svc.publish(listing(1, 0, 5.0, 0.9)), PublishStatus::Created);
-        assert_eq!(svc.publish(listing(1, 0, 4.0, 0.9)), PublishStatus::Updated);
-        assert_eq!(svc.publish(listing(2, 7, 2.0, 0.5)), PublishStatus::Created);
+        assert_eq!(
+            svc.publish(listing(1, 0, 5.0, 0.9)),
+            Ok(PublishStatus::Created)
+        );
+        assert_eq!(
+            svc.publish(listing(1, 0, 4.0, 0.9)),
+            Ok(PublishStatus::Updated)
+        );
+        assert_eq!(
+            svc.publish(listing(2, 7, 2.0, 0.5)),
+            Ok(PublishStatus::Created)
+        );
         assert_eq!(svc.search(0).len(), 1);
         assert_eq!(svc.search(7).len(), 1);
         assert_eq!(svc.deregister(ServiceId::new(2)), Ok(()));
@@ -999,8 +1138,8 @@ mod tests {
     fn top_k_blends_claims_with_reputation() {
         let svc = ReputationService::builder().reputation_weight(0.5).build();
         // Same category, same claims — only reputation can separate them.
-        svc.publish(listing(1, 0, 5.0, 0.9));
-        svc.publish(listing(2, 0, 5.0, 0.9));
+        svc.publish(listing(1, 0, 5.0, 0.9)).unwrap();
+        svc.publish(listing(2, 0, 5.0, 0.9)).unwrap();
         for i in 0..15 {
             svc.ingest(feedback(i, 1, 0.95, i)).unwrap();
             svc.ingest(feedback(i, 2, 0.05, i)).unwrap();
@@ -1018,8 +1157,8 @@ mod tests {
     #[test]
     fn unrated_services_rank_by_claims_alone() {
         let svc = ReputationService::builder().reputation_weight(0.5).build();
-        svc.publish(listing(1, 0, 1.0, 0.9)); // cheap and accurate
-        svc.publish(listing(2, 0, 9.0, 0.2)); // pricey and sloppy
+        svc.publish(listing(1, 0, 1.0, 0.9)).unwrap(); // cheap and accurate
+        svc.publish(listing(2, 0, 9.0, 0.2)).unwrap(); // pricey and sloppy
         let prefs = Preferences::uniform([Metric::Price, Metric::Accuracy]);
         let top = svc.top_k(0, &prefs, 5);
         assert_eq!(top.len(), 2);
@@ -1030,8 +1169,8 @@ mod tests {
     #[test]
     fn repeat_top_k_serves_from_the_preranked_list() {
         let svc = ReputationService::builder().reputation_weight(0.5).build();
-        svc.publish(listing(1, 0, 1.0, 0.9));
-        svc.publish(listing(2, 0, 2.0, 0.8));
+        svc.publish(listing(1, 0, 1.0, 0.9)).unwrap();
+        svc.publish(listing(2, 0, 2.0, 0.8)).unwrap();
         let prefs = Preferences::uniform([Metric::Price, Metric::Accuracy]);
         let first = svc.top_k(0, &prefs, 2);
         let mut out = Vec::new();
@@ -1047,8 +1186,8 @@ mod tests {
     #[test]
     fn member_feedback_invalidates_the_preranked_list() {
         let svc = ReputationService::builder().reputation_weight(1.0).build();
-        svc.publish(listing(1, 0, 5.0, 0.9));
-        svc.publish(listing(2, 0, 5.0, 0.9));
+        svc.publish(listing(1, 0, 5.0, 0.9)).unwrap();
+        svc.publish(listing(2, 0, 5.0, 0.9)).unwrap();
         let prefs = Preferences::uniform([Metric::Price, Metric::Accuracy]);
         let before = svc.top_k(0, &prefs, 2);
         // Pure-reputation weights and identical claims: the ranking can
@@ -1068,7 +1207,7 @@ mod tests {
     #[test]
     fn feedback_about_unlisted_subjects_keeps_rank_lists_valid() {
         let svc = ReputationService::default();
-        svc.publish(listing(1, 0, 1.0, 0.9));
+        svc.publish(listing(1, 0, 1.0, 0.9)).unwrap();
         let prefs = Preferences::uniform([Metric::Price]);
         svc.top_k(0, &prefs, 1);
         // Feedback about a service nobody listed: no category member
@@ -1086,10 +1225,10 @@ mod tests {
     #[test]
     fn stats_report_snapshot_swaps_and_scratch_reuse() {
         let svc = ReputationService::default();
-        svc.publish(listing(1, 0, 1.0, 0.9));
+        svc.publish(listing(1, 0, 1.0, 0.9)).unwrap();
         let prefs = Preferences::uniform([Metric::Price]);
         svc.top_k(0, &prefs, 1);
-        svc.publish(listing(2, 0, 2.0, 0.8));
+        svc.publish(listing(2, 0, 2.0, 0.8)).unwrap();
         svc.top_k(0, &prefs, 2);
         let stats = svc.stats();
         assert!(stats.snapshot_swaps >= 2, "{stats:?}");

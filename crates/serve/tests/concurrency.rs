@@ -55,7 +55,7 @@ fn concurrent_ingest_and_query_loses_nothing() {
             .build(),
     );
     for s in 0..SERVICES {
-        service.publish(listing(s));
+        service.publish(listing(s)).unwrap();
     }
 
     let prefs = Preferences::uniform([Metric::Price]);
@@ -118,8 +118,8 @@ fn concurrent_ingest_and_query_loses_nothing() {
 #[test]
 fn ranking_after_concurrent_ingestion_reflects_feedback() {
     let service = Arc::new(ReputationService::builder().reputation_weight(1.0).build());
-    service.publish(listing(0)); // rated 0.9 below
-    service.publish(listing(1)); // rated 0.2 below
+    service.publish(listing(0)).unwrap(); // rated 0.9 below
+    service.publish(listing(1)).unwrap(); // rated 0.2 below
     std::thread::scope(|scope| {
         for t in 0..4u64 {
             let service = Arc::clone(&service);

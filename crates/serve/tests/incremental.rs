@@ -58,7 +58,7 @@ fn assert_twins_agree(builder: impl Fn() -> ServiceBuilder, reports: &[Feedback]
     assert!(!replay.stats().incremental);
     for svc in [&incremental, &replay] {
         for s in 0..SERVICES {
-            svc.publish(listing(s, (s % 2) as u32));
+            svc.publish(listing(s, (s % 2) as u32)).unwrap();
         }
         ingest_all(svc, reports);
     }
@@ -106,7 +106,7 @@ fn every_figure4_mechanism_scores_identically_incremental_and_replay() {
 fn preranked_list_serves_repeat_queries_and_invalidates_on_publish() {
     let svc = ReputationService::builder().build();
     for s in 0..4 {
-        svc.publish(listing(s, 0));
+        svc.publish(listing(s, 0)).unwrap();
     }
     let prefs = Preferences::uniform([Metric::Price, Metric::Accuracy]);
     let first = svc.top_k(0, &prefs, 4);
@@ -132,7 +132,7 @@ fn preranked_list_serves_repeat_queries_and_invalidates_on_publish() {
 
     // A publish moves the listings epoch: the next query re-ranks (and
     // rebuilds the plan) and sees the new candidate.
-    svc.publish(listing(9, 0));
+    svc.publish(listing(9, 0)).unwrap();
     let widened = svc.top_k(0, &prefs, 10);
     assert_eq!(widened.len(), 5);
     assert_eq!(svc.stats().preranked_misses, 2);
@@ -148,8 +148,8 @@ fn preranked_list_serves_repeat_queries_and_invalidates_on_publish() {
 #[test]
 fn preranked_lists_are_per_category_and_per_prefs() {
     let svc = ReputationService::builder().build();
-    svc.publish(listing(1, 0));
-    svc.publish(listing(2, 7));
+    svc.publish(listing(1, 0)).unwrap();
+    svc.publish(listing(2, 7)).unwrap();
     let prefs = Preferences::uniform([Metric::Price]);
     assert_eq!(svc.top_k(0, &prefs, 1).len(), 1);
     assert_eq!(svc.top_k(7, &prefs, 1).len(), 1);

@@ -72,7 +72,7 @@ proptest! {
             .collect();
         let cached = ReputationService::builder().shards(4).build();
         for s in 0..SERVICES {
-            cached.publish(listing(s, (s % 2) as u32));
+            cached.publish(listing(s, (s % 2) as u32)).unwrap();
         }
         let prefs = Preferences::uniform([Metric::Price, Metric::Accuracy]);
         for prefix in reports.chunks(chunk) {
@@ -85,7 +85,7 @@ proptest! {
             let applied = cached.store().len();
             let twin = ReputationService::builder().shards(4).replay_scoring().build();
             for s in 0..SERVICES {
-                twin.publish(listing(s, (s % 2) as u32));
+                twin.publish(listing(s, (s % 2) as u32)).unwrap();
             }
             for report in &reports[..applied] {
                 twin.ingest(report.clone()).unwrap();
@@ -120,7 +120,7 @@ fn preranked_top_k_stays_consistent_under_concurrent_writes() {
     const WRITER_ROUNDS: u64 = 300;
     let svc = Arc::new(ReputationService::builder().shards(4).build());
     for s in 0..SERVICES {
-        svc.publish(listing(s, 0));
+        svc.publish(listing(s, 0)).unwrap();
     }
     let prefs = Preferences::uniform([Metric::Price, Metric::Accuracy]);
     let done = Arc::new(AtomicBool::new(false));
@@ -171,7 +171,7 @@ fn preranked_top_k_stays_consistent_under_concurrent_writes() {
                 // Churn a rotating extra listing in and out of the
                 // category readers are ranking.
                 let extra = SERVICES + (round % 5);
-                svc.publish(listing(extra, 0));
+                svc.publish(listing(extra, 0)).unwrap();
                 for rater in 0..3 {
                     svc.ingest(feedback(rater, round % SERVICES, 0.5, round))
                         .unwrap();
@@ -193,11 +193,11 @@ fn preranked_top_k_stays_consistent_under_concurrent_writes() {
         .replay_scoring()
         .build();
     for s in 0..SERVICES {
-        twin.publish(listing(s, 0));
+        twin.publish(listing(s, 0)).unwrap();
     }
     for round in 0..WRITER_ROUNDS {
         let extra = SERVICES + (round % 5);
-        twin.publish(listing(extra, 0));
+        twin.publish(listing(extra, 0)).unwrap();
         for rater in 0..3 {
             twin.ingest(feedback(rater, round % SERVICES, 0.5, round))
                 .unwrap();
@@ -245,7 +245,7 @@ fn stats_collection_races_writers_without_tearing() {
         let done = Arc::clone(&done);
         scope.spawn(move || {
             for round in 0..200u64 {
-                svc.publish(listing(round % 8, 0));
+                svc.publish(listing(round % 8, 0)).unwrap();
                 for rater in 0..4 {
                     svc.ingest(feedback(rater, round % 8, 0.7, round)).unwrap();
                 }

@@ -89,7 +89,7 @@ fn kill_and_recover_restores_every_acknowledged_score() {
         .journal(&live)
         .build();
     for s in 0..6 {
-        svc.publish(listing(s, s as u32 % 2));
+        svc.publish(listing(s, s as u32 % 2)).unwrap();
     }
     svc.deregister(ServiceId::new(5)).unwrap();
     let reports: Vec<Feedback> = (0..300)
@@ -214,8 +214,8 @@ fn checkpoint_plus_tail_recovers_and_reclaims_segments() {
         .journal(&live)
         .max_segment_bytes(512)
         .build();
-    svc.publish(listing(0, 0));
-    svc.publish(listing(1, 0));
+    svc.publish(listing(0, 0)).unwrap();
+    svc.publish(listing(1, 0)).unwrap();
     let reports: Vec<Feedback> = (0..200)
         .map(|i| feedback(i % 9, i % 2, (i % 7) as f64 / 7.0, i))
         .collect();
@@ -293,7 +293,7 @@ fn partitioned_kill_and_recover_restores_every_acknowledged_score() {
         .journal(&live)
         .build();
     for s in 0..6 {
-        svc.publish(listing(s, s as u32 % 2));
+        svc.publish(listing(s, s as u32 % 2)).unwrap();
     }
     svc.deregister(ServiceId::new(5)).unwrap();
     let reports: Vec<Feedback> = (0..300)

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! wsrep-server [--listen ADDR] [--shards N] [--workers N]
-//!              [--journal=DIR] [--recover=DIR]
+//!              [--journal=DIR] [--recover=DIR] [--durability MODE]
+//!              [--fault-append-every N] [--fault-fsync-every N]
 //!              [--channel N] [--batch N] [--pipeline-depth N]
 //! ```
 //!
@@ -19,17 +20,26 @@
 //! server with `--recover` pointing at the same directory and every
 //! report acknowledged by a `Flush` RPC is back.
 //!
+//! `--durability MODE` picks what a journal failure means (requires a
+//! journal): `degrade` (default) keeps serving and counts errors,
+//! `read-only` fences mutations with `NotDurable`, `fail-stop` fences
+//! and exits (status 3). `--fault-append-every N` / `--fault-fsync-every
+//! N` inject an ENOSPC-style error into every Nth journal append/fsync —
+//! the disk half of the chaos harness, used by the CI chaos smoke job.
+//!
 //! The process exits (status 0) after a client sends the `Shutdown`
 //! request: connections drain, the ingest pipeline flushes (a final
 //! group-commit fsync with a journal attached), and a last JSON stats
-//! line is printed.
+//! line is printed (including `journal_errors` and the fence state when
+//! a journal is attached).
 
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::exit;
 use std::sync::Arc;
 use std::time::Duration;
-use wsrep_serve::ReputationService;
+use wsrep_journal::{IoOp, IoPolicy, PeriodicFaults};
+use wsrep_serve::{DurabilityPolicy, ReputationService};
 use wsrep_server::{Server, ServerConfig};
 
 struct Args {
@@ -38,6 +48,9 @@ struct Args {
     workers: usize,
     journal: Option<PathBuf>,
     recover: bool,
+    durability: DurabilityPolicy,
+    fault_append_every: Option<u64>,
+    fault_fsync_every: Option<u64>,
     channel_capacity: usize,
     batch_size: usize,
     pipeline_depth: usize,
@@ -50,6 +63,9 @@ fn parse_args() -> Args {
         workers: 4,
         journal: None,
         recover: false,
+        durability: DurabilityPolicy::Degrade,
+        fault_append_every: None,
+        fault_fsync_every: None,
         channel_capacity: 4096,
         batch_size: 128,
         pipeline_depth: 128,
@@ -77,6 +93,24 @@ fn parse_args() -> Args {
         } else if let Some(dir) = arg.strip_prefix("--recover=") {
             parsed.journal = Some(PathBuf::from(dir));
             parsed.recover = true;
+        } else if let Some(value) = arg.strip_prefix("--durability=") {
+            parsed.durability = DurabilityPolicy::parse(value).unwrap_or_else(|| {
+                panic!("--durability expects degrade|read-only|fail-stop, got {value:?}")
+            });
+        } else if arg == "--durability" {
+            let value = flag_value("--durability");
+            parsed.durability = DurabilityPolicy::parse(&value).unwrap_or_else(|| {
+                panic!("--durability expects degrade|read-only|fail-stop, got {value:?}")
+            });
+        } else if let Some(value) = arg.strip_prefix("--fault-append-every=") {
+            parsed.fault_append_every = Some(
+                value
+                    .parse()
+                    .expect("--fault-append-every expects a number"),
+            );
+        } else if let Some(value) = arg.strip_prefix("--fault-fsync-every=") {
+            parsed.fault_fsync_every =
+                Some(value.parse().expect("--fault-fsync-every expects a number"));
         } else if let Some(value) = arg.strip_prefix("--channel=") {
             parsed.channel_capacity = value.parse().expect("--channel expects a number");
         } else if let Some(value) = arg.strip_prefix("--batch=") {
@@ -103,7 +137,22 @@ fn main() {
         } else {
             builder.journal(dir)
         };
+        builder = builder.durability_policy(args.durability);
     }
+    let faults = if args.fault_append_every.is_some() || args.fault_fsync_every.is_some() {
+        let mut policy = PeriodicFaults::new();
+        if let Some(n) = args.fault_append_every {
+            policy = policy.error_every(IoOp::Append, n);
+        }
+        if let Some(n) = args.fault_fsync_every {
+            policy = policy.error_every(IoOp::Fsync, n);
+        }
+        let policy = Arc::new(policy);
+        builder = builder.io_policy(Arc::clone(&policy) as Arc<dyn IoPolicy>);
+        Some(policy)
+    } else {
+        None
+    };
     let service = Arc::new(match builder.try_build() {
         Ok(service) => service,
         Err(err) => {
@@ -141,15 +190,19 @@ fn main() {
         std::thread::sleep(Duration::from_millis(50));
     }
     let wire = server.server_stats();
+    let fenced = server.durability_fenced();
     server.join();
     let stats = service.stats();
+    let health = stats.journal.unwrap_or_default();
+    let injected = faults.as_ref().map(|f| f.counters().total()).unwrap_or(0);
     // Best-effort: the launcher may have closed our stdout already, and a
     // clean shutdown must not turn into a broken-pipe panic.
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     let _ = writeln!(
         out,
-        "{{\"shutdown\":\"clean\",\"requests\":{},\"reports_ingested\":{},\"connections_opened\":{},\"malformed_frames\":{},\"bytes_in\":{},\"bytes_out\":{},\"feedback_applied\":{}}}",
+        "{{\"shutdown\":\"{}\",\"requests\":{},\"reports_ingested\":{},\"connections_opened\":{},\"malformed_frames\":{},\"bytes_in\":{},\"bytes_out\":{},\"feedback_applied\":{},\"durability\":\"{}\",\"journal_errors\":{},\"degraded\":{},\"fenced\":{},\"injected_disk_faults\":{}}}",
+        if fenced { "fenced" } else { "clean" },
         wire.total_requests(),
         wire.reports_ingested,
         wire.connections_opened,
@@ -157,5 +210,16 @@ fn main() {
         wire.bytes_in,
         wire.bytes_out,
         stats.feedback,
+        health.policy.name(),
+        health.journal_errors,
+        health.degraded,
+        health.fenced,
+        injected,
     );
+    let _ = out.flush();
+    // A fail-stop fence is an abnormal exit: the supervisor must see a
+    // nonzero status, not a clean shutdown.
+    if fenced && args.durability == DurabilityPolicy::FailStop {
+        exit(3);
+    }
 }

@@ -1,0 +1,367 @@
+//! Chaos harness: an in-test flaky TCP proxy.
+//!
+//! [`FlakyProxy`] sits between a client and a server on loopback and
+//! misbehaves on a deterministic schedule: it can **drop** connections
+//! mid-stream, **delay** chunks, **split** chunks into byte-dribbles
+//! (so frame parsers see every partial-read shape), and **corrupt**
+//! server-to-client bytes (so CRC checks actually fire). Composed with
+//! the journal's [`IoPolicy`](wsrep_journal::IoPolicy) failpoints, this
+//! is the whole failure lab: disk faults below the service, link faults
+//! in front of it, and counters proving each fault actually happened —
+//! a chaos test whose injection counters read zero tested nothing.
+//!
+//! The schedules are counter-modulo rules offset by a seed, not real
+//! randomness, so a failing chaos test replays byte-for-byte.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What the proxy does to the traffic, as every-Nth-chunk rules.
+/// A "chunk" is one successful `read()` from either side, counted on a
+/// shared counter, so rules interleave across directions the way real
+/// interleaved traffic would.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Offsets the modulo schedules so different seeds fault at
+    /// different points in the stream.
+    pub seed: u64,
+    /// Sever the connection (both directions) on every Nth chunk,
+    /// after forwarding a prefix of it — an ack can be lost in flight.
+    pub drop_conn_every: Option<u64>,
+    /// Sleep [`ChaosConfig::delay`] before forwarding every Nth chunk.
+    pub delay_every: Option<u64>,
+    /// The stall injected by `delay_every`.
+    pub delay: Duration,
+    /// Forward every chunk as two writes (first byte, then the rest),
+    /// forcing partial-frame reads on the far side.
+    pub split_chunks: bool,
+    /// Flip one byte in every Nth **server-to-client** chunk, tripping
+    /// the frame CRC on the receiving side.
+    pub corrupt_downstream_every: Option<u64>,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0,
+            drop_conn_every: None,
+            delay_every: None,
+            delay: Duration::from_millis(2),
+            split_chunks: false,
+            corrupt_downstream_every: None,
+        }
+    }
+}
+
+/// Snapshot of how much chaos was actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosCounters {
+    /// Chunks forwarded (both directions).
+    pub chunks: u64,
+    /// Connections severed by the drop rule.
+    pub dropped_conns: u64,
+    /// Chunks stalled by the delay rule.
+    pub delayed_chunks: u64,
+    /// Chunks with a flipped byte (downstream only).
+    pub corrupted_chunks: u64,
+    /// Connections accepted from clients.
+    pub accepted_conns: u64,
+}
+
+impl ChaosCounters {
+    /// Total faults injected (drops + delays + corruptions). Chaos
+    /// tests gate on this being nonzero — otherwise they proved
+    /// nothing.
+    pub fn injected(&self) -> u64 {
+        self.dropped_conns + self.delayed_chunks + self.corrupted_chunks
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    chunks: AtomicU64,
+    dropped_conns: AtomicU64,
+    delayed_chunks: AtomicU64,
+    corrupted_chunks: AtomicU64,
+    accepted_conns: AtomicU64,
+}
+
+/// A loopback TCP proxy that forwards to `upstream` while injecting
+/// the faults described by its [`ChaosConfig`].
+pub struct FlakyProxy {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl FlakyProxy {
+    /// Start the proxy on an ephemeral loopback port, forwarding every
+    /// accepted connection to `upstream`.
+    pub fn start(upstream: SocketAddr, config: ChaosConfig) -> std::io::Result<FlakyProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+        let accept_thread = {
+            let shutdown = Arc::clone(&shutdown);
+            let counters = Arc::clone(&counters);
+            std::thread::Builder::new()
+                .name("flaky-proxy-accept".to_string())
+                .spawn(move || accept_loop(listener, upstream, config, shutdown, counters))?
+        };
+        Ok(FlakyProxy {
+            addr,
+            shutdown,
+            counters,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address clients should connect to instead of the upstream.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// How much chaos has been injected so far.
+    pub fn counters(&self) -> ChaosCounters {
+        ChaosCounters {
+            chunks: self.counters.chunks.load(Ordering::Relaxed),
+            dropped_conns: self.counters.dropped_conns.load(Ordering::Relaxed),
+            delayed_chunks: self.counters.delayed_chunks.load(Ordering::Relaxed),
+            corrupted_chunks: self.counters.corrupted_chunks.load(Ordering::Relaxed),
+            accepted_conns: self.counters.accepted_conns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop accepting and tear down. In-flight pump threads notice the
+    /// flag on their next chunk and exit; established sockets are left
+    /// to die with them.
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Unblock the accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for FlakyProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    upstream: SocketAddr,
+    config: ChaosConfig,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+) {
+    loop {
+        let client = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => return,
+        };
+        if shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let server = match TcpStream::connect(upstream) {
+            Ok(stream) => stream,
+            // Upstream gone (e.g. the test killed the primary): drop
+            // the client and keep serving later reconnects.
+            Err(_) => continue,
+        };
+        counters.accepted_conns.fetch_add(1, Ordering::Relaxed);
+        let _ = client.set_nodelay(true);
+        let _ = server.set_nodelay(true);
+        spawn_pumps(client, server, config, &shutdown, &counters);
+    }
+}
+
+/// Two pump threads per connection — client→server and server→client —
+/// sharing one chunk counter so the fault schedule interleaves across
+/// directions.
+fn spawn_pumps(
+    client: TcpStream,
+    server: TcpStream,
+    config: ChaosConfig,
+    shutdown: &Arc<AtomicBool>,
+    counters: &Arc<Counters>,
+) {
+    let c2 = client.try_clone();
+    let s2 = server.try_clone();
+    let (client2, server2) = match (c2, s2) {
+        (Ok(c), Ok(s)) => (c, s),
+        _ => return,
+    };
+    for (from, to, downstream) in [(client, server, false), (server2, client2, true)] {
+        let shutdown = Arc::clone(shutdown);
+        let counters = Arc::clone(counters);
+        let _ = std::thread::Builder::new()
+            .name("flaky-proxy-pump".to_string())
+            .spawn(move || pump(from, to, config, downstream, shutdown, counters));
+    }
+}
+
+fn pump(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    config: ChaosConfig,
+    downstream: bool,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+) {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        if shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let n = match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        let chunk = counters
+            .chunks
+            .fetch_add(1, Ordering::Relaxed)
+            .wrapping_add(config.seed);
+        let hits = |every: Option<u64>| {
+            every
+                .map(|e| chunk.is_multiple_of(e.max(1)))
+                .unwrap_or(false)
+        };
+
+        if hits(config.delay_every) {
+            counters.delayed_chunks.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(config.delay);
+        }
+        let data = &mut buf[..n];
+        if downstream && hits(config.corrupt_downstream_every) {
+            counters.corrupted_chunks.fetch_add(1, Ordering::Relaxed);
+            data[n / 2] ^= 0xFF;
+        }
+        if hits(config.drop_conn_every) {
+            // Forward a prefix, then sever both directions: the far
+            // side sees a torn stream, exactly like a mid-ack failure.
+            counters.dropped_conns.fetch_add(1, Ordering::Relaxed);
+            let _ = to.write_all(&data[..n / 2]);
+            let _ = from.shutdown(Shutdown::Both);
+            let _ = to.shutdown(Shutdown::Both);
+            break;
+        }
+        let write = if config.split_chunks && n > 1 {
+            to.write_all(&data[..1]).and_then(|()| {
+                to.flush()?;
+                to.write_all(&data[1..])
+            })
+        } else {
+            to.write_all(data)
+        };
+        if write.is_err() {
+            break;
+        }
+    }
+    // Kick the paired pump loose so the connection dies as a unit.
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    /// A one-connection echo server on an ephemeral port.
+    fn echo_upstream() -> (SocketAddr, JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let Ok((mut stream, _)) = listener.accept() else {
+                return;
+            };
+            let mut buf = [0u8; 1024];
+            loop {
+                match stream.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => {
+                        if stream.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn clean_proxy_passes_bytes_through() {
+        let (upstream, server) = echo_upstream();
+        let mut proxy = FlakyProxy::start(upstream, ChaosConfig::default()).unwrap();
+        let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+        conn.write_all(b"hello chaos").unwrap();
+        let mut back = [0u8; 11];
+        conn.read_exact(&mut back).unwrap();
+        assert_eq!(&back, b"hello chaos");
+        assert_eq!(proxy.counters().injected(), 0);
+        assert!(proxy.counters().chunks >= 2);
+        drop(conn);
+        proxy.stop();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn corruption_flips_downstream_bytes_and_counts() {
+        let (upstream, server) = echo_upstream();
+        let config = ChaosConfig {
+            // Corrupt every downstream chunk.
+            corrupt_downstream_every: Some(1),
+            ..ChaosConfig::default()
+        };
+        let mut proxy = FlakyProxy::start(upstream, config).unwrap();
+        let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+        conn.write_all(b"abcd").unwrap();
+        let mut back = [0u8; 4];
+        conn.read_exact(&mut back).unwrap();
+        assert_ne!(&back, b"abcd", "echo came back unmodified");
+        assert!(proxy.counters().corrupted_chunks >= 1);
+        drop(conn);
+        proxy.stop();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn drop_rule_severs_the_connection() {
+        let (upstream, server) = echo_upstream();
+        let config = ChaosConfig {
+            drop_conn_every: Some(1),
+            ..ChaosConfig::default()
+        };
+        let mut proxy = FlakyProxy::start(upstream, config).unwrap();
+        let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+        conn.write_all(b"doomed").unwrap();
+        let mut back = [0u8; 6];
+        // Either a clean EOF or a reset — both mean the link died.
+        match conn.read(&mut back) {
+            Ok(0) | Err(_) => {}
+            Ok(n) => {
+                // A prefix may have been forwarded before the cut; the
+                // rest never arrives.
+                assert!(n < 6, "full echo survived a drop rule");
+                match conn.read(&mut back) {
+                    Ok(0) | Err(_) => {}
+                    Ok(_) => panic!("connection survived the drop rule"),
+                }
+            }
+        }
+        assert!(proxy.counters().dropped_conns >= 1);
+        proxy.stop();
+        server.join().unwrap();
+    }
+}

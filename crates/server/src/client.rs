@@ -13,7 +13,9 @@
 //!   are needed; keeping a sliding window of queued requests amortizes
 //!   the round trip across the window.
 
-use crate::proto::{ErrorCode, ReplBatch, ReplWatermark, Request, Response, WireRanked, WireStats};
+use crate::proto::{
+    ErrorCode, IngestKey, ReplBatch, ReplWatermark, Request, Response, WireRanked, WireStats,
+};
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -37,6 +39,12 @@ pub enum ClientError {
     /// indeterminate mid-frame state — reconnect rather than retry on
     /// the same stream.
     TimedOut,
+    /// An earlier [`ClientError::TimedOut`] poisoned this connection and
+    /// a call was attempted anyway. The stream may be mid-frame: any
+    /// byte read now could be the tail of the timed-out response, so
+    /// every answer would be misattributed to the wrong request. The
+    /// only safe move is a fresh connection.
+    Poisoned,
     /// The server answered with a protocol error.
     Server {
         /// The error code the server sent.
@@ -79,6 +87,10 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(err) => write!(f, "socket error: {err}"),
             ClientError::Disconnected(what) => write!(f, "server disconnected: {what}"),
             ClientError::TimedOut => write!(f, "read timed out with a response still owed"),
+            ClientError::Poisoned => write!(
+                f,
+                "connection poisoned by an earlier timeout; reconnect before retrying"
+            ),
             ClientError::Server { code, message } => {
                 write!(f, "server error ({code}): {message}")
             }
@@ -108,6 +120,9 @@ pub struct Client {
     wbuf: Vec<u8>,
     /// Requests sent (or queued) minus responses received.
     in_flight: usize,
+    /// Latched by a read timeout: the stream may be mid-frame, so every
+    /// later call refuses with [`ClientError::Poisoned`].
+    poisoned: bool,
 }
 
 impl Client {
@@ -122,6 +137,7 @@ impl Client {
             rpos: 0,
             wbuf: Vec::new(),
             in_flight: 0,
+            poisoned: false,
         })
     }
 
@@ -129,6 +145,15 @@ impl Client {
     /// received responses).
     pub fn in_flight(&self) -> usize {
         self.in_flight
+    }
+
+    /// True once a read timeout left this connection mid-frame. A
+    /// poisoned client refuses every further call with
+    /// [`ClientError::Poisoned`] — reconnect instead. (This is why
+    /// timed-out requests are only safe to retry with an idempotency
+    /// key: the server may have applied them.)
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
     }
 
     /// Bound how long [`Client::recv`] blocks on the socket. `None`
@@ -163,7 +188,16 @@ impl Client {
 
     /// Read the next response (blocking). Responses arrive in request
     /// order.
+    ///
+    /// After a [`ClientError::TimedOut`] the connection is poisoned:
+    /// the timed-out response may still arrive, so reading again would
+    /// pair it with the wrong request. Every later `recv` (and every
+    /// call-style helper, which goes through `recv`) fails with
+    /// [`ClientError::Poisoned`] until the caller reconnects.
     pub fn recv(&mut self) -> Result<Response, ClientError> {
+        if self.poisoned {
+            return Err(ClientError::Poisoned);
+        }
         loop {
             match split_frame(&self.rbuf[self.rpos..]) {
                 FrameSplit::Frame { frame_len } => {
@@ -184,7 +218,13 @@ impl Client {
                 }
                 FrameSplit::Incomplete => {
                     let mut chunk = [0u8; 16 * 1024];
-                    let n = self.stream.read(&mut chunk).map_err(ClientError::from_io)?;
+                    let n = self.stream.read(&mut chunk).map_err(|err| {
+                        let err = ClientError::from_io(err);
+                        if matches!(err, ClientError::TimedOut) {
+                            self.poisoned = true;
+                        }
+                        err
+                    })?;
                     if n == 0 {
                         return Err(ClientError::Disconnected(
                             "server closed the connection mid-response".to_string(),
@@ -233,7 +273,29 @@ impl Client {
     /// Submit a batch of feedback; returns how many reports the server
     /// accepted into its ingest pipeline.
     pub fn ingest(&mut self, batch: Vec<Feedback>) -> Result<u64, ClientError> {
-        match self.call(&Request::Ingest(batch))? {
+        let request = Request::Ingest { batch, key: None };
+        match self.call(&request)? {
+            Response::Ingested(accepted) => Ok(accepted),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Submit a batch of feedback under an idempotency key. Resending
+    /// the same `(producer, seq)` — e.g. after a timeout or reconnect —
+    /// replays the original answer instead of ingesting twice, so a
+    /// retried batch applies exactly once. See
+    /// [`RetryingClient`](crate::retry::RetryingClient) for the wrapper
+    /// that manages keys automatically.
+    pub fn ingest_keyed(
+        &mut self,
+        batch: Vec<Feedback>,
+        key: IngestKey,
+    ) -> Result<u64, ClientError> {
+        let request = Request::Ingest {
+            batch,
+            key: Some(key),
+        };
+        match self.call(&request)? {
             Response::Ingested(accepted) => Ok(accepted),
             other => Err(ClientError::Unexpected(other)),
         }

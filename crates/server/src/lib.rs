@@ -17,6 +17,13 @@
 //!   backpressure, slow-client eviction, and graceful drain-on-shutdown;
 //! - [`client`] — the blocking connection: call-style one-shot RPCs and
 //!   a queue/flush/recv pipelining API over reusable buffers;
+//! - [`retry`] — jittered exponential backoff ([`RetryPolicy`],
+//!   [`Backoff`]) and [`RetryingClient`], the auto-reconnecting wrapper
+//!   whose keyed ingest retries are exactly-once: each batch carries a
+//!   `(producer, seq)` [`IngestKey`] the server deduplicates;
+//! - [`chaos`] — the fault lab's link half: [`FlakyProxy`], an in-test
+//!   TCP proxy that drops, delays, splits, and corrupts traffic on a
+//!   deterministic schedule, with counters proving it did;
 //! - [`repl`] — the replication seam: the [`Replicator`] hook a cluster
 //!   primary plugs into the reactor to ship its log, and the
 //!   [`ReplicationGauge`] that surfaces watermarks and lag in `Stats`.
@@ -26,15 +33,19 @@
 //! flags — shards, journal directory, recovery — and serves until a
 //! `Shutdown` request drains it.
 
+pub mod chaos;
 pub mod client;
 pub mod proto;
 pub mod repl;
+pub mod retry;
 pub mod server;
 
+pub use chaos::{ChaosConfig, ChaosCounters, FlakyProxy};
 pub use client::{Client, ClientError};
 pub use proto::{
-    ErrorCode, ReplBatch, ReplRole, ReplWatermark, ReplicationStats, Request, Response,
-    ServerStats, WireRanked, WireStats, PROTO_VERSION,
+    ErrorCode, IngestKey, ReplBatch, ReplRole, ReplWatermark, ReplicationStats, Request, Response,
+    ServerStats, WireRanked, WireStats, MIN_PROTO_VERSION, PROTO_VERSION,
 };
 pub use repl::{ReplError, ReplicationGauge, Replicator};
+pub use retry::{Backoff, RetryPolicy, RetryingClient, Rng64};
 pub use server::{ReplicationHooks, Server, ServerConfig};

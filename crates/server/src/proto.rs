@@ -21,10 +21,13 @@
 //! - **Pipelining**: a client may send any number of requests before
 //!   reading; the server answers strictly in request order on each
 //!   connection. No request ids are needed — FIFO is the contract.
-//! - **Versioning**: every payload carries [`PROTO_VERSION`]. A server
-//!   receiving a different version answers [`Response::Error`] with
-//!   [`ErrorCode::BadVersion`] and keeps the connection (framing is still
-//!   sound).
+//! - **Versioning**: every payload carries its protocol version. A peer
+//!   accepts any version in `[MIN_PROTO_VERSION, PROTO_VERSION]` and
+//!   **answers at the request's version**, so old clients keep working
+//!   against new servers; anything outside the range gets
+//!   [`Response::Error`] with [`ErrorCode::BadVersion`] and the
+//!   connection survives (framing is still sound). New fields are only
+//!   ever *appended* to existing payloads under a version bump.
 //! - **Errors**: a well-framed but undecodable payload gets
 //!   [`ErrorCode::BadRequest`] and the connection survives; a corrupt
 //!   *frame* (bad CRC, absurd length) is unrecoverable — the stream can
@@ -44,13 +47,23 @@ use wsrep_journal::codec::{
 use wsrep_journal::frame::write_frame;
 use wsrep_journal::JournalRecord;
 use wsrep_qos::preference::Preferences;
-use wsrep_serve::{JournalHealth, RankedService, ServiceStats};
+use wsrep_serve::{DurabilityPolicy, JournalHealth, RankedService, ServiceStats};
 use wsrep_sim::registry::{Listing, PublishStatus};
 
 /// Protocol version carried in every payload.
 ///
 /// v2: stats payloads gained the journal's `writer_groups` count.
-pub const PROTO_VERSION: u8 = 2;
+/// v3: `Ingest` carries an optional `(producer, seq)` idempotency key
+/// (exactly-once retries); the stats journal block gained
+/// `journal_errors`, the durability `policy`, and the `fenced` flag;
+/// [`ErrorCode::NotDurable`] was added (encoded as `ReadOnly` to v2
+/// peers).
+pub const PROTO_VERSION: u8 = 3;
+
+/// Oldest protocol version this peer still speaks. Requests at any
+/// version in `[MIN_PROTO_VERSION, PROTO_VERSION]` are served, answered
+/// at the request's version.
+pub const MIN_PROTO_VERSION: u8 = 2;
 
 // Request opcodes — wire contract, never renumber.
 const OP_PING: u8 = 0x01;
@@ -98,10 +111,14 @@ pub enum ErrorCode {
     ReplUnavailable,
     /// This node is a read-only replica: writes must go to the primary.
     ReadOnly,
+    /// This node cannot make the write durable and its durability policy
+    /// fenced writes rather than lie about it. Not retryable here —
+    /// clients should fail over. v2 peers see [`ErrorCode::ReadOnly`].
+    NotDurable,
 }
 
 impl ErrorCode {
-    fn to_wire(self) -> u8 {
+    fn to_wire(self, version: u8) -> u8 {
         match self {
             ErrorCode::BadVersion => 1,
             ErrorCode::BadRequest => 2,
@@ -109,6 +126,11 @@ impl ErrorCode {
             ErrorCode::IngestClosed => 4,
             ErrorCode::ReplUnavailable => 5,
             ErrorCode::ReadOnly => 6,
+            // v2 predates the code; ReadOnly carries the same client
+            // contract (stop writing here), so old clients still act
+            // sensibly.
+            ErrorCode::NotDurable if version < 3 => 6,
+            ErrorCode::NotDurable => 7,
         }
     }
 
@@ -120,6 +142,7 @@ impl ErrorCode {
             4 => Ok(ErrorCode::IngestClosed),
             5 => Ok(ErrorCode::ReplUnavailable),
             6 => Ok(ErrorCode::ReadOnly),
+            7 => Ok(ErrorCode::NotDurable),
             tag => Err(CodecError::BadTag {
                 what: "error code",
                 tag,
@@ -137,8 +160,22 @@ impl fmt::Display for ErrorCode {
             ErrorCode::IngestClosed => write!(f, "ingest pipeline closed"),
             ErrorCode::ReplUnavailable => write!(f, "replication unavailable here"),
             ErrorCode::ReadOnly => write!(f, "read-only replica"),
+            ErrorCode::NotDurable => write!(f, "writes fenced after journal failure"),
         }
     }
+}
+
+/// The `(producer, seq)` idempotency key a retried ingest batch carries
+/// (v3+). The server keeps a per-producer window of recently applied
+/// sequence numbers and replays the original acknowledgement for a
+/// duplicate, so a retry after a lost response applies **exactly once**.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestKey {
+    /// The producer's stable identity across reconnects.
+    pub producer: u64,
+    /// Strictly increasing per producer; each batch gets a fresh value,
+    /// each retry of the same batch reuses it.
+    pub seq: u64,
 }
 
 /// One client request.
@@ -151,7 +188,13 @@ pub enum Request {
     /// Withdraw a listing.
     Deregister(ServiceId),
     /// A batch of feedback reports for the ingest pipeline.
-    Ingest(Vec<Feedback>),
+    Ingest {
+        /// The reports.
+        batch: Vec<Feedback>,
+        /// Idempotency key for exactly-once retries (v3+; `None` from
+        /// old clients or fire-and-forget producers).
+        key: Option<IngestKey>,
+    },
     /// One subject's reputation.
     Score(SubjectId),
     /// The `k` best services in a category under the given preferences.
@@ -402,7 +445,7 @@ fn get_opt_estimate(cur: &mut Cursor<'_>) -> Result<Option<TrustEstimate>, Codec
     }
 }
 
-fn put_service_stats(out: &mut Vec<u8>, stats: &ServiceStats) {
+fn put_service_stats(out: &mut Vec<u8>, version: u8, stats: &ServiceStats) {
     put_u64(out, stats.shards as u64);
     put_u64(out, stats.listings as u64);
     put_u64(out, stats.feedback);
@@ -427,12 +470,19 @@ fn put_service_stats(out: &mut Vec<u8>, stats: &ServiceStats) {
             put_u64(out, health.records_recovered);
             put_u64(out, health.writer_groups);
             put_bool(out, health.degraded);
+            // v3 appended the failure-policy triple; a v2 payload simply
+            // ends the block here.
+            if version >= 3 {
+                put_u64(out, health.journal_errors);
+                out.push(health.policy.as_u8());
+                put_bool(out, health.fenced);
+            }
         }
         None => put_bool(out, false),
     }
 }
 
-fn get_service_stats(cur: &mut Cursor<'_>) -> Result<ServiceStats, CodecError> {
+fn get_service_stats(cur: &mut Cursor<'_>, version: u8) -> Result<ServiceStats, CodecError> {
     Ok(ServiceStats {
         shards: cur.u64()? as usize,
         listings: cur.u64()? as usize,
@@ -448,7 +498,7 @@ fn get_service_stats(cur: &mut Cursor<'_>) -> Result<ServiceStats, CodecError> {
         scratch_reuse: cur.u64()?,
         incremental: cur.bool()?,
         journal: if cur.bool()? {
-            Some(JournalHealth {
+            let mut health = JournalHealth {
                 segments: cur.u64()?,
                 bytes_appended: cur.u64()?,
                 last_fsync_nanos: cur.u64()?,
@@ -457,7 +507,18 @@ fn get_service_stats(cur: &mut Cursor<'_>) -> Result<ServiceStats, CodecError> {
                 records_recovered: cur.u64()?,
                 writer_groups: cur.u64()?,
                 degraded: cur.bool()?,
-            })
+                ..JournalHealth::default()
+            };
+            if version >= 3 {
+                health.journal_errors = cur.u64()?;
+                let tag = cur.u8()?;
+                health.policy = DurabilityPolicy::from_u8(tag).ok_or(CodecError::BadTag {
+                    what: "durability policy",
+                    tag,
+                })?;
+                health.fenced = cur.bool()?;
+            }
+            Some(health)
         } else {
             None
         },
@@ -547,7 +608,7 @@ impl Request {
             Request::Ping => 0,
             Request::Publish(_) => 1,
             Request::Deregister(_) => 2,
-            Request::Ingest(_) => 3,
+            Request::Ingest { .. } => 3,
             Request::Score(_) => 4,
             Request::TopK { .. } => 5,
             Request::Stats => 6,
@@ -558,10 +619,17 @@ impl Request {
         }
     }
 
-    /// Encode as one complete frame appended to `out`.
+    /// Encode as one complete frame appended to `out`, at
+    /// [`PROTO_VERSION`].
     pub fn encode_frame(&self, out: &mut Vec<u8>) {
+        self.encode_frame_v(PROTO_VERSION, out);
+    }
+
+    /// Encode at an explicit protocol version — how a peer talks to an
+    /// older server (fields the version predates are dropped).
+    pub fn encode_frame_v(&self, version: u8, out: &mut Vec<u8>) {
         let mut payload = Vec::new();
-        payload.push(PROTO_VERSION);
+        payload.push(version);
         match self {
             Request::Ping => payload.push(OP_PING),
             Request::Publish(listing) => {
@@ -572,11 +640,21 @@ impl Request {
                 payload.push(OP_DEREGISTER);
                 put_u64(&mut payload, service.raw());
             }
-            Request::Ingest(batch) => {
+            Request::Ingest { batch, key } => {
                 payload.push(OP_INGEST);
                 put_u32(&mut payload, batch.len() as u32);
                 for feedback in batch {
                     put_feedback(&mut payload, feedback);
+                }
+                if version >= 3 {
+                    match key {
+                        Some(key) => {
+                            put_bool(&mut payload, true);
+                            put_u64(&mut payload, key.producer);
+                            put_u64(&mut payload, key.seq);
+                        }
+                        None => put_bool(&mut payload, false),
+                    }
                 }
             }
             Request::Score(subject) => {
@@ -614,9 +692,15 @@ impl Request {
 
     /// Decode one request from a frame payload (version byte included).
     pub fn decode(payload: &[u8]) -> Result<Self, DecodeError> {
+        Self::decode_versioned(payload).map(|(request, _)| request)
+    }
+
+    /// [`Request::decode`], also returning the request's protocol
+    /// version — servers answer at the version the client spoke.
+    pub fn decode_versioned(payload: &[u8]) -> Result<(Self, u8), DecodeError> {
         let mut cur = Cursor::new(payload);
         let version = cur.u8().map_err(DecodeError::Codec)?;
-        if version != PROTO_VERSION {
+        if !(MIN_PROTO_VERSION..=PROTO_VERSION).contains(&version) {
             return Err(DecodeError::BadVersion(version));
         }
         let opcode = cur.u8().map_err(DecodeError::Codec)?;
@@ -632,7 +716,15 @@ impl Request {
                 for _ in 0..n {
                     batch.push(get_feedback(&mut cur).map_err(DecodeError::Codec)?);
                 }
-                Request::Ingest(batch)
+                let key = if version >= 3 && cur.bool().map_err(DecodeError::Codec)? {
+                    Some(IngestKey {
+                        producer: cur.u64().map_err(DecodeError::Codec)?,
+                        seq: cur.u64().map_err(DecodeError::Codec)?,
+                    })
+                } else {
+                    None
+                };
+                Request::Ingest { batch, key }
             }
             OP_SCORE => Request::Score(get_subject(&mut cur).map_err(DecodeError::Codec)?),
             OP_TOP_K => {
@@ -662,20 +754,28 @@ impl Request {
         if cur.remaining() != 0 {
             return Err(DecodeError::TrailingBytes);
         }
-        Ok(request)
+        Ok((request, version))
     }
 }
 
 impl Response {
-    /// Encode as one complete frame appended to `out`.
+    /// Encode as one complete frame appended to `out`, at
+    /// [`PROTO_VERSION`].
     pub fn encode_frame(&self, out: &mut Vec<u8>) {
+        self.encode_frame_v(PROTO_VERSION, out);
+    }
+
+    /// Encode at an explicit protocol version — the server answers each
+    /// request at the version it arrived with, so a v2 client never
+    /// sees v3-only fields.
+    pub fn encode_frame_v(&self, version: u8, out: &mut Vec<u8>) {
         let mut payload = Vec::new();
-        self.encode_payload(&mut payload);
+        self.encode_payload(version, &mut payload);
         write_frame(out, &payload);
     }
 
-    fn encode_payload(&self, payload: &mut Vec<u8>) {
-        payload.push(PROTO_VERSION);
+    fn encode_payload(&self, version: u8, payload: &mut Vec<u8>) {
+        payload.push(version);
         match self {
             Response::Pong => payload.push(OP_PONG),
             Response::Published(status) => {
@@ -710,7 +810,7 @@ impl Response {
             }
             Response::StatsResult(stats) => {
                 payload.push(OP_STATS_RESULT);
-                put_service_stats(payload, &stats.service);
+                put_service_stats(payload, version, &stats.service);
                 put_server_stats(payload, &stats.server);
                 put_replication_stats(payload, &stats.replication);
             }
@@ -738,17 +838,20 @@ impl Response {
             }
             Response::Error { code, message } => {
                 payload.push(OP_ERROR);
-                payload.push(code.to_wire());
+                payload.push(code.to_wire(version));
                 put_bytes(payload, message.as_bytes());
             }
         }
     }
 
-    /// Decode one response from a frame payload.
+    /// Decode one response from a frame payload. Accepts any version in
+    /// `[MIN_PROTO_VERSION, PROTO_VERSION]` — the server answers at the
+    /// request's version, and fields that version predates keep their
+    /// defaults.
     pub fn decode(payload: &[u8]) -> Result<Self, DecodeError> {
         let mut cur = Cursor::new(payload);
         let version = cur.u8().map_err(DecodeError::Codec)?;
-        if version != PROTO_VERSION {
+        if !(MIN_PROTO_VERSION..=PROTO_VERSION).contains(&version) {
             return Err(DecodeError::BadVersion(version));
         }
         let opcode = cur.u8().map_err(DecodeError::Codec)?;
@@ -782,7 +885,7 @@ impl Response {
                 Response::TopKResult(ranked)
             }
             OP_STATS_RESULT => {
-                let service = get_service_stats(&mut cur).map_err(DecodeError::Codec)?;
+                let service = get_service_stats(&mut cur, version).map_err(DecodeError::Codec)?;
                 let server = get_server_stats(&mut cur).map_err(DecodeError::Codec)?;
                 let replication = get_replication_stats(&mut cur).map_err(DecodeError::Codec)?;
                 Response::StatsResult(Box::new(WireStats {
@@ -901,10 +1004,25 @@ mod tests {
                 advertised: QosVector::from_pairs([(Metric::Accuracy, 0.9)]),
             }),
             Request::Deregister(ServiceId::new(7)),
-            Request::Ingest(vec![
-                Feedback::scored(AgentId::new(1), ServiceId::new(2), 0.75, Time::new(3)),
-                Feedback::scored(AgentId::new(4), ProviderId::new(5), 0.25, Time::new(6)),
-            ]),
+            Request::Ingest {
+                batch: vec![
+                    Feedback::scored(AgentId::new(1), ServiceId::new(2), 0.75, Time::new(3)),
+                    Feedback::scored(AgentId::new(4), ProviderId::new(5), 0.25, Time::new(6)),
+                ],
+                key: None,
+            },
+            Request::Ingest {
+                batch: vec![Feedback::scored(
+                    AgentId::new(1),
+                    ServiceId::new(2),
+                    0.75,
+                    Time::new(3),
+                )],
+                key: Some(IngestKey {
+                    producer: 0xFEED,
+                    seq: 41,
+                }),
+            },
             Request::Score(ServiceId::new(9).into()),
             Request::TopK {
                 category: 3,
@@ -968,7 +1086,10 @@ mod tests {
                         durable_lsn: 99,
                         records_recovered: 5,
                         writer_groups: 4,
+                        journal_errors: 6,
+                        policy: DurabilityPolicy::ReadOnly,
                         degraded: false,
+                        fenced: true,
                     }),
                 },
                 server: ServerStats {
@@ -1038,6 +1159,120 @@ mod tests {
         for response in responses {
             assert_eq!(roundtrip_response(&response), response);
         }
+    }
+
+    #[test]
+    fn v2_requests_still_decode_on_a_v3_server() {
+        // A v2 client's ingest carries no key; the v3 decoder must read
+        // it as None, and the versioned decode must report v2 so the
+        // response comes back at v2.
+        let request = Request::Ingest {
+            batch: vec![Feedback::scored(
+                AgentId::new(1),
+                ServiceId::new(2),
+                0.5,
+                Time::new(3),
+            )],
+            key: None,
+        };
+        let mut buf = Vec::new();
+        request.encode_frame_v(2, &mut buf);
+        let FrameSplit::Frame { frame_len } = split_frame(&buf) else {
+            panic!("v2 frame splits");
+        };
+        let (decoded, version) =
+            Request::decode_versioned(&buf[FRAME_HEADER_LEN..frame_len]).expect("v2 decodes");
+        assert_eq!(version, 2);
+        assert_eq!(decoded, request);
+        // Encoding at v2 drops the key rather than confusing an old
+        // server with trailing bytes.
+        let keyed = Request::Ingest {
+            batch: Vec::new(),
+            key: Some(IngestKey {
+                producer: 1,
+                seq: 2,
+            }),
+        };
+        let mut buf = Vec::new();
+        keyed.encode_frame_v(2, &mut buf);
+        let FrameSplit::Frame { frame_len } = split_frame(&buf) else {
+            panic!("v2 frame splits");
+        };
+        assert_eq!(
+            Request::decode(&buf[FRAME_HEADER_LEN..frame_len]),
+            Ok(Request::Ingest {
+                batch: Vec::new(),
+                key: None
+            })
+        );
+    }
+
+    #[test]
+    fn v2_responses_default_the_v3_stats_fields() {
+        let stats = WireStats {
+            service: ServiceStats {
+                shards: 1,
+                listings: 0,
+                feedback: 0,
+                submitted: 0,
+                cache_hits: 0,
+                cache_misses: 0,
+                topk_plan_hits: 0,
+                topk_plan_misses: 0,
+                preranked_hits: 0,
+                preranked_misses: 0,
+                snapshot_swaps: 0,
+                scratch_reuse: 0,
+                incremental: true,
+                journal: Some(JournalHealth {
+                    segments: 1,
+                    durable_lsn: 7,
+                    journal_errors: 42,
+                    policy: DurabilityPolicy::FailStop,
+                    fenced: true,
+                    ..JournalHealth::default()
+                }),
+            },
+            server: ServerStats::default(),
+            replication: None,
+        };
+        let mut buf = Vec::new();
+        Response::StatsResult(Box::new(stats)).encode_frame_v(2, &mut buf);
+        let FrameSplit::Frame { frame_len } = split_frame(&buf) else {
+            panic!("v2 frame splits");
+        };
+        let decoded = Response::decode(&buf[FRAME_HEADER_LEN..frame_len]).expect("v2 decodes");
+        let Response::StatsResult(wire) = decoded else {
+            panic!("stats response expected");
+        };
+        let health = wire.service.journal.expect("journal block survives");
+        assert_eq!(health.durable_lsn, 7, "v2 fields intact");
+        assert_eq!(health.journal_errors, 0, "v3-only field defaulted");
+        assert_eq!(health.policy, DurabilityPolicy::Degrade);
+        assert!(!health.fenced);
+    }
+
+    #[test]
+    fn not_durable_degrades_to_read_only_for_v2_peers() {
+        let error = Response::Error {
+            code: ErrorCode::NotDurable,
+            message: "fenced".to_string(),
+        };
+        let mut buf = Vec::new();
+        error.encode_frame_v(2, &mut buf);
+        let FrameSplit::Frame { frame_len } = split_frame(&buf) else {
+            panic!("v2 frame splits");
+        };
+        let decoded = Response::decode(&buf[FRAME_HEADER_LEN..frame_len]).expect("v2 decodes");
+        assert_eq!(
+            decoded,
+            Response::Error {
+                code: ErrorCode::ReadOnly,
+                message: "fenced".to_string(),
+            }
+        );
+        // At v3 the code travels unmapped.
+        assert_eq!(roundtrip_response(&error), error);
     }
 
     #[test]

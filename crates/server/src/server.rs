@@ -38,17 +38,22 @@
 //! final group-commit fsync, so everything acknowledged over the wire
 //! is durable before the process exits.
 
-use crate::proto::{ErrorCode, Request, Response, ServerStats, WireRanked, WireStats};
+use crate::proto::{
+    ErrorCode, IngestKey, Request, Response, ServerStats, WireRanked, WireStats, PROTO_VERSION,
+};
 use crate::repl::{ReplicationGauge, Replicator};
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+use wsrep_core::feedback::Feedback;
 use wsrep_journal::frame::{split_frame, FrameSplit};
-use wsrep_serve::ReputationService;
+use wsrep_serve::{DurabilityPolicy, ReputationService};
+use wsrep_sim::registry::RegistryError;
 
 /// Reactor tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -109,6 +114,58 @@ impl Counters {
     }
 }
 
+/// Recent `(seq → acknowledgement)` pairs remembered per producer for
+/// ingest dedup. Deep enough to cover any plausible in-flight retry
+/// window; a producer that pipelines more unacknowledged batches than
+/// this loses exactly-once on the overflow.
+const DEDUP_WINDOW: usize = 128;
+
+/// One producer's recently acknowledged ingest sequence numbers.
+#[derive(Debug, Default)]
+struct ProducerWindow {
+    /// `(seq, accepted)` in arrival order, newest at the back.
+    acked: VecDeque<(u64, u64)>,
+}
+
+impl ProducerWindow {
+    fn lookup(&self, seq: u64) -> Option<u64> {
+        // Retries target recent seqs, so scan newest-first.
+        self.acked
+            .iter()
+            .rev()
+            .find(|(s, _)| *s == seq)
+            .map(|(_, accepted)| *accepted)
+    }
+
+    fn record(&mut self, seq: u64, accepted: u64) {
+        if self.acked.len() == DEDUP_WINDOW {
+            self.acked.pop_front();
+        }
+        self.acked.push_back((seq, accepted));
+    }
+}
+
+/// The server-side half of exactly-once ingest: per-producer windows of
+/// recently acknowledged `(seq, accepted)` pairs. A keyed batch whose
+/// seq is already in its producer's window is **not** re-applied — the
+/// original acknowledgement is replayed, so a client retrying after a
+/// lost response cannot double-count feedback.
+#[derive(Debug, Default)]
+struct IngestDedup {
+    producers: Mutex<HashMap<u64, Arc<Mutex<ProducerWindow>>>>,
+}
+
+impl IngestDedup {
+    /// The producer's window, created on first sight. Two-level locking:
+    /// the map lock is held only for the lookup, the per-producer lock
+    /// for the whole check-apply-record sequence — concurrent retries of
+    /// the same batch serialize, different producers don't contend.
+    fn producer(&self, id: u64) -> Arc<Mutex<ProducerWindow>> {
+        let mut map = self.producers.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(map.entry(id).or_default())
+    }
+}
+
 /// Replication hooks a cluster node plugs into its server. A plain
 /// standalone server uses [`ReplicationHooks::default`]: no shipping,
 /// no gauge, writes allowed.
@@ -129,6 +186,7 @@ pub struct ReplicationHooks {
 struct Shared {
     service: Arc<ReputationService>,
     counters: Counters,
+    dedup: IngestDedup,
     shutdown: AtomicBool,
     read_only: AtomicBool,
     replicator: Option<Arc<dyn Replicator>>,
@@ -170,6 +228,7 @@ impl Server {
         let shared = Arc::new(Shared {
             service,
             counters: Counters::default(),
+            dedup: IngestDedup::default(),
             shutdown: AtomicBool::new(false),
             read_only: AtomicBool::new(hooks.read_only),
             replicator: hooks.replicator,
@@ -227,6 +286,14 @@ impl Server {
     /// Whether writes are currently rejected with [`ErrorCode::ReadOnly`].
     pub fn is_read_only(&self) -> bool {
         self.shared.read_only.load(Ordering::Acquire)
+    }
+
+    /// True once the service's durability policy fenced writes after a
+    /// journal failure. Under [`DurabilityPolicy::FailStop`] the server
+    /// also flips into shutdown by itself; hosts poll this to decide
+    /// their exit code.
+    pub fn durability_fenced(&self) -> bool {
+        self.shared.service.durability_fenced()
     }
 
     /// Request a graceful shutdown: stop accepting, drain every
@@ -475,10 +542,11 @@ impl Conn {
                 FrameSplit::Frame { frame_len } => {
                     let start = self.rpos + wsrep_journal::frame::FRAME_HEADER_LEN;
                     let end = self.rpos + frame_len;
-                    let response = serve_payload(shared, &self.rbuf[start..end], draining);
+                    let (response, version) =
+                        serve_payload(shared, &self.rbuf[start..end], draining);
                     self.rpos = end;
                     let shutting_down = matches!(response, Response::ShuttingDown);
-                    response.encode_frame(&mut self.wbuf);
+                    response.encode_frame_v(version, &mut self.wbuf);
                     if shutting_down {
                         self.close_after_flush = true;
                     }
@@ -518,10 +586,69 @@ impl Conn {
     }
 }
 
-/// Decode one frame payload and serve it against the service.
-fn serve_payload(shared: &Shared, payload: &[u8], draining: bool) -> Response {
-    let request = match Request::decode(payload) {
-        Ok(request) => request,
+/// The refusal a fenced service answers every write with. Under
+/// [`DurabilityPolicy::FailStop`] the refusal also flips the server into
+/// shutdown: a fail-stop node drains and exits rather than keep a
+/// non-durable registry reachable.
+fn refuse_not_durable(shared: &Shared) -> Response {
+    if shared.service.durability_policy() == DurabilityPolicy::FailStop {
+        shared.shutdown.store(true, Ordering::Release);
+    }
+    Response::Error {
+        code: ErrorCode::NotDurable,
+        message: "journal failed; durability policy fenced writes".to_string(),
+    }
+}
+
+/// Serve one ingest batch, deduplicating keyed batches through the
+/// producer's window so a retried batch applies exactly once.
+fn serve_ingest(shared: &Shared, batch: Vec<Feedback>, key: Option<IngestKey>) -> Response {
+    if shared.service.durability_fenced() {
+        return refuse_not_durable(shared);
+    }
+    let Some(key) = key else {
+        return ingest_now(shared, batch);
+    };
+    let window = shared.dedup.producer(key.producer);
+    // Hold the producer's window lock across check-apply-record:
+    // concurrent retries of the same seq serialize here, so exactly one
+    // applies and the rest replay its acknowledgement.
+    let mut window = window.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(accepted) = window.lookup(key.seq) {
+        return Response::Ingested(accepted);
+    }
+    let response = ingest_now(shared, batch);
+    if let Response::Ingested(accepted) = response {
+        window.record(key.seq, accepted);
+    }
+    response
+}
+
+fn ingest_now(shared: &Shared, batch: Vec<Feedback>) -> Response {
+    let size = batch.len() as u64;
+    match shared.service.ingest_batch(batch) {
+        Ok(accepted) => {
+            shared
+                .counters
+                .reports_ingested
+                .fetch_add(accepted, Ordering::Relaxed);
+            debug_assert_eq!(accepted, size);
+            Response::Ingested(accepted)
+        }
+        Err(_) => Response::Error {
+            code: ErrorCode::IngestClosed,
+            message: "ingest pipeline closed".to_string(),
+        },
+    }
+}
+
+/// Decode one frame payload and serve it against the service. Returns
+/// the response plus the protocol version to encode it at — always the
+/// version the request arrived with, so old clients get answers they
+/// can decode.
+fn serve_payload(shared: &Shared, payload: &[u8], draining: bool) -> (Response, u8) {
+    let (request, version) = match Request::decode_versioned(payload) {
+        Ok(decoded) => decoded,
         Err(err) => {
             shared
                 .counters
@@ -531,12 +658,19 @@ fn serve_payload(shared: &Shared, payload: &[u8], draining: bool) -> Response {
                 crate::proto::DecodeError::BadVersion(_) => ErrorCode::BadVersion,
                 _ => ErrorCode::BadRequest,
             };
-            return Response::Error {
-                code,
-                message: err.to_string(),
-            };
+            return (
+                Response::Error {
+                    code,
+                    message: err.to_string(),
+                },
+                PROTO_VERSION,
+            );
         }
     };
+    (serve_request(shared, request, draining), version)
+}
+
+fn serve_request(shared: &Shared, request: Request, draining: bool) -> Response {
     shared.counters.requests[request.stat_slot()].fetch_add(1, Ordering::Relaxed);
     if draining && !matches!(request, Request::Shutdown | Request::Stats | Request::Ping) {
         return Response::Error {
@@ -547,7 +681,7 @@ fn serve_payload(shared: &Shared, payload: &[u8], draining: bool) -> Response {
     if shared.read_only.load(Ordering::Acquire)
         && matches!(
             request,
-            Request::Publish(_) | Request::Deregister(_) | Request::Ingest(_)
+            Request::Publish(_) | Request::Deregister(_) | Request::Ingest { .. }
         )
     {
         return Response::Error {
@@ -557,27 +691,16 @@ fn serve_payload(shared: &Shared, payload: &[u8], draining: bool) -> Response {
     }
     match request {
         Request::Ping => Response::Pong,
-        Request::Publish(listing) => Response::Published(shared.service.publish(listing)),
-        Request::Deregister(service) => {
-            Response::Deregistered(shared.service.deregister(service).is_ok())
-        }
-        Request::Ingest(batch) => {
-            let size = batch.len() as u64;
-            match shared.service.ingest_batch(batch) {
-                Ok(accepted) => {
-                    shared
-                        .counters
-                        .reports_ingested
-                        .fetch_add(accepted, Ordering::Relaxed);
-                    debug_assert_eq!(accepted, size);
-                    Response::Ingested(accepted)
-                }
-                Err(_) => Response::Error {
-                    code: ErrorCode::IngestClosed,
-                    message: "ingest pipeline closed".to_string(),
-                },
-            }
-        }
+        Request::Publish(listing) => match shared.service.publish(listing) {
+            Ok(status) => Response::Published(status),
+            Err(_) => refuse_not_durable(shared),
+        },
+        Request::Deregister(service) => match shared.service.deregister(service) {
+            Ok(()) => Response::Deregistered(true),
+            Err(RegistryError::NotDurable) => refuse_not_durable(shared),
+            Err(_) => Response::Deregistered(false),
+        },
+        Request::Ingest { batch, key } => serve_ingest(shared, batch, key),
         Request::Score(subject) => Response::Scored(shared.service.score(subject)),
         Request::TopK { category, prefs, k } => {
             let ranked = shared.service.top_k(category, &prefs, k as usize);
@@ -591,8 +714,12 @@ fn serve_payload(shared: &Shared, payload: &[u8], draining: bool) -> Response {
         Request::Flush => {
             // Blocks this worker until the pipeline catches up — the
             // caller asked for a barrier; other workers keep serving.
-            shared.service.flush();
-            Response::Flushed
+            // The barrier is honest: a fenced pipeline dropped batches
+            // instead of journaling them, and flush refuses to ack them.
+            match shared.service.try_flush() {
+                Ok(()) => Response::Flushed,
+                Err(_) => refuse_not_durable(shared),
+            }
         }
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::Release);

@@ -11,7 +11,7 @@ use wsrep_journal::frame::{split_frame, FrameSplit, FRAME_HEADER_LEN};
 use wsrep_qos::metric::Metric;
 use wsrep_qos::preference::Preferences;
 use wsrep_qos::value::QosVector;
-use wsrep_server::{ErrorCode, Request, Response, WireRanked};
+use wsrep_server::{ErrorCode, IngestKey, Request, Response, WireRanked};
 use wsrep_sim::registry::{Listing, PublishStatus};
 
 /// Deterministically build a metric from an index (covers every standard
@@ -92,7 +92,13 @@ proptest! {
         pairs in proptest::collection::vec((0u8..30, 0.0f64..100.0), 0..6),
     ) {
         let batch: Vec<Feedback> = seeds.iter().map(|&s| feedback(s, &pairs)).collect();
-        let request = Request::Ingest(batch);
+        // Roughly half the cases carry an idempotency key, so both the
+        // keyed and keyless v3 encodings are exercised.
+        let key = seeds.first().filter(|s| s.0 % 2 == 1).map(|s| IngestKey {
+            producer: s.0.wrapping_mul(0x9E37),
+            seq: s.2,
+        });
+        let request = Request::Ingest { batch, key };
         prop_assert_eq!(roundtrip_request(&request), request);
     }
 
@@ -212,7 +218,7 @@ proptest! {
     ) {
         let batch: Vec<Feedback> = seeds.iter().map(|&s| feedback(s, &[])).collect();
         let mut buf = Vec::new();
-        Request::Ingest(batch).encode_frame(&mut buf);
+        Request::Ingest { batch, key: None }.encode_frame(&mut buf);
         let cut = ((buf.len() - 1) as f64 * cut_fraction) as usize;
         // A strict prefix either waits for more bytes or (if the cut
         // mangles nothing yet) still refuses to produce a frame.

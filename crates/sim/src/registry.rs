@@ -21,6 +21,10 @@ pub enum RegistryError {
     Down,
     /// No listing exists for the given service.
     NotFound,
+    /// The registry cannot make the mutation durable and its policy
+    /// forbids lying about it (the served registry's fenced state after
+    /// a journal failure under a read-only / fail-stop policy).
+    NotDurable,
 }
 
 impl fmt::Display for RegistryError {
@@ -28,6 +32,9 @@ impl fmt::Display for RegistryError {
         match self {
             RegistryError::Down => write!(f, "registry is down"),
             RegistryError::NotFound => write!(f, "service is not listed"),
+            RegistryError::NotDurable => {
+                write!(f, "registry cannot make the write durable")
+            }
         }
     }
 }

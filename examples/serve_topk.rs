@@ -31,15 +31,17 @@ fn main() {
         (3, 6.0, 0.80),
     ];
     for (id, price, accuracy) in claims {
-        service.publish(Listing {
-            service: ServiceId::new(id),
-            provider: ProviderId::new(id),
-            category: 0,
-            advertised: QosVector::from_pairs([
-                (Metric::Price, price),
-                (Metric::Accuracy, accuracy),
-            ]),
-        });
+        service
+            .publish(Listing {
+                service: ServiceId::new(id),
+                provider: ProviderId::new(id),
+                category: 0,
+                advertised: QosVector::from_pairs([
+                    (Metric::Price, price),
+                    (Metric::Accuracy, accuracy),
+                ]),
+            })
+            .expect("publish");
     }
 
     // Consumers report what they actually experienced: service 2
