@@ -1,0 +1,151 @@
+//! Benchmarks for the wire path PR 9 optimized: CRC32 throughput
+//! (slicing-by-8 vs the one-table reference), in-place frame encoding
+//! vs the old buffer-then-copy two-step, and full request/response
+//! encode→split→decode round trips at realistic payload sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wsrep_core::feedback::Feedback;
+use wsrep_core::id::{AgentId, ServiceId};
+use wsrep_core::time::Time;
+use wsrep_core::trust::TrustEstimate;
+use wsrep_journal::frame::{
+    begin_frame, crc32, crc32_bytewise, end_frame, split_frame, write_frame, FrameSplit,
+    FRAME_HEADER_LEN,
+};
+use wsrep_qos::metric::Metric;
+use wsrep_qos::value::QosVector;
+use wsrep_server::{Request, Response, WireRanked};
+
+fn feedback_batch(n: u64) -> Vec<Feedback> {
+    (0..n)
+        .map(|i| {
+            Feedback::scored(AgentId::new(i), ServiceId::new(i % 16), 0.5, Time::new(i))
+                .with_observed(QosVector::from_pairs([
+                    (Metric::Latency, 40.0),
+                    (Metric::Price, 12.5),
+                ]))
+        })
+        .collect()
+}
+
+/// Raw checksum throughput over a wire-sized buffer: the sliced
+/// implementation the frame layer now uses against the bytewise loop it
+/// replaced. 64 KiB matches the server's read chunk.
+fn bench_crc(c: &mut Criterion) {
+    let buf: Vec<u8> = (0..64 * 1024u32).map(|i| (i * 31) as u8).collect();
+    let mut group = c.benchmark_group("wire_crc");
+    group.bench_function("slice_by_8_64k", |b| b.iter(|| black_box(crc32(&buf))));
+    group.bench_function("bytewise_64k", |b| {
+        b.iter(|| black_box(crc32_bytewise(&buf)))
+    });
+    group.finish();
+}
+
+/// Framing alone (no message codec): in-place header reserve + backfill
+/// against the old encode-to-scratch-then-`write_frame` copy, on a 4 KiB
+/// payload appended to a warm output buffer.
+fn bench_framing(c: &mut Criterion) {
+    let payload: Vec<u8> = (0..4096u32).map(|i| (i * 17) as u8).collect();
+    let mut group = c.benchmark_group("wire_framing");
+    group.bench_function("in_place_4k", |b| {
+        let mut out = Vec::with_capacity(8192);
+        b.iter(|| {
+            out.clear();
+            let start = begin_frame(&mut out);
+            out.extend_from_slice(&payload);
+            end_frame(&mut out, start);
+            black_box(out.len())
+        })
+    });
+    group.bench_function("two_step_4k", |b| {
+        let mut scratch = Vec::with_capacity(8192);
+        let mut out = Vec::with_capacity(8192);
+        b.iter(|| {
+            scratch.clear();
+            scratch.extend_from_slice(&payload);
+            out.clear();
+            write_frame(&mut out, &scratch);
+            black_box(out.len())
+        })
+    });
+    group.finish();
+}
+
+/// The messages the loadgen hot loop actually moves: a 64-report ingest
+/// request and a 50-row top-k response, encoded into a reused buffer.
+fn bench_message_encode(c: &mut Criterion) {
+    let ingest = Request::Ingest {
+        batch: feedback_batch(64),
+        key: None,
+    };
+    let ranked = Response::TopKResult(
+        (0..50u64)
+            .map(|i| WireRanked {
+                service: i,
+                provider: i % 8,
+                qos_score: 0.5,
+                reputation: Some(TrustEstimate::new(0.9, 0.8)),
+                score: 0.7,
+            })
+            .collect(),
+    );
+    let mut group = c.benchmark_group("wire_encode");
+    group.bench_function("ingest_64", |b| {
+        let mut out = Vec::with_capacity(16 * 1024);
+        b.iter(|| {
+            out.clear();
+            ingest.encode_frame(&mut out);
+            black_box(out.len())
+        })
+    });
+    group.bench_function("topk_50", |b| {
+        let mut out = Vec::with_capacity(8192);
+        b.iter(|| {
+            out.clear();
+            ranked.encode_frame(&mut out);
+            black_box(out.len())
+        })
+    });
+    group.finish();
+}
+
+/// The receive side: split (length + CRC verify) and decode of the same
+/// hot messages.
+fn bench_message_decode(c: &mut Criterion) {
+    let mut ingest_frame = Vec::new();
+    Request::Ingest {
+        batch: feedback_batch(64),
+        key: None,
+    }
+    .encode_frame(&mut ingest_frame);
+    let mut pong_frame = Vec::new();
+    Response::Pong.encode_frame(&mut pong_frame);
+
+    let mut group = c.benchmark_group("wire_decode");
+    group.bench_function("split_and_decode_ingest_64", |b| {
+        b.iter(|| {
+            let FrameSplit::Frame { frame_len } = split_frame(&ingest_frame) else {
+                unreachable!("benchmark frame splits");
+            };
+            black_box(Request::decode(&ingest_frame[FRAME_HEADER_LEN..frame_len]).unwrap())
+        })
+    });
+    group.bench_function("split_and_decode_pong", |b| {
+        b.iter(|| {
+            let FrameSplit::Frame { frame_len } = split_frame(&pong_frame) else {
+                unreachable!("benchmark frame splits");
+            };
+            black_box(Response::decode(&pong_frame[FRAME_HEADER_LEN..frame_len]).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crc,
+    bench_framing,
+    bench_message_encode,
+    bench_message_decode
+);
+criterion_main!(benches);

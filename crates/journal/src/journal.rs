@@ -20,7 +20,7 @@
 //! [`LsnAllocator`](crate::group::LsnAllocator).
 
 use crate::faults::{Fault, IoOp, IoPolicy};
-use crate::frame::write_frame;
+use crate::frame::{begin_frame, end_frame};
 use crate::record::JournalRecord;
 use crate::segment::{
     list_segments, scan_segment_entries, segment_file_name, segment_header, tagged_segment_header,
@@ -340,15 +340,17 @@ impl Journal {
             self.rotate_to(first_lsn)?;
         }
         let torn = self.consult(IoOp::Append)?;
+        // Records are framed in place: reserve the header, encode the
+        // payload straight into the batch buffer, backfill len+CRC — no
+        // per-record scratch Vec and no second copy.
         let mut buf = Vec::new();
-        let mut payload = Vec::new();
         for (i, record) in records.iter().enumerate() {
-            payload.clear();
+            let frame_start = begin_frame(&mut buf);
             if self.tagged {
-                payload.extend_from_slice(&(first_lsn + i as u64).to_le_bytes());
+                buf.extend_from_slice(&(first_lsn + i as u64).to_le_bytes());
             }
-            record.encode(&mut payload);
-            write_frame(&mut buf, &payload);
+            record.encode(&mut buf);
+            end_frame(&mut buf, frame_start);
         }
         if let Some(keep) = torn {
             // Land the partial bytes the way a crash mid-`write` would,

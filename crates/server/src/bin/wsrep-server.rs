@@ -5,6 +5,7 @@
 //!              [--journal=DIR] [--recover=DIR] [--durability MODE]
 //!              [--fault-append-every N] [--fault-fsync-every N]
 //!              [--channel N] [--batch N] [--pipeline-depth N]
+//!              [--poller auto|epoll|spin]
 //! ```
 //!
 //! Defaults: listen on `127.0.0.1:7411`, 8 shards, 4 workers, no
@@ -40,7 +41,7 @@ use std::sync::Arc;
 use std::time::Duration;
 use wsrep_journal::{IoOp, IoPolicy, PeriodicFaults};
 use wsrep_serve::{DurabilityPolicy, ReputationService};
-use wsrep_server::{Server, ServerConfig};
+use wsrep_server::{PollerChoice, Server, ServerConfig};
 
 struct Args {
     listen: String,
@@ -54,6 +55,7 @@ struct Args {
     channel_capacity: usize,
     batch_size: usize,
     pipeline_depth: usize,
+    poller: PollerChoice,
 }
 
 fn parse_args() -> Args {
@@ -69,6 +71,7 @@ fn parse_args() -> Args {
         channel_capacity: 4096,
         batch_size: 128,
         pipeline_depth: 128,
+        poller: PollerChoice::Auto,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -117,6 +120,13 @@ fn parse_args() -> Args {
             parsed.batch_size = value.parse().expect("--batch expects a number");
         } else if let Some(value) = arg.strip_prefix("--pipeline-depth=") {
             parsed.pipeline_depth = value.parse().expect("--pipeline-depth expects a number");
+        } else if let Some(value) = arg.strip_prefix("--poller=") {
+            parsed.poller = PollerChoice::parse(value)
+                .unwrap_or_else(|| panic!("--poller expects auto|epoll|spin, got {value:?}"));
+        } else if arg == "--poller" {
+            let value = flag_value("--poller");
+            parsed.poller = PollerChoice::parse(&value)
+                .unwrap_or_else(|| panic!("--poller expects auto|epoll|spin, got {value:?}"));
         } else {
             eprintln!("unknown argument: {arg}");
             exit(2);
@@ -164,6 +174,7 @@ fn main() {
     let config = ServerConfig {
         workers: args.workers.max(1),
         max_pipeline_depth: args.pipeline_depth.max(1),
+        poller: args.poller,
         ..ServerConfig::default()
     };
     let server = match Server::start(Arc::clone(&service), &args.listen[..], config) {
@@ -191,6 +202,7 @@ fn main() {
     }
     let wire = server.server_stats();
     let fenced = server.durability_fenced();
+    let poller_kind = server.poller_kind();
     server.join();
     let stats = service.stats();
     let health = stats.journal.unwrap_or_default();
@@ -201,8 +213,9 @@ fn main() {
     let mut out = stdout.lock();
     let _ = writeln!(
         out,
-        "{{\"shutdown\":\"{}\",\"requests\":{},\"reports_ingested\":{},\"connections_opened\":{},\"malformed_frames\":{},\"bytes_in\":{},\"bytes_out\":{},\"feedback_applied\":{},\"durability\":\"{}\",\"journal_errors\":{},\"degraded\":{},\"fenced\":{},\"injected_disk_faults\":{}}}",
+        "{{\"shutdown\":\"{}\",\"poller\":\"{}\",\"requests\":{},\"reports_ingested\":{},\"connections_opened\":{},\"malformed_frames\":{},\"bytes_in\":{},\"bytes_out\":{},\"feedback_applied\":{},\"durability\":\"{}\",\"journal_errors\":{},\"degraded\":{},\"fenced\":{},\"injected_disk_faults\":{}}}",
         if fenced { "fenced" } else { "clean" },
+        poller_kind,
         wire.total_requests(),
         wire.reports_ingested,
         wire.connections_opened,

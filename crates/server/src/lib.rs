@@ -11,10 +11,14 @@
 //!   version-pinned binary layout (reusing the journal codec's layout
 //!   primitives and the WAL's frame discipline), and the pipelining /
 //!   error contract;
-//! - [`server`] — the hand-rolled nonblocking reactor: an acceptor
-//!   thread dealing sockets to worker threads that own their
-//!   connections, with bounded pipeline depth, write-buffer
-//!   backpressure, slow-client eviction, and graceful drain-on-shutdown;
+//! - [`poll`] — readiness behind a trait: raw epoll on Linux (no `libc`
+//!   crate, hand-declared syscall prototypes), a portable
+//!   poll-everything fallback elsewhere, both with thread-safe wakers;
+//! - [`server`] — the readiness-driven reactor: an acceptor thread
+//!   dealing sockets to worker threads that own their connections and
+//!   block on a [`poll::Poller`], with bounded pipeline depth,
+//!   write-buffer backpressure, slow-client eviction, and graceful
+//!   drain-on-shutdown;
 //! - [`client`] — the blocking connection: call-style one-shot RPCs and
 //!   a queue/flush/recv pipelining API over reusable buffers;
 //! - [`retry`] — jittered exponential backoff ([`RetryPolicy`],
@@ -35,6 +39,7 @@
 
 pub mod chaos;
 pub mod client;
+pub mod poll;
 pub mod proto;
 pub mod repl;
 pub mod retry;
@@ -42,6 +47,7 @@ pub mod server;
 
 pub use chaos::{ChaosConfig, ChaosCounters, FlakyProxy};
 pub use client::{Client, ClientError};
+pub use poll::PollerChoice;
 pub use proto::{
     ErrorCode, IngestKey, ReplBatch, ReplRole, ReplWatermark, ReplicationStats, Request, Response,
     ServerStats, WireRanked, WireStats, MIN_PROTO_VERSION, PROTO_VERSION,

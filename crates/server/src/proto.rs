@@ -44,7 +44,7 @@ use wsrep_journal::codec::{
     get_feedback, get_listing, get_metric, get_subject, put_bool, put_bytes, put_f64, put_feedback,
     put_listing, put_metric, put_subject, put_u32, put_u64, CodecError, Cursor,
 };
-use wsrep_journal::frame::write_frame;
+use wsrep_journal::frame::{begin_frame, end_frame};
 use wsrep_journal::JournalRecord;
 use wsrep_qos::preference::Preferences;
 use wsrep_serve::{DurabilityPolicy, JournalHealth, RankedService, ServiceStats};
@@ -627,45 +627,54 @@ impl Request {
 
     /// Encode at an explicit protocol version — how a peer talks to an
     /// older server (fields the version predates are dropped).
+    ///
+    /// The payload is encoded **in place**: the frame header is reserved
+    /// in `out`, the body appended directly after it, and length + CRC
+    /// backfilled — no intermediate payload buffer, no second copy.
     pub fn encode_frame_v(&self, version: u8, out: &mut Vec<u8>) {
-        let mut payload = Vec::new();
+        let frame_start = begin_frame(out);
+        self.encode_payload(version, out);
+        end_frame(out, frame_start);
+    }
+
+    fn encode_payload(&self, version: u8, payload: &mut Vec<u8>) {
         payload.push(version);
         match self {
             Request::Ping => payload.push(OP_PING),
             Request::Publish(listing) => {
                 payload.push(OP_PUBLISH);
-                put_listing(&mut payload, listing);
+                put_listing(payload, listing);
             }
             Request::Deregister(service) => {
                 payload.push(OP_DEREGISTER);
-                put_u64(&mut payload, service.raw());
+                put_u64(payload, service.raw());
             }
             Request::Ingest { batch, key } => {
                 payload.push(OP_INGEST);
-                put_u32(&mut payload, batch.len() as u32);
+                put_u32(payload, batch.len() as u32);
                 for feedback in batch {
-                    put_feedback(&mut payload, feedback);
+                    put_feedback(payload, feedback);
                 }
                 if version >= 3 {
                     match key {
                         Some(key) => {
-                            put_bool(&mut payload, true);
-                            put_u64(&mut payload, key.producer);
-                            put_u64(&mut payload, key.seq);
+                            put_bool(payload, true);
+                            put_u64(payload, key.producer);
+                            put_u64(payload, key.seq);
                         }
-                        None => put_bool(&mut payload, false),
+                        None => put_bool(payload, false),
                     }
                 }
             }
             Request::Score(subject) => {
                 payload.push(OP_SCORE);
-                put_subject(&mut payload, *subject);
+                put_subject(payload, *subject);
             }
             Request::TopK { category, prefs, k } => {
                 payload.push(OP_TOP_K);
-                put_u32(&mut payload, *category);
-                put_u32(&mut payload, *k);
-                put_prefs(&mut payload, prefs);
+                put_u32(payload, *category);
+                put_u32(payload, *k);
+                put_prefs(payload, prefs);
             }
             Request::Stats => payload.push(OP_STATS),
             Request::Flush => payload.push(OP_FLUSH),
@@ -675,19 +684,18 @@ impl Request {
                 max_records,
             } => {
                 payload.push(OP_REPL_PULL);
-                put_u64(&mut payload, *from_lsn);
-                put_u32(&mut payload, *max_records);
+                put_u64(payload, *from_lsn);
+                put_u32(payload, *max_records);
             }
             Request::ReplHeartbeat {
                 replica,
                 durable_lsn,
             } => {
                 payload.push(OP_REPL_HEARTBEAT);
-                put_u64(&mut payload, *replica);
-                put_u64(&mut payload, *durable_lsn);
+                put_u64(payload, *replica);
+                put_u64(payload, *durable_lsn);
             }
         }
-        write_frame(out, &payload);
     }
 
     /// Decode one request from a frame payload (version byte included).
@@ -768,10 +776,13 @@ impl Response {
     /// Encode at an explicit protocol version — the server answers each
     /// request at the version it arrived with, so a v2 client never
     /// sees v3-only fields.
+    ///
+    /// In-place like the request encoder: header reserved, payload
+    /// appended directly to `out`, length + CRC backfilled.
     pub fn encode_frame_v(&self, version: u8, out: &mut Vec<u8>) {
-        let mut payload = Vec::new();
-        self.encode_payload(version, &mut payload);
-        write_frame(out, &payload);
+        let frame_start = begin_frame(out);
+        self.encode_payload(version, out);
+        end_frame(out, frame_start);
     }
 
     fn encode_payload(&self, version: u8, payload: &mut Vec<u8>) {
@@ -821,13 +832,15 @@ impl Response {
                 put_u64(payload, batch.first_lsn);
                 put_u64(payload, batch.durable_lsn);
                 put_u32(payload, batch.records.len() as u32);
-                // Each record is length-prefixed: `JournalRecord::decode`
-                // wants exactly one record's bytes.
-                let mut record_buf = Vec::new();
+                // Each record is length-prefixed (`JournalRecord::decode`
+                // wants exactly one record's bytes) with the length
+                // backfilled after encoding in place — no record scratch.
                 for record in &batch.records {
-                    record_buf.clear();
-                    record.encode(&mut record_buf);
-                    put_bytes(payload, &record_buf);
+                    let len_at = payload.len();
+                    put_u32(payload, 0);
+                    record.encode(payload);
+                    let record_len = (payload.len() - len_at - 4) as u32;
+                    payload[len_at..len_at + 4].copy_from_slice(&record_len.to_le_bytes());
                 }
             }
             Response::ReplWatermark(mark) => {

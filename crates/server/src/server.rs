@@ -1,16 +1,20 @@
-//! The serving loop: a hand-rolled nonblocking reactor.
+//! The serving loop: a hand-rolled readiness-driven reactor.
 //!
 //! One **acceptor** thread owns the listener and deals accepted sockets
 //! round-robin to N **worker** threads. Each worker owns its connections
 //! outright (no cross-thread connection state, no locks on the data
-//! path) and runs a readiness-style loop over them: nonblocking writes
-//! first, then nonblocking reads, then frame parsing and request
-//! dispatch, sleeping briefly only when a full pass over every
-//! connection made no progress. This is the thread-per-core accept +
-//! worker model — the same "vendored stub over a fancy dependency"
-//! trade the workspace makes everywhere else, here standing in for an
-//! epoll reactor while keeping the architecture (readiness loop, owned
-//! connections, bounded buffers) that an epoll backend would slot into.
+//! path) and blocks on a [`Poller`] — raw epoll on Linux, the portable
+//! poll-everything fallback elsewhere (see [`crate::poll`]) — waking
+//! only when a socket is actually readable/writable, a new connection is
+//! dealt to it, or shutdown is requested. Per wakeup it pumps exactly
+//! the ready connections: nonblocking writes first, then nonblocking
+//! reads, then frame parsing and request dispatch. Read interest is
+//! dropped while a connection is over its write-buffer limit and write
+//! interest exists only while responses are queued, so a fully idle
+//! server sits in `epoll_wait` at ~zero CPU instead of spinning a
+//! sleep-poll loop. The connection ownership model is unchanged from the
+//! polling reactor: readiness says *which* worker-owned connection to
+//! pump, never moves one across threads.
 //!
 //! ## Pipelining and backpressure
 //!
@@ -25,9 +29,12 @@
 //!   An unread response backlog therefore freezes that connection's
 //!   intake (TCP pushes the backpressure to the client) without ever
 //!   growing server memory unboundedly.
-//! - **Slow-client timeout**: a connection that stays write-blocked with
-//!   a full buffer for longer than [`ServerConfig::write_stall_timeout`]
-//!   is closed. One stuck socket costs one buffer, never the reactor.
+//! - **Slow-client timeout**: a connection that stays *over* the
+//!   write-buffer limit for longer than
+//!   [`ServerConfig::write_stall_timeout`] is closed — trickling a few
+//!   bytes now and then doesn't reset the clock, only draining back
+//!   under the limit does. One stuck socket costs one bounded buffer
+//!   for one bounded time, never the reactor.
 //!
 //! ## Lifecycle
 //!
@@ -38,6 +45,7 @@
 //! final group-commit fsync, so everything acknowledged over the wire
 //! is durable before the process exits.
 
+use crate::poll::{make_poller, Event, Interest, Poller, PollerChoice, Waker};
 use crate::proto::{
     ErrorCode, IngestKey, Request, Response, ServerStats, WireRanked, WireStats, PROTO_VERSION,
 };
@@ -45,9 +53,10 @@ use crate::repl::{ReplicationGauge, Replicator};
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 use wsrep_core::feedback::Feedback;
@@ -66,6 +75,9 @@ pub struct ServerConfig {
     pub write_buffer_limit: usize,
     /// Close a connection write-blocked over the limit for this long.
     pub write_stall_timeout: Duration,
+    /// Readiness backend: epoll where available, or the portable
+    /// poll-everything fallback.
+    pub poller: PollerChoice,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +87,7 @@ impl Default for ServerConfig {
             max_pipeline_depth: 128,
             write_buffer_limit: 1 << 20,
             write_stall_timeout: Duration::from_secs(10),
+            poller: PollerChoice::Auto,
         }
     }
 }
@@ -192,6 +205,22 @@ struct Shared {
     replicator: Option<Arc<dyn Replicator>>,
     repl_gauge: Option<Arc<ReplicationGauge>>,
     config: ServerConfig,
+    /// One waker per reactor thread (workers + acceptor): shutdown must
+    /// interrupt a blocked `Poller::wait`, not wait out its timeout.
+    wakers: Vec<Waker>,
+    /// Backend the pollers were built with, for logs and stats.
+    poller_kind: &'static str,
+}
+
+impl Shared {
+    /// Flip the shutdown flag and wake every reactor thread so none
+    /// sleeps through it.
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        for waker in &self.wakers {
+            waker.wake();
+        }
+    }
 }
 
 /// A running reputation server bound to a TCP address.
@@ -225,6 +254,20 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        // Pollers are built before any thread starts so their wakers can
+        // live in `Shared` — anyone holding the shared state can wake
+        // every reactor thread (shutdown, the acceptor dealing a socket).
+        let workers_n = config.workers.max(1);
+        let acceptor_poller = make_poller(config.poller)?;
+        let mut worker_pollers = Vec::with_capacity(workers_n);
+        for _ in 0..workers_n {
+            worker_pollers.push(make_poller(config.poller)?);
+        }
+        let worker_wakers: Vec<Waker> =
+            worker_pollers.iter().map(|poller| poller.waker()).collect();
+        let mut wakers = worker_wakers.clone();
+        wakers.push(acceptor_poller.waker());
+        let poller_kind = acceptor_poller.kind();
         let shared = Arc::new(Shared {
             service,
             counters: Counters::default(),
@@ -234,25 +277,34 @@ impl Server {
             replicator: hooks.replicator,
             repl_gauge: hooks.gauge,
             config,
+            wakers,
+            poller_kind,
         });
-        let workers_n = config.workers.max(1);
         let mut senders: Vec<Sender<TcpStream>> = Vec::with_capacity(workers_n);
         let mut workers = Vec::with_capacity(workers_n);
-        for w in 0..workers_n {
+        for (w, poller) in worker_pollers.into_iter().enumerate() {
             let (tx, rx) = channel::<TcpStream>();
             senders.push(tx);
             let shared = Arc::clone(&shared);
             workers.push(
                 thread::Builder::new()
                     .name(format!("wsrep-worker-{w}"))
-                    .spawn(move || worker_loop(&shared, rx))
+                    .spawn(move || worker_loop(&shared, rx, poller))
                     .expect("spawn worker thread"),
             );
         }
         let acceptor_shared = Arc::clone(&shared);
         let acceptor = thread::Builder::new()
             .name("wsrep-acceptor".to_string())
-            .spawn(move || accept_loop(&acceptor_shared, listener, senders))
+            .spawn(move || {
+                accept_loop(
+                    &acceptor_shared,
+                    listener,
+                    senders,
+                    worker_wakers,
+                    acceptor_poller,
+                )
+            })
             .expect("spawn acceptor thread");
         Ok(Server {
             shared,
@@ -270,6 +322,11 @@ impl Server {
     /// Current wire counters.
     pub fn server_stats(&self) -> ServerStats {
         self.shared.counters.snapshot()
+    }
+
+    /// Which readiness backend the reactor runs on (`"epoll"`/`"spin"`).
+    pub fn poller_kind(&self) -> &'static str {
+        self.shared.poller_kind
     }
 
     /// Whether shutdown has been requested (locally or over the wire).
@@ -300,7 +357,7 @@ impl Server {
     /// connection's queued responses, flush ingest. Returns immediately;
     /// [`Server::join`] waits for the drain.
     pub fn shutdown(&self) {
-        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.request_shutdown();
     }
 
     /// Wait until every connection drained and every thread exited, then
@@ -331,12 +388,36 @@ impl Drop for Server {
     }
 }
 
-/// How long an idle pass sleeps before polling again.
-const IDLE_SLEEP: Duration = Duration::from_micros(200);
 /// Read chunk size per pass per connection.
 const READ_CHUNK: usize = 64 * 1024;
 
-fn accept_loop(shared: &Shared, listener: TcpListener, senders: Vec<Sender<TcpStream>>) {
+/// How often an over-limit connection is re-pumped while its stall
+/// clock runs. The kernel stops announcing writability once the send
+/// buffer is mostly full even though small writes still succeed (and
+/// each attempt lets the buffer autotune larger), so readiness alone
+/// would both under-drain a recovering client and take too long to
+/// prove a dead one stalled.
+const STALL_POLL: Duration = Duration::from_millis(1);
+
+/// Capacity a drained `rbuf`/`wbuf` keeps. A burst may grow the buffers
+/// up to the backpressure limits; once drained they shrink back here so
+/// one past slow client doesn't pin megabytes for its lifetime.
+const BUF_RETAIN: usize = 256 * 1024;
+
+fn accept_loop(
+    shared: &Shared,
+    listener: TcpListener,
+    senders: Vec<Sender<TcpStream>>,
+    worker_wakers: Vec<Waker>,
+    mut poller: Box<dyn Poller>,
+) {
+    // Block on listener readiness between accepts; if registration fails
+    // (exotic fd limits) fall back to a short sleep — accept stays
+    // correct either way, only the idle cost differs.
+    let registered = poller
+        .register(listener.as_raw_fd(), 0, Interest::READ)
+        .is_ok();
+    let mut events: Vec<Event> = Vec::new();
     let mut next = 0usize;
     while !shared.shutdown.load(Ordering::Acquire) {
         match listener.accept() {
@@ -350,60 +431,187 @@ fn accept_loop(shared: &Shared, listener: TcpListener, senders: Vec<Sender<TcpSt
                     .connections_opened
                     .fetch_add(1, Ordering::Relaxed);
                 // Round-robin deal; a worker that exited drops its
-                // receiver and the send fails, closing the socket.
-                let _ = senders[next % senders.len()].send(stream);
+                // receiver and the send fails, closing the socket. The
+                // wake makes the worker adopt it now, not at its next
+                // natural wakeup.
+                let worker = next % senders.len();
+                if senders[worker].send(stream).is_ok() {
+                    worker_wakers[worker].wake();
+                }
                 next = next.wrapping_add(1);
             }
             Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
-                thread::sleep(Duration::from_micros(500));
+                if registered {
+                    let max_idle = poller.max_idle();
+                    let _ = poller.wait(&mut events, max_idle);
+                } else {
+                    thread::sleep(Duration::from_micros(500));
+                }
             }
             Err(_) => thread::sleep(Duration::from_millis(5)),
         }
     }
 }
 
-fn worker_loop(shared: &Shared, incoming: Receiver<TcpStream>) {
-    let mut conns: Vec<Conn> = Vec::new();
+fn worker_loop(shared: &Shared, incoming: Receiver<TcpStream>, mut poller: Box<dyn Poller>) {
+    // Connection slab: the poller token is the index, freed slots are
+    // reused. `scheduled` dedups the pump set within one pass.
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut scheduled: Vec<bool> = Vec::new();
+    let mut pump_set: Vec<usize> = Vec::new();
+    // Connections that still have work no readiness event will announce:
+    // a complete frame beyond the per-pass pipeline bound, or a stall
+    // deadline that just expired. Pumped again on the next pass.
+    let mut carry: Vec<usize> = Vec::new();
+    // Over-limit connections being polled at STALL_POLL cadence. Unlike
+    // `carry`, these wait out a short timed sleep first: their next
+    // write is expected to fail, so spinning on them would burn a core.
+    let mut stall_poll: Vec<usize> = Vec::new();
+    let mut events: Vec<Event> = Vec::new();
     let mut accepting = true;
+    let mut timeout = Duration::ZERO;
     loop {
+        let _ = poller.wait(&mut events, timeout);
         let draining = shared.shutdown.load(Ordering::Acquire);
+
         // Adopt newly dealt connections; ones that arrive mid-shutdown
         // are drained and closed by the same path as the rest.
         while accepting {
             match incoming.try_recv() {
-                Ok(stream) => conns.push(Conn::new(stream)),
+                Ok(stream) => {
+                    let token = free.pop().unwrap_or_else(|| {
+                        conns.push(None);
+                        scheduled.push(false);
+                        conns.len() - 1
+                    });
+                    let conn = Conn::new(stream);
+                    if poller
+                        .register(conn.stream.as_raw_fd(), token, Interest::READ)
+                        .is_err()
+                    {
+                        // Unwatchable socket: close it rather than hold a
+                        // connection no event will ever pump.
+                        shared
+                            .counters
+                            .connections_closed
+                            .fetch_add(1, Ordering::Relaxed);
+                        free.push(token);
+                        continue;
+                    }
+                    conns[token] = Some(conn);
+                    if !scheduled[token] {
+                        scheduled[token] = true;
+                        pump_set.push(token);
+                    }
+                }
                 Err(TryRecvError::Empty) => break,
                 Err(TryRecvError::Disconnected) => {
                     accepting = false;
                 }
             }
         }
+
+        for token in carry.drain(..).chain(stall_poll.drain(..)) {
+            if conns.get(token).is_some_and(Option::is_some) && !scheduled[token] {
+                scheduled[token] = true;
+                pump_set.push(token);
+            }
+        }
+        for event in &events {
+            let token = event.token;
+            if conns.get(token).is_some_and(Option::is_some) && !scheduled[token] {
+                scheduled[token] = true;
+                pump_set.push(token);
+            }
+        }
+        if draining {
+            // Every connection must notice the drain, events or not.
+            for (token, slot) in conns.iter().enumerate() {
+                if slot.is_some() && !scheduled[token] {
+                    scheduled[token] = true;
+                    pump_set.push(token);
+                }
+            }
+        }
+
         let mut progress = false;
-        conns.retain_mut(|conn| {
+        for &token in &pump_set {
+            scheduled[token] = false;
+            let Some(conn) = conns[token].as_mut() else {
+                continue;
+            };
             let outcome = conn.pump(shared, draining);
             progress |= outcome.progress;
             if outcome.closed {
+                let _ = poller.deregister(conn.stream.as_raw_fd(), token);
+                conns[token] = None;
+                free.push(token);
                 shared
                     .counters
                     .connections_closed
                     .fetch_add(1, Ordering::Relaxed);
-                false
-            } else {
-                true
+                continue;
             }
-        });
-        if draining && conns.is_empty() {
+            // Keep the kernel's picture current: read interest off under
+            // write backlog (TCP backpressure), write interest only while
+            // responses are queued.
+            let desired = conn.desired_interest(shared, draining);
+            if desired != conn.interest
+                && poller
+                    .reregister(conn.stream.as_raw_fd(), token, desired)
+                    .is_ok()
+            {
+                conn.interest = desired;
+            }
+            if outcome.more {
+                carry.push(token);
+            }
+        }
+        pump_set.clear();
+
+        // Bookkeeping pass: live count for the drain exit, and stall
+        // deadlines — the one timer readiness knows nothing about.
+        let mut live = 0usize;
+        let mut stall_wait: Option<Duration> = None;
+        for (token, slot) in conns.iter_mut().enumerate() {
+            let Some(conn) = slot else { continue };
+            live += 1;
+            if conn.backlog() > shared.config.write_buffer_limit {
+                // Start the clock here too: the serve loop may push a
+                // backlog over the limit without another pump running.
+                let stalled_since = *conn.stalled_since.get_or_insert_with(Instant::now);
+                let elapsed = stalled_since.elapsed();
+                if elapsed >= shared.config.write_stall_timeout {
+                    // Deadline hit: pump immediately, the pump evicts.
+                    carry.push(token);
+                } else {
+                    stall_poll.push(token);
+                    stall_wait = Some(STALL_POLL);
+                }
+            }
+        }
+        if draining && live == 0 {
             return;
         }
-        if !progress {
-            thread::sleep(IDLE_SLEEP);
-        }
+        timeout = if progress || !carry.is_empty() {
+            Duration::ZERO
+        } else {
+            let mut idle = poller.max_idle();
+            if let Some(stall) = stall_wait {
+                idle = idle.min(stall);
+            }
+            idle
+        };
     }
 }
 
 struct PumpOutcome {
     progress: bool,
     closed: bool,
+    /// A complete frame is still buffered (the pass hit the pipeline
+    /// bound): pump again without waiting for readiness.
+    more: bool,
 }
 
 /// One connection, owned by exactly one worker.
@@ -418,8 +626,13 @@ struct Conn {
     /// Stop reading and close once `wbuf` drains (fatal protocol error,
     /// shutdown handshake, or peer EOF).
     close_after_flush: bool,
-    /// Last instant a write made progress (or the buffer was empty).
-    last_write_progress: Instant,
+    /// When the write backlog first exceeded the limit. The stall
+    /// clock: eviction fires when this gets old while the backlog is
+    /// still over the limit, and only draining to *half* the limit
+    /// clears it — trickling bytes at the boundary resets nothing.
+    stalled_since: Option<Instant>,
+    /// Readiness interest currently registered with the worker's poller.
+    interest: Interest,
     /// Reusable read scratch — connections allocate their buffers once,
     /// not per request.
     read_chunk: Box<[u8; READ_CHUNK]>,
@@ -434,8 +647,25 @@ impl Conn {
             wbuf: Vec::new(),
             wpos: 0,
             close_after_flush: false,
-            last_write_progress: Instant::now(),
+            stalled_since: None,
+            interest: Interest::READ,
             read_chunk: Box::new([0u8; READ_CHUNK]),
+        }
+    }
+
+    /// Unsent response bytes.
+    fn backlog(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+
+    /// What readiness this connection can currently act on: reads unless
+    /// backpressured/closing, writes only while responses are queued.
+    fn desired_interest(&self, shared: &Shared, draining: bool) -> Interest {
+        Interest {
+            readable: !self.close_after_flush
+                && !draining
+                && self.backlog() <= shared.config.write_buffer_limit,
+            writable: self.wpos < self.wbuf.len(),
         }
     }
 
@@ -452,7 +682,6 @@ impl Conn {
                         .counters
                         .bytes_out
                         .fetch_add(n as u64, Ordering::Relaxed);
-                    self.last_write_progress = Instant::now();
                     progress = true;
                 }
                 Err(err) if err.kind() == io::ErrorKind::WouldBlock => break,
@@ -463,19 +692,22 @@ impl Conn {
         if self.wpos == self.wbuf.len() {
             self.wbuf.clear();
             self.wpos = 0;
-            self.last_write_progress = Instant::now();
+            if self.wbuf.capacity() > BUF_RETAIN {
+                self.wbuf.shrink_to(BUF_RETAIN);
+            }
             if self.close_after_flush {
                 let _ = self.stream.shutdown(SockShutdown::Both);
                 return self.closed();
             }
         }
 
-        let backlog = self.wbuf.len() - self.wpos;
+        let backlog = self.backlog();
         if backlog > shared.config.write_buffer_limit {
             // Slow client: its responses aren't draining. Stop reading
-            // (TCP backpressure) and give up on it entirely after the
-            // stall timeout.
-            if self.last_write_progress.elapsed() > shared.config.write_stall_timeout {
+            // (TCP backpressure) and give up on it entirely if it stays
+            // over the limit for the whole stall timeout.
+            let stalled_since = *self.stalled_since.get_or_insert_with(Instant::now);
+            if stalled_since.elapsed() > shared.config.write_stall_timeout {
                 shared
                     .counters
                     .slow_client_closes
@@ -486,7 +718,11 @@ impl Conn {
             return PumpOutcome {
                 progress,
                 closed: false,
+                more: false,
             };
+        }
+        if backlog <= shared.config.write_buffer_limit / 2 {
+            self.stalled_since = None;
         }
 
         // 2. Read whatever the socket has (nonblocking), unless closing
@@ -527,16 +763,15 @@ impl Conn {
                 FrameSplit::Incomplete => break,
                 FrameSplit::Corrupt => {
                     // The stream can't be resynchronized: answer with a
-                    // final error and close once it's flushed.
+                    // final error and close once it's flushed. The reply
+                    // is pre-encoded — garbage on the wire is exactly
+                    // where a peer shouldn't get to charge us
+                    // allocations.
                     shared
                         .counters
                         .malformed_frames
                         .fetch_add(1, Ordering::Relaxed);
-                    Response::Error {
-                        code: ErrorCode::BadRequest,
-                        message: "corrupt frame (bad length or checksum)".to_string(),
-                    }
-                    .encode_frame(&mut self.wbuf);
+                    self.wbuf.extend_from_slice(corrupt_frame_reply());
                     self.close_after_flush = true;
                 }
                 FrameSplit::Frame { frame_len } => {
@@ -555,13 +790,29 @@ impl Conn {
                 }
             }
         }
-        // Reclaim the parsed prefix once it dominates the buffer.
+        // Reclaim the parsed prefix once it dominates the buffer, and
+        // give back burst capacity once it's reclaimed.
         if self.rpos > 0 && (self.rpos == self.rbuf.len() || self.rpos >= READ_CHUNK) {
             self.rbuf.drain(..self.rpos);
             self.rpos = 0;
+            if self.rbuf.capacity() > BUF_RETAIN && self.rbuf.len() <= BUF_RETAIN {
+                self.rbuf.shrink_to(BUF_RETAIN);
+            }
         }
 
-        if (peer_eof || draining) && !self.close_after_flush {
+        // Did the pipeline bound stop us with a complete frame already
+        // buffered? No readiness event will announce it, so tell the
+        // reactor to pump again. (Exiting for backpressure instead is
+        // announced — by the socket turning writable.)
+        let more = served == shared.config.max_pipeline_depth
+            && !self.close_after_flush
+            && self.backlog() <= shared.config.write_buffer_limit
+            && matches!(
+                split_frame(&self.rbuf[self.rpos..]),
+                FrameSplit::Frame { .. }
+            );
+
+        if (peer_eof || draining) && !self.close_after_flush && !more {
             // Serve what was already buffered, then close.
             if split_frame(&self.rbuf[self.rpos..]) == FrameSplit::Incomplete || draining {
                 self.close_after_flush = true;
@@ -575,6 +826,7 @@ impl Conn {
         PumpOutcome {
             progress,
             closed: false,
+            more,
         }
     }
 
@@ -582,8 +834,23 @@ impl Conn {
         PumpOutcome {
             progress: true,
             closed: true,
+            more: false,
         }
     }
+}
+
+/// The pre-encoded reply to an unrecoverable framing error.
+fn corrupt_frame_reply() -> &'static [u8] {
+    static REPLY: OnceLock<Vec<u8>> = OnceLock::new();
+    REPLY.get_or_init(|| {
+        let mut frame = Vec::new();
+        Response::Error {
+            code: ErrorCode::BadRequest,
+            message: "corrupt frame (bad length or checksum)".to_string(),
+        }
+        .encode_frame(&mut frame);
+        frame
+    })
 }
 
 /// The refusal a fenced service answers every write with. Under
@@ -592,7 +859,7 @@ impl Conn {
 /// non-durable registry reachable.
 fn refuse_not_durable(shared: &Shared) -> Response {
     if shared.service.durability_policy() == DurabilityPolicy::FailStop {
-        shared.shutdown.store(true, Ordering::Release);
+        shared.request_shutdown();
     }
     Response::Error {
         code: ErrorCode::NotDurable,
@@ -722,7 +989,7 @@ fn serve_request(shared: &Shared, request: Request, draining: bool) -> Response 
             }
         }
         Request::Shutdown => {
-            shared.shutdown.store(true, Ordering::Release);
+            shared.request_shutdown();
             Response::ShuttingDown
         }
         Request::ReplPull {
